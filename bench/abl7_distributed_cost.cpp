@@ -1,0 +1,131 @@
+// Ablation A7: communication cost of the distributed executions — the
+// quantitative version of the paper's conclusion, which argues that the
+// greedy algorithm needs only "one information exchange per network node"
+// while (distributed) AMP floods the network every iteration.
+//
+// For each n we run Algorithm 1 on the network simulator and account its
+// actual rounds/messages/bytes.  For AMP we report two costs:
+//   * measured — the faithful distributed AMP of netsim/distributed_amp
+//     (dense floods on the standardized design; run for n ≤ 1000 where
+//     the simulation is cheap), iterated as many times as the centralized
+//     implementation needed on the same instance;
+//   * sparse model — the per-iteration cost if messages flowed only along
+//     the 2·|edges| graph incidences (the [32]-style sparse variant),
+//     an optimistic lower bound for larger n.
+
+#include <cmath>
+#include <cstdio>
+
+#include "amp/amp.hpp"
+#include "bench_common.hpp"
+#include "core/instance.hpp"
+#include "core/theory.hpp"
+#include "harness/sweeps.hpp"
+#include "netsim/distributed_amp.hpp"
+#include "netsim/distributed_greedy.hpp"
+#include "noise/channel.hpp"
+#include "pooling/ground_truth.hpp"
+#include "pooling/query_design.hpp"
+
+int main(int argc, char** argv) {
+  using namespace npd;
+
+  CliParser cli("abl7_distributed_cost",
+                "network cost: distributed greedy vs distributed AMP");
+  const auto common =
+      bench::add_common_options(cli, 1, "abl7_distributed_cost.csv");
+  const auto& max_n = cli.add_int("max-n", 4000, "largest n");
+  const auto& amp_sim_max_n =
+      cli.add_int("amp-sim-max-n", 1000,
+                  "largest n for the faithful (dense) AMP simulation");
+  cli.parse(argc, argv);
+
+  const Timer timer;
+  bench::print_banner("Ablation A7",
+                      "rounds/messages/bytes of the distributed protocols");
+
+  const double p = 0.1;
+  const noise::BitFlipChannel channel(p, 0.0);
+  const Index hi = common.paper ? 10000 : static_cast<Index>(max_n);
+  const auto ns = harness::log_grid(100, hi, 2);
+
+  ConsoleTable table({"n", "m", "greedy rounds", "greedy msgs", "amp iters",
+                      "amp msgs measured", "amp rounds measured",
+                      "amp msgs sparse-model", "msg ratio amp/greedy"});
+  bench::OptionalCsv csv(
+      common.csv_path,
+      {"n", "m", "greedy_rounds", "greedy_messages", "greedy_bytes",
+       "amp_iterations", "amp_messages_measured", "amp_rounds_measured",
+       "amp_messages_sparse_model"});
+
+  for (const Index n : ns) {
+    const Index k = pooling::sublinear_k(n, 0.25);
+    // Queries: slightly above the Theorem 1 bound so both algorithms
+    // operate in their success regime.
+    const auto m = static_cast<Index>(
+        std::ceil(1.5 * core::theory::z_channel_sublinear(n, 0.25, p, 0.1)));
+
+    rand::Rng rng(static_cast<std::uint64_t>(common.seed) +
+                  static_cast<std::uint64_t>(n));
+    const core::Instance instance = core::make_instance(
+        n, k, m, pooling::paper_design(n), channel, rng);
+
+    const auto greedy = netsim::run_distributed_greedy(instance);
+
+    const auto lin = channel.linearization(n, k, n / 2);
+    const amp::AmpProblem problem = amp::standardize(instance, lin);
+    const amp::BayesBernoulliDenoiser denoiser(problem.pi);
+    const auto centralized_amp = amp::run_amp(problem, denoiser);
+
+    // Faithful dense simulation where affordable; sparse-edge model always.
+    double measured_msgs = 0.0;
+    double measured_rounds = 0.0;
+    if (n <= static_cast<Index>(amp_sim_max_n)) {
+      const auto dist_amp = netsim::run_distributed_amp(
+          instance, problem, denoiser, centralized_amp.iterations);
+      measured_msgs = static_cast<double>(dist_amp.iteration_stats.messages +
+                                          dist_amp.topk_stats.messages);
+      measured_rounds = static_cast<double>(dist_amp.iteration_stats.rounds +
+                                            dist_amp.topk_stats.rounds);
+    }
+    Index distinct_incidences = 0;
+    for (Index j = 0; j < instance.m(); ++j) {
+      distinct_incidences +=
+          static_cast<Index>(instance.graph.query_distinct(j).size());
+    }
+    const double sparse_model =
+        static_cast<double>(2 * distinct_incidences) *
+        static_cast<double>(centralized_amp.iterations);
+
+    const double reference =
+        measured_msgs > 0.0 ? measured_msgs : sparse_model;
+    const double ratio =
+        reference / static_cast<double>(greedy.stats.messages);
+    table.add_row_doubles(
+        {static_cast<double>(n), static_cast<double>(m),
+         static_cast<double>(greedy.stats.rounds),
+         static_cast<double>(greedy.stats.messages),
+         static_cast<double>(centralized_amp.iterations), measured_msgs,
+         measured_rounds, sparse_model, ratio});
+    csv.row({static_cast<double>(n), static_cast<double>(m),
+             static_cast<double>(greedy.stats.rounds),
+             static_cast<double>(greedy.stats.messages),
+             static_cast<double>(greedy.stats.bytes),
+             static_cast<double>(centralized_amp.iterations), measured_msgs,
+             measured_rounds, sparse_model});
+  }
+
+  std::fputs(table.render().c_str(), stdout);
+  std::printf(
+      "\nReading: greedy broadcasts each query result once and then runs a\n"
+      "Theta(log^2 n)-round sorting network of cheap pairwise exchanges.\n"
+      "Faithful AMP on the centered design floods all n x m pairs twice\n"
+      "per iteration (measured column, n <= %lld); even the optimistic\n"
+      "sparse-edge model exceeds greedy's traffic several-fold — the\n"
+      "paper's argument for the greedy variant in bandwidth-bound\n"
+      "deployments.\n",
+      static_cast<long long>(amp_sim_max_n));
+  csv.finish();
+  bench::print_footer(timer);
+  return 0;
+}

@@ -1,0 +1,112 @@
+#pragma once
+
+/// \file bench_common.hpp
+/// Shared plumbing for the figure-reproduction binaries: a standard set
+/// of CLI options, banner/footer printing, and CSV output next to the
+/// console tables so each figure can be re-plotted externally.
+///
+/// Every bench supports:
+///   --reps N      repetitions per grid point (figure-specific default)
+///   --seed S      base seed (default 42; all runs derive from it)
+///   --paper       run at the paper's full scale (n up to 1e5 / 100 reps)
+///   --csv PATH    also write the series to a CSV file ("" = skip)
+
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace npd::bench {
+
+/// Standard options shared by the figure benches.
+struct CommonOptions {
+  long long reps = 0;
+  long long seed = 0;
+  bool paper = false;
+  std::string csv_path;
+  long long threads = 0;
+};
+
+/// Register the shared options on `cli`; read them after `parse()` via
+/// the returned references bundle.
+struct CommonBindings {
+  const long long& reps;
+  const long long& seed;
+  const bool& paper;
+  const std::string& csv_path;
+  const long long& threads;
+
+  [[nodiscard]] CommonOptions snapshot() const {
+    return CommonOptions{.reps = reps,
+                         .seed = seed,
+                         .paper = paper,
+                         .csv_path = csv_path,
+                         .threads = threads};
+  }
+};
+
+inline CommonBindings add_common_options(CliParser& cli,
+                                         long long default_reps,
+                                         std::string default_csv) {
+  return CommonBindings{
+      .reps = cli.add_int("reps", default_reps, "repetitions per grid point"),
+      .seed = cli.add_int("seed", 42, "base seed for all derived streams"),
+      .paper = cli.add_flag("paper", "full paper-scale run (slow)"),
+      .csv_path =
+          cli.add_string("csv", std::move(default_csv),
+                         "CSV output path (empty string disables)"),
+      .threads = cli.add_int(
+          "threads", 0,
+          "worker threads for repetitions (0 = all cores; results are "
+          "identical for any value)")};
+}
+
+/// Banner identifying the figure being reproduced.
+inline void print_banner(const std::string& figure,
+                         const std::string& description) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", figure.c_str(), description.c_str());
+  std::printf("Paper: Distributed Reconstruction of Noisy Pooled Data "
+              "(ICDCS 2022)\n");
+  std::printf("==============================================================\n\n");
+}
+
+/// Footer with elapsed time.
+inline void print_footer(const Timer& timer) {
+  std::printf("\n[done in %.1f s]\n", timer.elapsed_seconds());
+}
+
+/// Writes rows to CSV if a path was configured.
+class OptionalCsv {
+ public:
+  OptionalCsv(const std::string& path, std::vector<std::string> header) {
+    if (!path.empty()) {
+      writer_.emplace(path, std::move(header));
+      path_ = path;
+    }
+  }
+
+  void row(const std::vector<double>& cells) {
+    if (writer_.has_value()) {
+      writer_->row(cells);
+    }
+  }
+
+  void finish() {
+    if (writer_.has_value()) {
+      writer_->close();
+      std::printf("\n[csv written to %s]\n", path_.c_str());
+    }
+  }
+
+ private:
+  std::optional<CsvWriter> writer_;
+  std::string path_;
+};
+
+}  // namespace npd::bench

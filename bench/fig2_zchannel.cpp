@@ -1,0 +1,108 @@
+// Figure 2: required number of queries vs n for the Z-channel (q = 0)
+// with θ = 0.25 and p ∈ {0.1, 0.3, 0.5}.  The dashed line of the paper is
+// the Theorem 1 bound for p = 0.1 with ε = 0.05; we print it alongside
+// the measured median so shape and envelope can be compared directly.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/theory.hpp"
+#include "harness/sweeps.hpp"
+#include "noise/channel.hpp"
+#include "pooling/ground_truth.hpp"
+#include "pooling/query_design.hpp"
+#include "util/ascii_plot.hpp"
+
+namespace {
+
+constexpr double kTheta = 0.25;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace npd;
+
+  CliParser cli("fig2_zchannel",
+                "required #queries vs n, Z-channel, theta=0.25");
+  const auto common = bench::add_common_options(cli, 5, "fig2_zchannel.csv");
+  const auto& max_n = cli.add_int("max-n", 10000, "largest n in the grid");
+  const auto& theory_eps =
+      cli.add_double("eps", 0.05, "epsilon in the theory bound");
+  cli.parse(argc, argv);
+
+  const Timer timer;
+  bench::print_banner("Figure 2",
+                      "required queries, Z-channel, p in {0.1, 0.3, 0.5}");
+
+  const bool paper = common.paper;
+  const Index hi = paper ? 100000 : static_cast<Index>(max_n);
+  const Index reps = paper ? 25 : static_cast<Index>(common.reps);
+  const auto ns = harness::log_grid(100, hi, paper ? 3 : 2);
+  const std::vector<double> ps{0.1, 0.3, 0.5};
+
+  ConsoleTable table({"n", "k", "p", "median m", "mean m", "q1", "q3",
+                      "theory m (p=0.1)"});
+  bench::OptionalCsv csv(common.csv_path,
+                         {"n", "k", "p", "median_m", "mean_m", "q1", "q3",
+                          "min_m", "max_m", "theory_p01"});
+
+  std::vector<PlotSeries> plot;
+  const char markers[] = {'1', '3', '5'};
+  PlotSeries theory_series{.label = "theory p=0.1 (dashed in paper)",
+                           .x = {},
+                           .y = {},
+                           .marker = '.'};
+
+  for (std::size_t pi = 0; pi < ps.size(); ++pi) {
+    const double p = ps[pi];
+    const auto rows = harness::required_queries_sweep(
+        ns, reps, [](Index n) { return pooling::sublinear_k(n, kTheta); },
+        [](Index n) { return pooling::paper_design(n); },
+        [p](Index, Index) { return noise::make_z_channel(p); },
+        static_cast<std::uint64_t>(common.seed) +
+            static_cast<std::uint64_t>(p * 1000.0),
+        {}, static_cast<Index>(common.threads));
+
+    PlotSeries series{.label = "p = " + format_double(p),
+                      .x = {},
+                      .y = {},
+                      .marker = markers[pi % 3]};
+    for (const auto& row : rows) {
+      const double theory =
+          core::theory::z_channel_sublinear(row.n, kTheta, 0.1, theory_eps);
+      table.add_row_doubles({static_cast<double>(row.n),
+                             static_cast<double>(row.k), p,
+                             row.summary.median, row.mean_m, row.summary.q1,
+                             row.summary.q3, std::ceil(theory)});
+      csv.row({static_cast<double>(row.n), static_cast<double>(row.k), p,
+               row.summary.median, row.mean_m, row.summary.q1, row.summary.q3,
+               row.summary.min, row.summary.max, theory});
+      series.x.push_back(static_cast<double>(row.n));
+      series.y.push_back(row.summary.median);
+      if (pi == 0) {
+        theory_series.x.push_back(static_cast<double>(row.n));
+        theory_series.y.push_back(theory);
+      }
+    }
+    plot.push_back(std::move(series));
+  }
+  plot.push_back(std::move(theory_series));
+
+  std::fputs(table.render().c_str(), stdout);
+  std::printf("\n%s",
+              render_plot(plot, PlotOptions{.width = 72,
+                                            .height = 20,
+                                            .x_scale = AxisScale::Log10,
+                                            .y_scale = AxisScale::Log10,
+                                            .x_label = "number of agents n",
+                                            .y_label = "required queries m",
+                                            .title = "Figure 2 (log-log)"})
+                  .c_str());
+  std::printf(
+      "\nExpected shape (paper): m grows ~ k·ln n; higher p needs more\n"
+      "queries; the p = 0.1 series stays below the dashed theory line.\n");
+  csv.finish();
+  bench::print_footer(timer);
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Figure 4: required number of queries vs n for the general noisy channel
+// with symmetric error rates p = q ∈ {10⁻¹ … 10⁻⁵}, θ = 0.25.
+//
+// This figure shows the regime transition predicted by the remark after
+// Theorem 1: while q ≪ k/n the channel behaves like the Z-channel (m
+// scales with k·ln n); once q ≫ k/n the false positives dominate and m
+// scales with q·n·ln n — a visibly steeper ascent.  The theory column is
+// the finite-n interpolated bound, which exhibits exactly this kink.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/theory.hpp"
+#include "harness/sweeps.hpp"
+#include "noise/channel.hpp"
+#include "pooling/ground_truth.hpp"
+#include "pooling/query_design.hpp"
+
+namespace {
+
+constexpr double kTheta = 0.25;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace npd;
+
+  CliParser cli("fig4_general_channel",
+                "required #queries vs n, general noisy channel p=q");
+  const auto common =
+      bench::add_common_options(cli, 3, "fig4_general_channel.csv");
+  const auto& max_n = cli.add_int("max-n", 10000, "largest n in the grid");
+  cli.parse(argc, argv);
+
+  const Timer timer;
+  bench::print_banner("Figure 4",
+                      "required queries, general noisy channel, p = q");
+
+  const bool paper = common.paper;
+  const Index hi = paper ? 100000 : static_cast<Index>(max_n);
+  const Index reps = paper ? 10 : static_cast<Index>(common.reps);
+  const auto ns = harness::log_grid(100, hi, paper ? 3 : 2);
+  const std::vector<double> qs{1e-1, 1e-2, 1e-3, 1e-4, 1e-5};
+
+  ConsoleTable table({"n", "k", "p=q", "median m", "mean m", "q1", "q3",
+                      "theory (interp)", "capped"});
+  bench::OptionalCsv csv(common.csv_path,
+                         {"n", "k", "q", "median_m", "mean_m", "q1", "q3",
+                          "min_m", "max_m", "theory_interpolated",
+                          "capped_reps"});
+
+  for (const double q : qs) {
+    for (const Index n : ns) {
+      const double theory = core::theory::channel_sublinear_interpolated(
+          n, kTheta, q, q, 0.05);
+      // Fail-safe cap: 20x the (asymptotic) bound.  In the q-dominated
+      // regime at finite n the measured requirement sits a small factor
+      // above the bound; runs that would exceed 20x are reported capped
+      // instead of ground to the generic 1e6 limit.
+      harness::RequiredQueriesOptions options;
+      options.max_queries =
+          std::max<Index>(5000, static_cast<Index>(20.0 * theory));
+      // Channel-aware centering (p, q are known constants per Section
+      // II-A): the analysis' score ψ − E[Ξ^pq | G].  The oblivious
+      // Δ*·k/2 listing couples the q·Γ offset with Δ* fluctuations and
+      // inflates the requirement by orders of magnitude at q >= 1e-2
+      // (quantified in bench/abl3_centering --channel-aware).
+      options.centering =
+          core::Centering{.offset_per_slot = q, .gain = 1.0 - 2.0 * q};
+
+      const auto rows = harness::required_queries_sweep(
+          {n}, reps, [](Index nn) { return pooling::sublinear_k(nn, kTheta); },
+          [](Index nn) { return pooling::paper_design(nn); },
+          [q](Index, Index) { return noise::make_bitflip_channel(q, q); },
+          static_cast<std::uint64_t>(common.seed) +
+              static_cast<std::uint64_t>(-std::log10(q) * 131.0) +
+              static_cast<std::uint64_t>(n),
+          options, static_cast<Index>(common.threads));
+
+      const auto& row = rows[0];
+      table.add_row_doubles({static_cast<double>(row.n),
+                             static_cast<double>(row.k), q,
+                             row.summary.median, row.mean_m, row.summary.q1,
+                             row.summary.q3, std::ceil(theory),
+                             static_cast<double>(row.unreached)});
+      csv.row({static_cast<double>(row.n), static_cast<double>(row.k), q,
+               row.summary.median, row.mean_m, row.summary.q1, row.summary.q3,
+               row.summary.min, row.summary.max, theory,
+               static_cast<double>(row.unreached)});
+    }
+  }
+
+  std::fputs(table.render().c_str(), stdout);
+  std::printf(
+      "\nExpected shape (paper): small q behaves like the Z-channel; for\n"
+      "q = 1e-3 the curve steepens once q dominates k/n (around n ~ 3000\n"
+      "in the paper); q = 1e-1 is steep from the start.\n");
+  csv.finish();
+  bench::print_footer(timer);
+  return 0;
+}

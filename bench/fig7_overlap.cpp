@@ -1,0 +1,80 @@
+// Figure 7: overlap (the average fraction of correctly identified 1-bits)
+// vs number of queries m at n = 1000 for the Z-channel, p ∈ {0.1, 0.3,
+// 0.5}.  The paper's observation: at the m where exact success is still
+// ~40%, the overlap is already ~90% — small misclassification rates make
+// the greedy algorithm practical well below its exact-recovery threshold.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/theory.hpp"
+#include "harness/sweeps.hpp"
+#include "noise/channel.hpp"
+#include "pooling/ground_truth.hpp"
+#include "pooling/query_design.hpp"
+
+namespace {
+
+constexpr double kTheta = 0.25;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace npd;
+
+  CliParser cli("fig7_overlap",
+                "overlap vs m at n=1000, Z-channel, greedy");
+  const auto common = bench::add_common_options(cli, 30, "fig7_overlap.csv");
+  const auto& n_opt = cli.add_int("n", 1000, "number of agents");
+  const auto& m_step = cli.add_int("m-step", 25, "grid step in m");
+  const auto& m_max = cli.add_int("m-max", 600, "largest m");
+  cli.parse(argc, argv);
+
+  const Timer timer;
+  bench::print_banner("Figure 7", "overlap vs m, greedy, n = 1000");
+
+  const auto n = static_cast<Index>(n_opt);
+  const Index k = pooling::sublinear_k(n, kTheta);
+  const Index reps = common.paper ? 100 : static_cast<Index>(common.reps);
+  const auto ms = harness::linear_grid(static_cast<Index>(m_step),
+                                       static_cast<Index>(m_max),
+                                       static_cast<Index>(m_step));
+  const std::vector<double> ps{0.1, 0.3, 0.5};
+
+  const double theory_m =
+      core::theory::z_channel_sublinear(n, kTheta, 0.1, 0.1);
+  std::printf("n = %lld, k = %lld, theory bound (p=0.1, eps=0.1): m = %.0f\n\n",
+              static_cast<long long>(n), static_cast<long long>(k),
+              std::ceil(theory_m));
+
+  ConsoleTable table({"m", "p", "overlap", "success rate"});
+  bench::OptionalCsv csv(common.csv_path,
+                         {"m", "p", "overlap", "success_rate"});
+
+  for (const double p : ps) {
+    const auto points = harness::success_sweep(
+        n, k, ms, reps, [](Index nn) { return pooling::paper_design(nn); },
+        [p](Index, Index) { return noise::make_z_channel(p); },
+        harness::Algorithm::Greedy,
+        static_cast<std::uint64_t>(common.seed) +
+            static_cast<std::uint64_t>(p * 6007.0),
+        {}, static_cast<Index>(common.threads));
+
+    for (const auto& point : points) {
+      table.add_row_doubles({static_cast<double>(point.m), p,
+                             point.mean_overlap, point.success_rate});
+      csv.row({static_cast<double>(point.m), p, point.mean_overlap,
+               point.success_rate});
+    }
+  }
+
+  std::fputs(table.render().c_str(), stdout);
+  std::printf(
+      "\nExpected shape (paper): overlap rises well before exact success\n"
+      "does — around the theory bound the overlap is already ~0.9 while\n"
+      "the success rate is ~0.4 (compare with fig6 output).\n");
+  csv.finish();
+  bench::print_footer(timer);
+  return 0;
+}

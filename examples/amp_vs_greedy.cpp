@@ -1,0 +1,87 @@
+// Scenario: a head-to-head of Algorithm 1 and AMP on a single instance,
+// with the full AMP iteration trace — the microscope version of the
+// paper's Figure 6 comparison and of the conclusion's discussion ("the
+// information that AMP can use after exactly one update step is the same
+// as in Algorithm 1").
+
+#include <cmath>
+#include <cstdio>
+
+#include "amp/amp.hpp"
+#include "amp/state_evolution.hpp"
+#include "core/evaluation.hpp"
+#include "core/greedy.hpp"
+#include "core/instance.hpp"
+#include "core/theory.hpp"
+#include "noise/channel.hpp"
+#include "pooling/query_design.hpp"
+#include "rand/rng.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace npd;
+
+  std::printf("=== AMP vs greedy on one instance ===\n\n");
+
+  const Index n = 1000;
+  const Index k = pooling::sublinear_k(n, 0.25);
+  const double p = 0.1;
+  const noise::BitFlipChannel channel(p, 0.0);
+
+  // Choose m inside the window where AMP succeeds but greedy struggles:
+  // about half the greedy threshold (cf. Figure 6).
+  const double greedy_bound =
+      core::theory::z_channel_sublinear(n, 0.25, p, 0.1);
+  const auto m = static_cast<Index>(0.55 * greedy_bound);
+  std::printf("n = %lld, k = %lld, Z-channel p = %.1f, m = %lld "
+              "(greedy bound ~ %.0f)\n\n",
+              static_cast<long long>(n), static_cast<long long>(k), p,
+              static_cast<long long>(m), std::ceil(greedy_bound));
+
+  rand::Rng rng(424242);
+  const core::Instance instance =
+      core::make_instance(n, k, m, pooling::paper_design(n), channel, rng);
+
+  // --- greedy ---
+  const auto greedy = core::greedy_reconstruct(instance);
+  std::printf("greedy : exact = %s, overlap = %.2f\n",
+              core::exact_success(greedy.estimate, instance.truth) ? "yes"
+                                                                   : "no",
+              core::overlap(greedy.estimate, instance.truth));
+
+  // --- AMP with iteration trace ---
+  const auto lin = channel.linearization(n, k, n / 2);
+  const amp::AmpProblem problem = amp::standardize(instance, lin);
+  const amp::BayesBernoulliDenoiser denoiser(problem.pi);
+  const amp::AmpResult amp_result = amp::run_amp(problem, denoiser);
+  std::printf("amp    : exact = %s, overlap = %.2f, iterations = %lld\n\n",
+              core::exact_success(amp_result.estimate, instance.truth)
+                  ? "yes"
+                  : "no",
+              core::overlap(amp_result.estimate, instance.truth),
+              static_cast<long long>(amp_result.iterations));
+
+  // --- the τ² trace against state evolution ---
+  amp::StateEvolutionParams se_params;
+  se_params.pi = problem.pi;
+  se_params.n_over_m = static_cast<double>(n) / static_cast<double>(m);
+  se_params.noise_var = problem.effective_noise_var;
+  const auto se = amp::run_state_evolution(se_params, denoiser);
+
+  ConsoleTable table({"iter", "empirical tau^2", "state-evolution tau^2"});
+  const std::size_t rows =
+      std::min(amp_result.tau2_history.size(), se.tau2.size());
+  for (std::size_t t = 0; t < std::min<std::size_t>(rows, 12); ++t) {
+    table.add_row_doubles({static_cast<double>(t),
+                           amp_result.tau2_history[t], se.tau2[t]});
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  std::printf(
+      "\nReading: AMP's first iteration uses exactly the neighborhood-sum\n"
+      "information of Algorithm 1 (conclusion of the paper); the following\n"
+      "iterations clean up the remaining errors, which is why AMP's exact-\n"
+      "recovery transition sits at smaller m.  The empirical tau^2 tracks\n"
+      "the state-evolution prediction until finite-size effects kick in.\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Scenario: pooled screening in a medical laboratory (the paper's
+// noisy query model).
+//
+// A lab screens a population for a rare infection.  Samples are pooled by
+// automated pipetting machines; each pooled test reports the total
+// concentration of viral material — the *sum* of positive samples in the
+// pool — perturbed by Gaussian measurement noise (the machines' pipetting
+// inaccuracy, N(0, λ²) per pool per Section II-B).  The infection is
+// *sublinear*: k = n^θ carriers.  (The paper's HIV example corresponds to
+// θ ≈ 0.1 at national scale; for a demo-sized population of 5000 we use
+// θ = 0.3 so the carrier count is a meaningful 13 rather than 2.)
+//
+// The lab wants to know: how many pooled tests are needed to identify all
+// carriers exactly, and what happens if it can only afford fewer tests?
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/evaluation.hpp"
+#include "core/greedy.hpp"
+#include "core/instance.hpp"
+#include "core/theory.hpp"
+#include "core/two_stage.hpp"
+#include "harness/required_queries.hpp"
+#include "harness/stats.hpp"
+#include "noise/channel.hpp"
+#include "pooling/query_design.hpp"
+#include "rand/rng.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace npd;
+
+  std::printf("=== Pandemic screening (noisy query model) ===\n\n");
+
+  const Index population = 5000;
+  const double theta = 0.3;
+  const Index carriers = pooling::sublinear_k(population, theta);
+  const double lambda = 1.0;  // pipetting noise stddev per pooled test
+  const auto channel = noise::make_gaussian_channel(lambda);
+
+  std::printf("population n = %lld, carriers k = n^%.1f = %lld, "
+              "test noise lambda = %.1f\n\n",
+              static_cast<long long>(population), theta,
+              static_cast<long long>(carriers), lambda);
+
+  // --- How many pooled tests does exact identification need? ---
+  std::printf("Measuring the required number of pooled tests "
+              "(5 independent lab days):\n");
+  std::vector<double> required;
+  for (int day = 0; day < 5; ++day) {
+    rand::Rng rng(900 + static_cast<std::uint64_t>(day));
+    const auto result = harness::required_queries(
+        population, carriers, pooling::paper_design(population), *channel,
+        rng);
+    required.push_back(static_cast<double>(result.m));
+    std::printf("  day %d: %lld tests\n", day + 1,
+                static_cast<long long>(result.m));
+  }
+  const double theory = core::theory::noisy_query_sublinear(
+      population, theta, /*eps=*/0.1);
+  std::printf("median: %.0f tests; Theorem 2 bound: %.0f tests\n\n",
+              harness::median(required), std::ceil(theory));
+
+  // --- Budget-constrained screening: fewer tests, partial recovery ---
+  std::printf("Budget-constrained screening (fraction of the bound):\n");
+  ConsoleTable table({"budget", "tests", "exact?", "carriers found",
+                      "after local correction"});
+  for (const double budget : {0.25, 0.5, 0.75, 1.0, 1.5}) {
+    const auto m = static_cast<Index>(budget * theory);
+    rand::Rng rng(1700 + static_cast<std::uint64_t>(budget * 100));
+    const core::Instance instance = core::make_instance(
+        population, carriers, m, pooling::paper_design(population), *channel,
+        rng);
+    const auto greedy = core::greedy_reconstruct(instance);
+    const auto lin = channel->linearization(population, carriers,
+                                            population / 2);
+    const auto refined = core::two_stage_reconstruct(instance, lin);
+
+    const auto found = static_cast<Index>(
+        std::lround(core::overlap(greedy.estimate, instance.truth) *
+                    static_cast<double>(carriers)));
+    const auto found_refined = static_cast<Index>(
+        std::lround(core::overlap(refined.estimate, instance.truth) *
+                    static_cast<double>(carriers)));
+    table.add_row(
+        {format_double(budget), std::to_string(m),
+         core::exact_success(greedy.estimate, instance.truth) ? "yes" : "no",
+         std::to_string(found) + "/" + std::to_string(carriers),
+         std::to_string(found_refined) + "/" + std::to_string(carriers)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  std::printf(
+      "\nTakeaway: near the Theorem 2 budget the greedy pass already finds\n"
+      "most carriers, and the local-correction stage recovers more of the\n"
+      "remainder — matching the paper's overlap observations (Figure 7).\n");
+  return 0;
+}

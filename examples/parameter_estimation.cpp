@@ -1,0 +1,119 @@
+// Scenario: reconstruction without oracle constants.
+//
+// The paper assumes the number of 1-agents k (Section II) and the channel
+// constants p, q (Section II-A) are known.  In practice one of them is
+// usually calibrated and the other estimated from the same query results
+// used for reconstruction.  This example demonstrates both directions on
+// a Z-channel instance:
+//
+//   A. known prevalence k (e.g. from a registry), unknown read-error p —
+//      estimate p̂ by the method of moments, reconstruct with
+//      channel-aware centering built from p̂;
+//   B. calibrated channel p, unknown k — estimate k̂ from the mean and
+//      select the top-k̂.
+//
+// It also demonstrates a genuine *non-identifiability*: for the Z-channel
+// under this design, both the mean and the variance of the query results
+// depend on (k, p) only through the product k·(1−p) — the first two
+// moments cannot separate them, so at least one constant must come from
+// outside.  (Var(σ̂) = Γ·ρ(1−ρ) with ρ = (k/n)(1−p): try it below.)
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/evaluation.hpp"
+#include "core/greedy.hpp"
+#include "core/instance.hpp"
+#include "core/scores.hpp"
+#include "core/theory.hpp"
+#include "noise/channel.hpp"
+#include "noise/estimation.hpp"
+#include "pooling/query_design.hpp"
+#include "rand/rng.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace npd;
+
+  std::printf("=== Oracle-free reconstruction (parameter estimation) ===\n\n");
+
+  const Index n = 2000;
+  const Index true_k = 25;
+  const double true_p = 0.2;
+  const noise::BitFlipChannel channel(true_p, 0.0);
+  const pooling::QueryDesign design = pooling::paper_design(n);
+  const Index m = 1800;
+
+  rand::Rng rng(20220414);
+  const core::Instance instance =
+      core::make_instance(n, true_k, m, design, channel, rng);
+
+  std::printf("n = %lld, true k = %lld, true p = %.2f, m = %lld queries\n\n",
+              static_cast<long long>(n), static_cast<long long>(true_k),
+              true_p, static_cast<long long>(m));
+
+  // --- The moments and what they can (not) identify -------------------
+  const double mean = noise::results_mean(instance.results);
+  const double var = noise::results_variance(instance.results);
+  const double rho = mean / static_cast<double>(design.gamma);
+  std::printf("result moments: mean %.2f, variance %.2f\n", mean, var);
+  std::printf("model check:    Γ·ρ(1−ρ) = %.2f with ρ = mean/Γ = %.5f\n",
+              static_cast<double>(design.gamma) * rho * (1.0 - rho), rho);
+  std::printf(
+      "→ both moments are functions of ρ = (k/n)(1−p) alone: k and p are\n"
+      "  jointly non-identifiable from them; one must be known.\n\n");
+
+  // --- Pipeline A: known k, estimate p --------------------------------
+  const double p_hat = noise::estimate_z_channel_p(
+      instance.results, n, design.gamma, true_k);
+
+  const auto reconstruct = [&](Index k_use, double p_use) {
+    const core::Centering centering{.offset_per_slot = 0.0,
+                                    .gain = 1.0 - p_use};
+    core::ScoreState scores(n, k_use, centering);
+    for (Index j = 0; j < instance.m(); ++j) {
+      scores.apply_query_distinct(
+          instance.graph.query_distinct(j),
+          instance.graph.query_multiplicity(j),
+          instance.results[static_cast<std::size_t>(j)]);
+    }
+    return core::select_top_k(scores.centered_scores(), k_use).estimate;
+  };
+
+  // --- Pipeline B: known p, estimate k --------------------------------
+  const double k_hat_real = noise::estimate_k(
+      instance.results, n, design.gamma, /*gain=*/1.0 - true_p);
+  const auto k_hat = static_cast<Index>(std::llround(k_hat_real));
+
+  const BitVector oracle = reconstruct(true_k, true_p);
+  const BitVector pipeline_a = reconstruct(true_k, p_hat);
+  const BitVector pipeline_b = reconstruct(k_hat, true_p);
+
+  ConsoleTable table({"pipeline", "k used", "p used", "exact?", "overlap",
+                      "hamming errors"});
+  const auto report = [&](const char* label, const BitVector& est,
+                          Index k_use, double p_use) {
+    table.add_row({label, std::to_string(k_use),
+                   format_double(std::round(p_use * 1000.0) / 1000.0),
+                   core::exact_success(est, instance.truth) ? "yes" : "no",
+                   format_double(core::overlap(est, instance.truth)),
+                   std::to_string(core::hamming_errors(est, instance.truth))});
+  };
+  report("oracle (k, p)", oracle, true_k, true_p);
+  report("A: known k, estimated p", pipeline_a, true_k, p_hat);
+  report("B: known p, estimated k", pipeline_b, k_hat, true_p);
+  std::fputs(table.render().c_str(), stdout);
+
+  std::printf(
+      "\np̂ = %.3f (true %.2f), k̂ = %lld (true %lld)\n",
+      p_hat, true_p, static_cast<long long>(k_hat),
+      static_cast<long long>(true_k));
+  std::printf(
+      "\nTakeaway: with one constant calibrated, the method-of-moments\n"
+      "estimate of the other is accurate enough that the oracle-free\n"
+      "pipelines match the oracle reconstruction — but the paper's\n"
+      "known-constants assumption cannot be dropped entirely: (k, p) are\n"
+      "not jointly identifiable from the first two moments.\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+#include "amp/preprocess.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace npd::amp {
+
+AmpProblem standardize(const core::Instance& instance,
+                       const noise::Linearization& lin) {
+  NPD_CHECK_MSG(lin.gain > 0.0, "AMP needs a positive channel gain");
+  const Index n = instance.n();
+  const Index m = instance.m();
+  const Index k = instance.k();
+  NPD_CHECK(m > 0);
+
+  AmpProblem problem;
+  problem.n = n;
+  problem.m = m;
+  problem.k = k;
+  problem.pi = static_cast<double>(k) / static_cast<double>(n);
+
+  // The paper's design has a fixed pool size; read Γ from the graph (all
+  // rows equal under `paper_design`).
+  const double gamma =
+      static_cast<double>(instance.graph.query_multiset(0).size());
+  const double mean_entry = gamma / static_cast<double>(n);
+  const double entry_var = mean_entry * (1.0 - 1.0 / static_cast<double>(n));
+  const double s = std::sqrt(static_cast<double>(m) * entry_var);
+  NPD_CHECK_MSG(s > 0.0, "degenerate design: zero entry variance");
+
+  problem.b = linalg::counting_matrix(instance.graph);
+  problem.b.add_scalar(-mean_entry);
+  problem.b.scale(1.0 / s);
+
+  problem.y.resize(static_cast<std::size_t>(m));
+  const double centering =
+      lin.offset + lin.gain * gamma * static_cast<double>(k) /
+                       static_cast<double>(n);
+  for (Index j = 0; j < m; ++j) {
+    problem.y[static_cast<std::size_t>(j)] =
+        (instance.results[static_cast<std::size_t>(j)] - centering) /
+        (lin.gain * s);
+  }
+  problem.effective_noise_var =
+      lin.noise_var / (lin.gain * lin.gain * s * s);
+  return problem;
+}
+
+}  // namespace npd::amp

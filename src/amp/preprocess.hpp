@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file preprocess.hpp
+/// Centering and scaling of the pooled-data measurements into the
+/// standardized linear model AMP expects.
+///
+/// The raw model is σ̂ = offset + gain·A·σ + w (per the channel's
+/// linearization), where A is the m×n counting matrix whose entries have
+/// mean Γ/n — far from the zero-mean i.i.d. ensemble AMP theory assumes.
+/// Following the standard pooled-data treatment (Alaoui et al. [2]) we
+/// work with the centered, column-normalized design
+///
+///   B = (A − Γ/n) / s,            s = √(m·v),  v = (Γ/n)(1 − 1/n),
+///   y = (σ̂ − offset − gain·Γ·k/n) / (gain·s),
+///
+/// which satisfies y = B·σ + w' exactly for additive channels, with
+/// columns of B of ≈ unit norm and effective noise variance
+/// noise_var/(gain·s)².  (Since Σσ = k is known, the centering is exact,
+/// not approximate.)
+
+#include <vector>
+
+#include "amp/denoiser.hpp"
+#include "core/instance.hpp"
+#include "linalg/dense.hpp"
+#include "noise/channel.hpp"
+
+namespace npd::amp {
+
+/// A standardized AMP problem.
+struct AmpProblem {
+  linalg::DenseMatrix b;        ///< m×n centered, scaled design.
+  std::vector<double> y;        ///< standardized observations.
+  double effective_noise_var = 0.0;
+  double pi = 0.0;              ///< prior P(σ_i = 1) = k/n.
+  Index n = 0;
+  Index m = 0;
+  Index k = 0;
+};
+
+/// Build the standardized problem from an instance and the linearization
+/// of the channel that produced its results.
+[[nodiscard]] AmpProblem standardize(const core::Instance& instance,
+                                     const noise::Linearization& lin);
+
+}  // namespace npd::amp

@@ -1,0 +1,82 @@
+#include "amp/state_evolution.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace npd::amp {
+
+namespace {
+
+/// ∫ f(z)·φ(z) dz over [-10, 10] by composite Simpson with 2000 panels.
+/// The integrands are bounded and smooth, and φ decays to ~7.7e-23 at the
+/// cut, so the truncation error is negligible.
+template <typename F>
+double gaussian_expectation(F&& f) {
+  constexpr int kPanels = 2000;
+  constexpr double kLo = -10.0;
+  constexpr double kHi = 10.0;
+  const double h = (kHi - kLo) / kPanels;
+  const double inv_sqrt_2pi = 0.3989422804014327;
+
+  auto phi_f = [&](double z) {
+    return std::forward<F>(f)(z) * inv_sqrt_2pi * std::exp(-0.5 * z * z);
+  };
+
+  double acc = phi_f(kLo) + phi_f(kHi);
+  for (int i = 1; i < kPanels; ++i) {
+    const double z = kLo + h * i;
+    acc += phi_f(z) * ((i % 2 == 1) ? 4.0 : 2.0);
+  }
+  return acc * h / 3.0;
+}
+
+}  // namespace
+
+double denoiser_mse(const Denoiser& denoiser, double pi, double tau2) {
+  NPD_CHECK_MSG(pi > 0.0 && pi < 1.0, "pi must lie in (0,1)");
+  NPD_CHECK_MSG(tau2 > 0.0, "tau2 must be positive");
+  const double tau = std::sqrt(tau2);
+
+  // Condition on X: mixture of the X = 1 and X = 0 branches.
+  const double mse_one = gaussian_expectation([&](double z) {
+    const double e = denoiser.eta(1.0 + tau * z, tau2) - 1.0;
+    return e * e;
+  });
+  const double mse_zero = gaussian_expectation([&](double z) {
+    const double e = denoiser.eta(tau * z, tau2);
+    return e * e;
+  });
+  return pi * mse_one + (1.0 - pi) * mse_zero;
+}
+
+StateEvolutionTrace run_state_evolution(const StateEvolutionParams& params,
+                                        const Denoiser& denoiser) {
+  NPD_CHECK_MSG(params.pi > 0.0 && params.pi < 1.0, "pi must lie in (0,1)");
+  NPD_CHECK_MSG(params.n_over_m > 0.0, "n/m must be positive");
+  NPD_CHECK(params.noise_var >= 0.0);
+  NPD_CHECK(params.max_iterations >= 1);
+
+  StateEvolutionTrace trace;
+  // σ^(0) = 0 so the initial "estimation error" is E[X²] = π.
+  double tau2 = params.noise_var + params.n_over_m * params.pi;
+  tau2 = std::max(tau2, 1e-12);
+  trace.tau2.push_back(tau2);
+
+  for (Index t = 0; t < params.max_iterations; ++t) {
+    const double mse = denoiser_mse(denoiser, params.pi, tau2);
+    trace.mse.push_back(mse);
+    const double next = std::max(params.noise_var + params.n_over_m * mse,
+                                 1e-12);
+    trace.tau2.push_back(next);
+    if (std::fabs(next - tau2) < params.tol) {
+      trace.converged = true;
+      tau2 = next;
+      break;
+    }
+    tau2 = next;
+  }
+  return trace;
+}
+
+}  // namespace npd::amp

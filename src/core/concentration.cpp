@@ -1,0 +1,69 @@
+#include "core/concentration.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace npd::core::concentration {
+
+namespace {
+constexpr double kInvSqrt2Pi = 0.3989422804014327;
+}  // namespace
+
+double chernoff_upper_tail(double mean, double eps) {
+  NPD_CHECK_MSG(mean >= 0.0, "mean must be nonnegative");
+  NPD_CHECK_MSG(eps > 0.0, "epsilon must be positive");
+  return std::exp(-eps * eps / (2.0 + eps) * mean);
+}
+
+double chernoff_lower_tail(double mean, double eps) {
+  NPD_CHECK_MSG(mean >= 0.0, "mean must be nonnegative");
+  NPD_CHECK_MSG(eps > 0.0, "epsilon must be positive");
+  return std::exp(-eps * eps / 2.0 * mean);
+}
+
+double chernoff_two_sided(double mean, double eps) {
+  return chernoff_upper_tail(mean, eps) + chernoff_lower_tail(mean, eps);
+}
+
+double gaussian_tail_upper(double y, double lambda) {
+  NPD_CHECK_MSG(y > 0.0, "tail point must be positive");
+  NPD_CHECK_MSG(lambda > 0.0, "lambda must be positive");
+  const double z = y / lambda;
+  return (1.0 / z) * kInvSqrt2Pi * std::exp(-0.5 * z * z);
+}
+
+double gaussian_tail_lower(double y, double lambda) {
+  NPD_CHECK_MSG(y > 0.0, "tail point must be positive");
+  NPD_CHECK_MSG(lambda > 0.0, "lambda must be positive");
+  const double z = y / lambda;
+  return (1.0 / z - 1.0 / (z * z * z)) * kInvSqrt2Pi *
+         std::exp(-0.5 * z * z);
+}
+
+double gaussian_tail_exact(double y, double lambda) {
+  NPD_CHECK_MSG(lambda > 0.0, "lambda must be positive");
+  return 0.5 * std::erfc(y / (lambda * std::sqrt(2.0)));
+}
+
+double chernoff_deviation_for_target(double mean, double target) {
+  NPD_CHECK_MSG(mean > 0.0, "mean must be positive");
+  NPD_CHECK_MSG(target > 0.0 && target < 1.0, "target must lie in (0,1)");
+  // Bisection on eps: chernoff_two_sided is strictly decreasing in eps.
+  double lo = 1e-9;
+  double hi = 1.0;
+  while (chernoff_two_sided(mean, hi) > target && hi < 1e6) {
+    hi *= 2.0;
+  }
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (chernoff_two_sided(mean, mid) > target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return hi * mean;
+}
+
+}  // namespace npd::core::concentration

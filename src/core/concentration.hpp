@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file concentration.hpp
+/// The concentration inequalities of the paper's appendix — the tools the
+/// whole analysis rests on:
+///
+/// **Theorem 10 (Chernoff for negatively associated Bernoulli sums)**:
+/// for X = ΣX_i with E[X] = μ and any ε > 0,
+///   P(X ≥ (1+ε)μ) ≤ exp(−ε²/(2+ε)·μ),
+///   P(X ≤ (1−ε)μ) ≤ exp(−ε²/2·μ).
+///
+/// **Theorem 11 (Gaussian tails / Mill's ratio)**: for X ~ N(0, λ²),
+/// y > 0,
+///   P(X ≥ y) ≤ (λ/y)·φ(y/λ),
+///   P(X ≥ y) ≥ (λ/y − λ³/y³)·φ(y/λ),
+/// with φ the standard normal density.
+///
+/// Exposed as a library so downstream users can compute the same union
+/// bounds the proofs use (e.g. to pick m for a target failure
+/// probability); the tests verify each bound against Monte Carlo and the
+/// exact `erfc` tail.
+
+#include "util/types.hpp"
+
+namespace npd::core::concentration {
+
+/// Chernoff upper-tail bound: P(X ≥ (1+ε)μ) ≤ exp(−ε²μ/(2+ε)).
+[[nodiscard]] double chernoff_upper_tail(double mean, double eps);
+
+/// Chernoff lower-tail bound: P(X ≤ (1−ε)μ) ≤ exp(−ε²μ/2).
+[[nodiscard]] double chernoff_lower_tail(double mean, double eps);
+
+/// Two-sided Chernoff: P(|X − μ| ≥ εμ) ≤ upper + lower.
+[[nodiscard]] double chernoff_two_sided(double mean, double eps);
+
+/// Theorem 11 upper bound on P(N(0, λ²) ≥ y), y > 0.
+[[nodiscard]] double gaussian_tail_upper(double y, double lambda);
+
+/// Theorem 11 lower bound on P(N(0, λ²) ≥ y), y > 0 (may be ≤ 0 for
+/// small y/λ, where the bound is vacuous).
+[[nodiscard]] double gaussian_tail_lower(double y, double lambda);
+
+/// Exact Gaussian tail P(N(0, λ²) ≥ y) via erfc (for comparisons).
+[[nodiscard]] double gaussian_tail_exact(double y, double lambda);
+
+/// Convenience for the proofs' union bounds: the smallest deviation εμ
+/// such that the two-sided Chernoff probability is ≤ `target` — i.e. how
+/// far a Bin-like score can stray before the analysis declares failure.
+[[nodiscard]] double chernoff_deviation_for_target(double mean,
+                                                   double target);
+
+}  // namespace npd::core::concentration

@@ -1,0 +1,70 @@
+#include "core/evaluation.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace npd::core {
+
+bool exact_success(std::span<const Bit> estimate,
+                   const pooling::GroundTruth& truth) {
+  NPD_CHECK(static_cast<Index>(estimate.size()) == truth.n());
+  return std::equal(estimate.begin(), estimate.end(), truth.bits.begin());
+}
+
+double overlap(std::span<const Bit> estimate,
+               const pooling::GroundTruth& truth) {
+  NPD_CHECK(static_cast<Index>(estimate.size()) == truth.n());
+  if (truth.k() == 0) {
+    return 1.0;
+  }
+  Index hits = 0;
+  for (const Index one : truth.ones) {
+    if (estimate[static_cast<std::size_t>(one)] != 0) {
+      ++hits;
+    }
+  }
+  return static_cast<double>(hits) / static_cast<double>(truth.k());
+}
+
+double separation_margin(std::span<const double> scores,
+                         const pooling::GroundTruth& truth) {
+  NPD_CHECK(static_cast<Index>(scores.size()) == truth.n());
+  double min_one = std::numeric_limits<double>::infinity();
+  double max_zero = -std::numeric_limits<double>::infinity();
+  for (Index i = 0; i < truth.n(); ++i) {
+    const double score = scores[static_cast<std::size_t>(i)];
+    if (truth.bits[static_cast<std::size_t>(i)] != 0) {
+      min_one = std::min(min_one, score);
+    } else {
+      max_zero = std::max(max_zero, score);
+    }
+  }
+  // Degenerate k = 0 or k = n: separation is vacuous.
+  if (truth.k() == 0 || truth.k() == truth.n()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return min_one - max_zero;
+}
+
+bool clearly_separated(std::span<const double> scores,
+                       const pooling::GroundTruth& truth) {
+  return separation_margin(scores, truth) > 0.0;
+}
+
+Index hamming_errors(std::span<const Bit> estimate,
+                     const pooling::GroundTruth& truth) {
+  NPD_CHECK(static_cast<Index>(estimate.size()) == truth.n());
+  Index errors = 0;
+  for (Index i = 0; i < truth.n(); ++i) {
+    const bool est = estimate[static_cast<std::size_t>(i)] != 0;
+    const bool real = truth.bits[static_cast<std::size_t>(i)] != 0;
+    if (est != real) {
+      ++errors;
+    }
+  }
+  return errors;
+}
+
+}  // namespace npd::core

@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file evaluation.hpp
+/// Success criteria used by the paper's evaluation:
+///   * **exact success** — every agent classified correctly (Figure 6),
+///   * **overlap** — fraction of true 1-agents identified (Figure 7),
+///   * **separation** — the paper's required-queries protocol terminates
+///     once all agents are correctly identified *and* the 1-scores are
+///     strictly separated from the 0-scores.
+
+#include <span>
+
+#include "pooling/ground_truth.hpp"
+#include "util/types.hpp"
+
+namespace npd::core {
+
+/// True iff the estimate matches the ground truth on every agent.
+[[nodiscard]] bool exact_success(std::span<const Bit> estimate,
+                                 const pooling::GroundTruth& truth);
+
+/// Fraction of true 1-agents that the estimate declares 1 (the paper's
+/// "overlap", Figure 7).  Returns 1.0 when k = 0.
+[[nodiscard]] double overlap(std::span<const Bit> estimate,
+                             const pooling::GroundTruth& truth);
+
+/// min over 1-agents of score − max over 0-agents of score.
+/// Positive iff the ground truth is a strict top-k of the scores.
+[[nodiscard]] double separation_margin(std::span<const double> scores,
+                                       const pooling::GroundTruth& truth);
+
+/// The paper's termination condition: correctly identified AND clearly
+/// separated (strictly positive margin).
+[[nodiscard]] bool clearly_separated(std::span<const double> scores,
+                                     const pooling::GroundTruth& truth);
+
+/// Hamming distance between estimate and truth (counts both error types).
+[[nodiscard]] Index hamming_errors(std::span<const Bit> estimate,
+                                   const pooling::GroundTruth& truth);
+
+}  // namespace npd::core

@@ -1,0 +1,74 @@
+#include "core/greedy.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "util/assert.hpp"
+
+namespace npd::core {
+
+GreedyResult select_top_k(std::span<const double> scores, Index k) {
+  const Index n = static_cast<Index>(scores.size());
+  NPD_CHECK(n > 0);
+  NPD_CHECK_MSG(k >= 0 && k <= n, "k must lie in [0, n]");
+
+  GreedyResult result;
+  result.estimate.assign(static_cast<std::size_t>(n), Bit{0});
+  if (k == 0) {
+    result.separation_gap = std::numeric_limits<double>::infinity();
+    return result;
+  }
+
+  // Rank agents by (score desc, id asc).  nth_element gives O(n) selection;
+  // the deterministic tie-break mirrors the sorting network, which compares
+  // (score, id) lexicographically.
+  std::vector<Index> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), Index{0});
+  const auto better = [&scores](Index a, Index b) {
+    const double sa = scores[static_cast<std::size_t>(a)];
+    const double sb = scores[static_cast<std::size_t>(b)];
+    if (sa != sb) {
+      return sa > sb;
+    }
+    return a < b;
+  };
+  if (k < n) {
+    std::nth_element(order.begin(), order.begin() + (k - 1), order.end(),
+                     better);
+    // order[k-1] is the weakest declared one; find the strongest rejected
+    // agent for the separation gap.
+    const Index weakest_one = order[static_cast<std::size_t>(k - 1)];
+    Index strongest_zero = order[static_cast<std::size_t>(k)];
+    for (std::size_t idx = static_cast<std::size_t>(k) + 1;
+         idx < order.size(); ++idx) {
+      if (better(order[idx], strongest_zero)) {
+        strongest_zero = order[idx];
+      }
+    }
+    result.separation_gap = scores[static_cast<std::size_t>(weakest_one)] -
+                            scores[static_cast<std::size_t>(strongest_zero)];
+  } else {
+    result.separation_gap = std::numeric_limits<double>::infinity();
+  }
+
+  result.declared_ones.assign(order.begin(), order.begin() + k);
+  std::sort(result.declared_ones.begin(), result.declared_ones.end());
+  for (const Index agent : result.declared_ones) {
+    result.estimate[static_cast<std::size_t>(agent)] = Bit{1};
+  }
+  return result;
+}
+
+GreedyResult greedy_reconstruct(const Instance& instance,
+                                Centering centering) {
+  const ScoreState state = compute_scores(instance, centering);
+  return greedy_from_scores(state);
+}
+
+GreedyResult greedy_from_scores(const ScoreState& scores) {
+  const std::vector<double> centered = scores.centered_scores();
+  return select_top_k(centered, scores.k_hint());
+}
+
+}  // namespace npd::core

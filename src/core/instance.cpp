@@ -1,0 +1,32 @@
+#include "core/instance.hpp"
+
+#include "util/assert.hpp"
+
+namespace npd::core {
+
+std::vector<double> measure_all(const pooling::PoolingGraph& graph,
+                                const pooling::GroundTruth& truth,
+                                const noise::NoiseChannel& channel,
+                                rand::Rng& rng) {
+  NPD_CHECK_MSG(graph.num_agents() == truth.n(),
+                "graph and ground truth disagree on n");
+  std::vector<double> results;
+  results.reserve(static_cast<std::size_t>(graph.num_queries()));
+  for (Index j = 0; j < graph.num_queries(); ++j) {
+    results.push_back(
+        channel.measure(graph.query_multiset(j), truth.bits, rng));
+  }
+  return results;
+}
+
+Instance make_instance(Index n, Index k, Index m,
+                       const pooling::QueryDesign& design,
+                       const noise::NoiseChannel& channel, rand::Rng& rng) {
+  Instance instance;
+  instance.truth = pooling::make_ground_truth(n, k, rng);
+  instance.graph = pooling::make_pooling_graph(n, m, design, rng);
+  instance.results = measure_all(instance.graph, instance.truth, channel, rng);
+  return instance;
+}
+
+}  // namespace npd::core

@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file instance.hpp
+/// A complete problem instance: pooling graph + hidden bits + noisy
+/// query results.  This is the object reconstruction algorithms consume
+/// (they may read everything except `truth` — `truth` exists for
+/// evaluation and for the paper's required-queries termination check).
+
+#include <memory>
+#include <vector>
+
+#include "noise/channel.hpp"
+#include "pooling/ground_truth.hpp"
+#include "pooling/pooling_graph.hpp"
+
+namespace npd::core {
+
+/// One sampled pooled-data problem.
+struct Instance {
+  pooling::PoolingGraph graph;
+  pooling::GroundTruth truth;
+  /// Noisy query results σ̂ ∈ R^m (integral for bit-flip channels,
+  /// real-valued under Gaussian query noise).
+  std::vector<double> results;
+
+  [[nodiscard]] Index n() const { return graph.num_agents(); }
+  [[nodiscard]] Index m() const { return graph.num_queries(); }
+  [[nodiscard]] Index k() const { return truth.k(); }
+};
+
+/// Sample a full instance: ground truth, `m` queries by `design`, and all
+/// measurements through `channel`.  All randomness comes from `rng`.
+[[nodiscard]] Instance make_instance(Index n, Index k, Index m,
+                                     const pooling::QueryDesign& design,
+                                     const noise::NoiseChannel& channel,
+                                     rand::Rng& rng);
+
+/// Measure every query of an existing graph through `channel` (used when
+/// comparing channels or algorithms on the *same* pooling graph).
+[[nodiscard]] std::vector<double> measure_all(
+    const pooling::PoolingGraph& graph, const pooling::GroundTruth& truth,
+    const noise::NoiseChannel& channel, rand::Rng& rng);
+
+}  // namespace npd::core

@@ -1,0 +1,99 @@
+#include "core/scores.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace npd::core {
+
+Centering centering_from(const noise::Linearization& lin, Index gamma_ref) {
+  NPD_CHECK(gamma_ref > 0);
+  return Centering{
+      .offset_per_slot = lin.offset / static_cast<double>(gamma_ref),
+      .gain = lin.gain};
+}
+
+ScoreState::ScoreState(Index n, Index k_hint, Centering centering)
+    : psi_(static_cast<std::size_t>(n), 0.0),
+      center_(static_cast<std::size_t>(n), 0.0),
+      delta_star_(static_cast<std::size_t>(n), 0),
+      delta_(static_cast<std::size_t>(n), 0),
+      stamp_(static_cast<std::size_t>(n), 0),
+      k_hint_(k_hint),
+      center_per_slot_(centering.offset_per_slot +
+                       centering.gain * static_cast<double>(k_hint) /
+                           static_cast<double>(n)) {
+  NPD_CHECK(n > 0);
+  NPD_CHECK(k_hint >= 0 && k_hint <= n);
+}
+
+void ScoreState::apply_query(std::span<const Index> sampled, double result) {
+  NPD_CHECK_MSG(!sampled.empty(), "query must contain at least one agent");
+  const double query_center =
+      static_cast<double>(sampled.size()) * center_per_slot_;
+  // Stamp-based deduplication: O(Γ) per query, no allocation.
+  ++epoch_;
+  for (const Index agent : sampled) {
+    NPD_ASSERT(agent >= 0 && agent < n());
+    const auto slot = static_cast<std::size_t>(agent);
+    delta_[slot] += 1;
+    if (stamp_[slot] != epoch_) {
+      stamp_[slot] = epoch_;
+      psi_[slot] += result;
+      center_[slot] += query_center;
+      delta_star_[slot] += 1;
+    }
+  }
+  ++queries_applied_;
+}
+
+void ScoreState::apply_query_distinct(std::span<const Index> distinct_agents,
+                                      std::span<const Index> multiplicities,
+                                      double result) {
+  NPD_CHECK(distinct_agents.size() == multiplicities.size());
+  Index pool_size = 0;
+  for (const Index mult : multiplicities) {
+    pool_size += mult;
+  }
+  const double query_center =
+      static_cast<double>(pool_size) * center_per_slot_;
+  for (std::size_t idx = 0; idx < distinct_agents.size(); ++idx) {
+    const Index agent = distinct_agents[idx];
+    NPD_ASSERT(agent >= 0 && agent < n());
+    psi_[static_cast<std::size_t>(agent)] += result;
+    center_[static_cast<std::size_t>(agent)] += query_center;
+    delta_star_[static_cast<std::size_t>(agent)] += 1;
+    delta_[static_cast<std::size_t>(agent)] += multiplicities[idx];
+  }
+  ++queries_applied_;
+}
+
+std::vector<double> ScoreState::centered_scores() const {
+  std::vector<double> scores(psi_.size());
+  for (std::size_t i = 0; i < psi_.size(); ++i) {
+    scores[i] = psi_[i] - center_[i];
+  }
+  return scores;
+}
+
+void ScoreState::reset() {
+  std::fill(psi_.begin(), psi_.end(), 0.0);
+  std::fill(center_.begin(), center_.end(), 0.0);
+  std::fill(delta_star_.begin(), delta_star_.end(), 0);
+  std::fill(delta_.begin(), delta_.end(), 0);
+  std::fill(stamp_.begin(), stamp_.end(), 0);
+  epoch_ = 0;
+  queries_applied_ = 0;
+}
+
+ScoreState compute_scores(const Instance& instance, Centering centering) {
+  ScoreState state(instance.n(), instance.k(), centering);
+  for (Index j = 0; j < instance.m(); ++j) {
+    state.apply_query_distinct(instance.graph.query_distinct(j),
+                               instance.graph.query_multiplicity(j),
+                               instance.results[static_cast<std::size_t>(j)]);
+  }
+  return state;
+}
+
+}  // namespace npd::core

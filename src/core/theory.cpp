@@ -1,0 +1,110 @@
+#include "core/theory.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace npd::core::theory {
+
+namespace {
+
+void check_common(Index n, double eps) {
+  NPD_CHECK_MSG(n >= 2, "bounds need n >= 2");
+  NPD_CHECK_MSG(eps >= 0.0, "epsilon must be nonnegative");
+}
+
+void check_channel(double p, double q) {
+  NPD_CHECK_MSG(p >= 0.0 && p < 1.0, "p must lie in [0,1)");
+  NPD_CHECK_MSG(q >= 0.0 && q < 1.0, "q must lie in [0,1)");
+  NPD_CHECK_MSG(p + q < 1.0, "the paper assumes p + q < 1");
+}
+
+double sqrt_theta_factor(double theta) {
+  NPD_CHECK_MSG(theta > 0.0 && theta < 1.0, "theta must lie in (0,1)");
+  const double root = 1.0 + std::sqrt(theta);
+  return root * root;
+}
+
+}  // namespace
+
+double gamma_constant() { return 1.0 - std::exp(-0.5); }
+
+double sublinear_k_real(Index n, double theta) {
+  NPD_CHECK(n >= 2);
+  NPD_CHECK_MSG(theta > 0.0 && theta < 1.0, "theta must lie in (0,1)");
+  return std::pow(static_cast<double>(n), theta);
+}
+
+double z_channel_sublinear(Index n, double theta, double p, double eps) {
+  check_common(n, eps);
+  check_channel(p, 0.0);
+  const double k = sublinear_k_real(n, theta);
+  const double log_n = std::log(static_cast<double>(n));
+  return (4.0 * gamma_constant() + eps) * sqrt_theta_factor(theta) /
+         (1.0 - p) * k * log_n;
+}
+
+double gnc_sublinear(Index n, double theta, double p, double q, double eps) {
+  check_common(n, eps);
+  check_channel(p, q);
+  NPD_CHECK_MSG(q > 0.0, "the asymptotic GNC bound requires q > 0");
+  const double log_n = std::log(static_cast<double>(n));
+  const double denom = (1.0 - p - q) * (1.0 - p - q);
+  return (4.0 * gamma_constant() + eps) * q * sqrt_theta_factor(theta) /
+         denom * static_cast<double>(n) * log_n;
+}
+
+double channel_sublinear_interpolated(Index n, double theta, double p,
+                                      double q, double eps) {
+  check_common(n, eps);
+  check_channel(p, q);
+  const double k_over_n =
+      sublinear_k_real(n, theta) / static_cast<double>(n);
+  const double log_n = std::log(static_cast<double>(n));
+  const double denom = (1.0 - p - q) * (1.0 - p - q);
+  const double effective_rate = q + k_over_n * (1.0 - p - q);
+  return (4.0 * gamma_constant() + eps) * sqrt_theta_factor(theta) *
+         effective_rate / denom * static_cast<double>(n) * log_n;
+}
+
+double channel_linear(Index n, double zeta, double p, double q, double eps,
+                      bool verbatim_theorem) {
+  check_common(n, eps);
+  check_channel(p, q);
+  NPD_CHECK_MSG(zeta > 0.0 && zeta < 1.0, "zeta must lie in (0,1)");
+  const double log_n = std::log(static_cast<double>(n));
+  const double denom = (1.0 - p - q) * (1.0 - p - q);
+  const double coefficient = 16.0 * gamma_constant() + eps;
+  if (verbatim_theorem) {
+    // As printed in Theorem 1 (see header note on the typo).
+    return coefficient * (q + (1.0 - p - q)) / denom * zeta *
+           static_cast<double>(n) * log_n;
+  }
+  // As derived in Section IV-C, Equations (16)-(17).
+  return coefficient * (q + (1.0 - p - q) * zeta) / denom *
+         static_cast<double>(n) * log_n;
+}
+
+double noisy_query_sublinear(Index n, double theta, double eps) {
+  check_common(n, eps);
+  const double k = sublinear_k_real(n, theta);
+  const double log_n = std::log(static_cast<double>(n));
+  return (4.0 * gamma_constant() + eps) * sqrt_theta_factor(theta) * k * log_n;
+}
+
+double noisy_query_linear(Index n, double zeta, double eps) {
+  check_common(n, eps);
+  NPD_CHECK_MSG(zeta > 0.0 && zeta < 1.0, "zeta must lie in (0,1)");
+  const double log_n = std::log(static_cast<double>(n));
+  return (16.0 * gamma_constant() + eps) * zeta * static_cast<double>(n) *
+         log_n;
+}
+
+double noisy_query_noise_ratio(double lambda, double m, Index n) {
+  NPD_CHECK(n >= 2);
+  NPD_CHECK_MSG(m > 0.0, "need at least one query");
+  NPD_CHECK_MSG(lambda >= 0.0, "lambda must be nonnegative");
+  return lambda * lambda * std::log(static_cast<double>(n)) / m;
+}
+
+}  // namespace npd::core::theory

@@ -1,0 +1,77 @@
+#pragma once
+
+/// \file theory.hpp
+/// The achievability bounds of Theorems 1 and 2 — the dashed lines in
+/// Figures 2, 4 and 6 of the paper.
+///
+/// All bounds return the number of queries `m` (as a real number; callers
+/// round up).  With γ = 1 − e^{−1/2}:
+///
+/// **Theorem 1 (noisy channel)**, sublinear `k = n^θ`:
+///   Z-channel (q = 0):    m ≥ (4γ+ε)·(1+√θ)²/(1−p)·k·ln n
+///   general (q > 0):      m ≥ (4γ+ε)·q(1+√θ)²/(1−p−q)²·n·ln n
+/// linear `k = ζn` (both): m ≥ (16γ+ε)·(q+(1−p−q)ζ)/(1−p−q)²·n·ln n
+///
+/// *Note on the linear bound*: the theorem statement in the paper prints
+/// `(q+(1−p−q))·ζ·n·ln n`; the derivation (Equations 16–17) yields
+/// `(q+(1−p−q)ζ)·n·ln n`.  Both agree at q = 0.  We implement the
+/// derivation's form by default and expose the verbatim form for
+/// comparison.
+///
+/// **Finite-n interpolation** (Remark after Theorem 1): the two sublinear
+/// cases are limits of a single expression obtained from conditions (8)/(9)
+/// with the full denominator `q + (k/n)(1−p−q)`:
+///   m ≥ (4γ+ε)·(1+√θ)²·(q + (k/n)(1−p−q))/(1−p−q)²·n·ln n,
+/// which exhibits exactly the regime transition at q ≍ k/n visible in
+/// Figure 4.
+///
+/// **Theorem 2 (noisy query)**: if λ² = o(m/ln n), the noiseless bounds
+/// apply: sublinear m ≥ (4γ+ε)(1+√θ)²·k·ln n, linear m ≥ (16γ+ε)·ζ·n·ln n;
+/// if λ² = Ω(m), reconstruction fails with positive probability.
+
+#include "util/types.hpp"
+
+namespace npd::core::theory {
+
+/// γ = 1 − e^{−1/2} ≈ 0.3935: the asymptotic fraction of queries an agent
+/// appears in (Lemma 4 / Corollary 5).
+[[nodiscard]] double gamma_constant();
+
+/// k = n^θ as a real number (bounds use the unrounded value).
+[[nodiscard]] double sublinear_k_real(Index n, double theta);
+
+// ----------------------------------------------------------- Theorem 1
+
+/// Z-channel (q = 0), sublinear regime.
+[[nodiscard]] double z_channel_sublinear(Index n, double theta, double p,
+                                         double eps);
+
+/// General noisy channel (q > 0), sublinear regime (asymptotic form).
+[[nodiscard]] double gnc_sublinear(Index n, double theta, double p, double q,
+                                   double eps);
+
+/// Finite-n interpolated sublinear bound (see file comment); reduces to
+/// `z_channel_sublinear` at q = 0 and to `gnc_sublinear` when q ≫ k/n.
+[[nodiscard]] double channel_sublinear_interpolated(Index n, double theta,
+                                                    double p, double q,
+                                                    double eps);
+
+/// Linear regime (Z and general channel).  `verbatim_theorem` selects the
+/// formula exactly as printed in Theorem 1 instead of the derivation's.
+[[nodiscard]] double channel_linear(Index n, double zeta, double p, double q,
+                                    double eps, bool verbatim_theorem = false);
+
+// ----------------------------------------------------------- Theorem 2
+
+/// Noisy query model, sublinear regime (requires λ² = o(m/ln n)).
+[[nodiscard]] double noisy_query_sublinear(Index n, double theta, double eps);
+
+/// Noisy query model, linear regime (requires λ² = o(m/ln n)).
+[[nodiscard]] double noisy_query_linear(Index n, double zeta, double eps);
+
+/// The control ratio λ²·ln(n)/m of Theorem 2's phase transition:
+/// `→ 0` means the achievability regime, `= Ω(1)` approaching the failure
+/// regime λ² = Ω(m).
+[[nodiscard]] double noisy_query_noise_ratio(double lambda, double m, Index n);
+
+}  // namespace npd::core::theory

@@ -1,0 +1,91 @@
+#include "core/two_stage.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace npd::core {
+
+namespace {
+
+/// Estimated pool sums Ŝ_j = Σ_{multiset} x̂ for all queries: O(edges).
+std::vector<double> estimated_pool_sums(const pooling::PoolingGraph& graph,
+                                        const BitVector& estimate) {
+  std::vector<double> sums(static_cast<std::size_t>(graph.num_queries()), 0.0);
+  for (Index j = 0; j < graph.num_queries(); ++j) {
+    const auto agents = graph.query_distinct(j);
+    const auto counts = graph.query_multiplicity(j);
+    double s = 0.0;
+    for (std::size_t idx = 0; idx < agents.size(); ++idx) {
+      if (estimate[static_cast<std::size_t>(agents[idx])] != 0) {
+        s += static_cast<double>(counts[idx]);
+      }
+    }
+    sums[static_cast<std::size_t>(j)] = s;
+  }
+  return sums;
+}
+
+}  // namespace
+
+TwoStageResult two_stage_reconstruct(const Instance& instance,
+                                     const noise::Linearization& lin,
+                                     const TwoStageOptions& options) {
+  NPD_CHECK_MSG(options.max_rounds >= 0, "max_rounds must be nonnegative");
+  NPD_CHECK_MSG(lin.gain > 0.0,
+                "two-stage refinement needs a positive channel gain");
+
+  TwoStageResult result;
+  const GreedyResult stage1 = greedy_reconstruct(instance);
+  result.greedy_estimate = stage1.estimate;
+  result.estimate = stage1.estimate;
+
+  const auto& graph = instance.graph;
+  const Index n = instance.n();
+  const Index k = instance.k();
+  std::vector<double> loo(static_cast<std::size_t>(n), 0.0);
+
+  for (Index round = 0; round < options.max_rounds; ++round) {
+    const std::vector<double> pool_sums =
+        estimated_pool_sums(graph, result.estimate);
+
+    // Residual per query against the linearized channel model.
+    std::vector<double> residual(static_cast<std::size_t>(instance.m()));
+    for (Index j = 0; j < instance.m(); ++j) {
+      residual[static_cast<std::size_t>(j)] =
+          instance.results[static_cast<std::size_t>(j)] - lin.offset -
+          lin.gain * pool_sums[static_cast<std::size_t>(j)];
+    }
+
+    // Leave-one-out support for every agent: the residual of its queries
+    // plus its own (explained) contribution added back.
+    std::fill(loo.begin(), loo.end(), 0.0);
+    for (Index j = 0; j < instance.m(); ++j) {
+      const auto agents = graph.query_distinct(j);
+      const auto counts = graph.query_multiplicity(j);
+      const double r = residual[static_cast<std::size_t>(j)];
+      for (std::size_t idx = 0; idx < agents.size(); ++idx) {
+        const auto agent = static_cast<std::size_t>(agents[idx]);
+        double contribution = r;
+        if (result.estimate[agent] != 0) {
+          contribution += lin.gain * static_cast<double>(counts[idx]);
+        }
+        loo[agent] += contribution;
+      }
+    }
+
+    const GreedyResult refreshed = select_top_k(loo, k);
+    ++result.rounds_used;
+    if (options.stop_at_fixed_point &&
+        refreshed.estimate == result.estimate) {
+      result.converged = true;
+      break;
+    }
+    result.estimate = refreshed.estimate;
+  }
+
+  return result;
+}
+
+}  // namespace npd::core

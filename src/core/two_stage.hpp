@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file two_stage.hpp
+/// Extension: the two-stage local-correction algorithm posed as the open
+/// question in the paper's conclusion ("whether a two-step algorithm that
+/// locally tries to correct errors can be analyzed rigorously and performs
+/// even better").
+///
+/// Stage 1 is plain greedy (Algorithm 1).  Stage 2 iterates a
+/// leave-one-out refinement: with the channel linearized as
+/// `σ̂_j ≈ offset + gain·S_j`, compute per-query residuals against the
+/// current estimate and re-score every agent by how strongly the residuals
+/// of *its* queries support its bit being 1 once all other agents are
+/// explained away:
+///
+///   loo_i = Σ_{j ∈ ∂*x_i} ( σ̂_j − offset − gain·Ŝ_j + gain·mult_ij·x̂_i )
+///
+/// where Ŝ_j is the estimated pool sum of query j.  For a perfect estimate
+/// loo_i concentrates at gain·Δ_i·σ_i, so selecting the top-k of `loo`
+/// reproduces the truth; for a nearly-correct estimate the few misplaced
+/// agents move most.  Iterate to a fixed point (or `max_rounds`).
+
+#include "core/greedy.hpp"
+#include "core/instance.hpp"
+
+namespace npd::core {
+
+/// Options for the stage-2 refinement.
+struct TwoStageOptions {
+  /// Maximum refinement rounds (each O(edges)).
+  Index max_rounds = 20;
+  /// Stop as soon as an iteration leaves the estimate unchanged.
+  bool stop_at_fixed_point = true;
+};
+
+/// Result of the two-stage reconstruction.
+struct TwoStageResult {
+  /// Final estimate (exactly k ones).
+  BitVector estimate;
+  /// Stage-1 (greedy) estimate, for measuring the stage-2 gain.
+  BitVector greedy_estimate;
+  /// Rounds actually executed in stage 2.
+  Index rounds_used = 0;
+  /// Whether a fixed point was reached before `max_rounds`.
+  bool converged = false;
+};
+
+/// Run greedy + local correction.  `lin` must be the linearization of the
+/// channel that produced `instance.results` (see
+/// `NoiseChannel::linearization`).
+[[nodiscard]] TwoStageResult two_stage_reconstruct(
+    const Instance& instance, const noise::Linearization& lin,
+    const TwoStageOptions& options = {});
+
+}  // namespace npd::core

@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file required_queries.hpp
+/// The paper's **required-number-of-queries protocol** (Section V,
+/// "Implementation Details"), verbatim:
+///
+/// > "First we initialize the ground truth according to n and θ.  Then we
+/// >  simulate one query node after the other in a sequential manner. […]
+/// >  Our simulation terminates once the ground truth can be reconstructed
+/// >  exactly; this involves a check whether all agents have been
+/// >  correctly identified, and whether there is a clear separation
+/// >  between the scores of the 0 agents and the 1 agents."
+///
+/// Queries are added one at a time; after each, the centered scores are
+/// checked for strict separation of the 1-agents above the 0-agents
+/// (which is precisely "correct identification + clear separation").
+/// The returned `m` feeds Figures 2, 3, 4 and 5.
+
+#include <optional>
+
+#include "core/scores.hpp"
+#include "noise/channel.hpp"
+#include "pooling/ground_truth.hpp"
+#include "pooling/query_design.hpp"
+
+namespace npd::harness {
+
+/// Options of one protocol run.
+struct RequiredQueriesOptions {
+  /// Hard cap on queries (fail-safe against non-terminating noise
+  /// regimes, e.g. λ² = Ω(m) where Theorem 2 predicts failure).
+  Index max_queries = 1'000'000;
+  /// Check separation only every `check_interval` queries (1 = paper's
+  /// protocol; larger values trade resolution for speed at huge n).
+  Index check_interval = 1;
+  /// Score centering.  Default: the channel-oblivious Algorithm 1
+  /// listing; pass `core::centering_from(channel.linearization(...))`
+  /// for the analysis' channel-aware score (required for good finite-n
+  /// behavior when q > 0 — see core/scores.hpp).
+  core::Centering centering{};
+};
+
+/// Result of one protocol run.
+struct RequiredQueriesResult {
+  /// Queries needed for exact, separated reconstruction (valid iff
+  /// `reached`).
+  Index m = 0;
+  /// False iff the cap was hit first.
+  bool reached = false;
+};
+
+/// Run the protocol once.  All randomness (ground truth, query sampling,
+/// channel noise) is drawn from `rng`.
+[[nodiscard]] RequiredQueriesResult required_queries(
+    Index n, Index k, const pooling::QueryDesign& design,
+    const noise::NoiseChannel& channel, rand::Rng& rng,
+    const RequiredQueriesOptions& options = {});
+
+/// Variant that reuses a caller-provided ground truth (for paired
+/// comparisons across channels on identical truths).
+[[nodiscard]] RequiredQueriesResult required_queries_for_truth(
+    const pooling::GroundTruth& truth, const pooling::QueryDesign& design,
+    const noise::NoiseChannel& channel, rand::Rng& rng,
+    const RequiredQueriesOptions& options = {});
+
+}  // namespace npd::harness

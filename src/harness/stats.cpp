@@ -1,0 +1,69 @@
+#include "harness/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace npd::harness {
+
+double mean(std::span<const double> xs) {
+  NPD_CHECK_MSG(!xs.empty(), "mean of empty sample");
+  double acc = 0.0;
+  for (const double x : xs) {
+    acc += x;
+  }
+  return acc / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) {
+  if (xs.size() < 2) {
+    return 0.0;
+  }
+  const double mu = mean(xs);
+  double acc = 0.0;
+  for (const double x : xs) {
+    acc += (x - mu) * (x - mu);
+  }
+  return std::sqrt(acc / static_cast<double>(xs.size() - 1));
+}
+
+double quantile(std::span<const double> xs, double q) {
+  NPD_CHECK_MSG(!xs.empty(), "quantile of empty sample");
+  NPD_CHECK_MSG(q >= 0.0 && q <= 1.0, "quantile level must lie in [0,1]");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) {
+    return sorted.front();
+  }
+  // R type 7: h = (n-1)q; interpolate between floor(h) and floor(h)+1.
+  const double h = static_cast<double>(sorted.size() - 1) * q;
+  const auto lo = static_cast<std::size_t>(std::floor(h));
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = h - std::floor(h);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double median(std::span<const double> xs) { return quantile(xs, 0.5); }
+
+FiveNumberSummary five_number_summary(std::span<const double> xs) {
+  NPD_CHECK_MSG(!xs.empty(), "summary of empty sample");
+  FiveNumberSummary s;
+  s.min = *std::min_element(xs.begin(), xs.end());
+  s.q1 = quantile(xs, 0.25);
+  s.median = quantile(xs, 0.5);
+  s.q3 = quantile(xs, 0.75);
+  s.max = *std::max_element(xs.begin(), xs.end());
+  return s;
+}
+
+std::vector<double> to_doubles(std::span<const Index> xs) {
+  std::vector<double> out;
+  out.reserve(xs.size());
+  for (const Index x : xs) {
+    out.push_back(static_cast<double>(x));
+  }
+  return out;
+}
+
+}  // namespace npd::harness

@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file stats.hpp
+/// Descriptive statistics for experiment aggregation: means, quantiles
+/// (R type-7, the default of R/NumPy) and the five-number summaries that
+/// back the paper's Figure 5 boxplots.
+
+#include <span>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace npd::harness {
+
+[[nodiscard]] double mean(std::span<const double> xs);
+
+/// Unbiased sample standard deviation (n−1 denominator); 0 for size < 2.
+[[nodiscard]] double stddev(std::span<const double> xs);
+
+/// Linear-interpolation quantile (R type 7).  `q` in [0, 1].
+[[nodiscard]] double quantile(std::span<const double> xs, double q);
+
+[[nodiscard]] double median(std::span<const double> xs);
+
+/// Boxplot five-number summary.
+struct FiveNumberSummary {
+  double min = 0.0;
+  double q1 = 0.0;
+  double median = 0.0;
+  double q3 = 0.0;
+  double max = 0.0;
+};
+
+[[nodiscard]] FiveNumberSummary five_number_summary(
+    std::span<const double> xs);
+
+/// Convert any numeric container of Index to doubles (for the stats
+/// functions above).
+[[nodiscard]] std::vector<double> to_doubles(std::span<const Index> xs);
+
+}  // namespace npd::harness

@@ -1,0 +1,100 @@
+#include "linalg/dense.hpp"
+
+#include "util/assert.hpp"
+
+namespace npd::linalg {
+
+DenseMatrix::DenseMatrix(Index rows, Index cols, double fill)
+    : rows_(rows),
+      cols_(cols),
+      data_(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols),
+            fill) {
+  NPD_CHECK(rows >= 0 && cols >= 0);
+}
+
+std::size_t DenseMatrix::flat(Index r, Index c) const {
+  NPD_ASSERT(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+  return static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_) +
+         static_cast<std::size_t>(c);
+}
+
+std::span<const double> DenseMatrix::row(Index r) const {
+  NPD_CHECK(r >= 0 && r < rows_);
+  return {data_.data() + flat(r, 0), static_cast<std::size_t>(cols_)};
+}
+
+std::span<double> DenseMatrix::row(Index r) {
+  NPD_CHECK(r >= 0 && r < rows_);
+  return {data_.data() + flat(r, 0), static_cast<std::size_t>(cols_)};
+}
+
+void DenseMatrix::matvec(std::span<const double> x,
+                         std::span<double> y) const {
+  NPD_CHECK(static_cast<Index>(x.size()) == cols_);
+  NPD_CHECK(static_cast<Index>(y.size()) == rows_);
+  for (Index r = 0; r < rows_; ++r) {
+    const std::span<const double> row_r = row(r);
+    double acc = 0.0;
+    for (std::size_t c = 0; c < row_r.size(); ++c) {
+      acc += row_r[c] * x[c];
+    }
+    y[static_cast<std::size_t>(r)] = acc;
+  }
+}
+
+void DenseMatrix::matvec_transpose(std::span<const double> x,
+                                   std::span<double> y) const {
+  NPD_CHECK(static_cast<Index>(x.size()) == rows_);
+  NPD_CHECK(static_cast<Index>(y.size()) == cols_);
+  for (double& v : y) {
+    v = 0.0;
+  }
+  // Row-major transposed product: accumulate row r scaled by x_r — keeps
+  // memory access sequential.
+  for (Index r = 0; r < rows_; ++r) {
+    const double weight = x[static_cast<std::size_t>(r)];
+    if (weight == 0.0) {
+      continue;
+    }
+    const std::span<const double> row_r = row(r);
+    for (std::size_t c = 0; c < row_r.size(); ++c) {
+      y[c] += weight * row_r[c];
+    }
+  }
+}
+
+void DenseMatrix::add_scalar(double delta) {
+  for (double& v : data_) {
+    v += delta;
+  }
+}
+
+void DenseMatrix::scale(double alpha) {
+  for (double& v : data_) {
+    v *= alpha;
+  }
+}
+
+double DenseMatrix::column_norm_squared(Index c) const {
+  NPD_CHECK(c >= 0 && c < cols_);
+  double acc = 0.0;
+  for (Index r = 0; r < rows_; ++r) {
+    const double v = at(r, c);
+    acc += v * v;
+  }
+  return acc;
+}
+
+DenseMatrix counting_matrix(const pooling::PoolingGraph& graph) {
+  DenseMatrix a(graph.num_queries(), graph.num_agents(), 0.0);
+  for (Index j = 0; j < graph.num_queries(); ++j) {
+    const auto agents = graph.query_distinct(j);
+    const auto counts = graph.query_multiplicity(j);
+    for (std::size_t idx = 0; idx < agents.size(); ++idx) {
+      a.at(j, agents[idx]) = static_cast<double>(counts[idx]);
+    }
+  }
+  return a;
+}
+
+}  // namespace npd::linalg

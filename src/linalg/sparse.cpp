@@ -1,0 +1,109 @@
+#include "linalg/sparse.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/assert.hpp"
+
+namespace npd::linalg {
+
+CsrMatrix CsrMatrix::from_triplets(Index rows, Index cols,
+                                   std::span<const Index> row_idx,
+                                   std::span<const Index> col_idx,
+                                   std::span<const double> values) {
+  NPD_CHECK(rows >= 0 && cols >= 0);
+  NPD_CHECK(row_idx.size() == col_idx.size() &&
+            col_idx.size() == values.size());
+
+  CsrMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+
+  // Counting sort by row.
+  std::vector<Index> counts(static_cast<std::size_t>(rows) + 1, 0);
+  for (const Index r : row_idx) {
+    NPD_CHECK(r >= 0 && r < rows);
+    ++counts[static_cast<std::size_t>(r) + 1];
+  }
+  std::partial_sum(counts.begin(), counts.end(), counts.begin());
+  m.row_offsets_ = counts;
+  m.cols_idx_.assign(values.size(), 0);
+  m.values_.assign(values.size(), 0.0);
+  std::vector<Index> cursor(counts.begin(), counts.end() - 1);
+  for (std::size_t t = 0; t < values.size(); ++t) {
+    NPD_CHECK(col_idx[t] >= 0 && col_idx[t] < cols);
+    const auto slot = static_cast<std::size_t>(
+        cursor[static_cast<std::size_t>(row_idx[t])]++);
+    m.cols_idx_[slot] = col_idx[t];
+    m.values_[slot] = values[t];
+  }
+  return m;
+}
+
+void CsrMatrix::matvec(std::span<const double> x, std::span<double> y) const {
+  NPD_CHECK(static_cast<Index>(x.size()) == cols_);
+  NPD_CHECK(static_cast<Index>(y.size()) == rows_);
+  for (Index r = 0; r < rows_; ++r) {
+    const auto lo = static_cast<std::size_t>(row_offsets_[static_cast<std::size_t>(r)]);
+    const auto hi =
+        static_cast<std::size_t>(row_offsets_[static_cast<std::size_t>(r) + 1]);
+    double acc = 0.0;
+    for (std::size_t t = lo; t < hi; ++t) {
+      acc += values_[t] * x[static_cast<std::size_t>(cols_idx_[t])];
+    }
+    y[static_cast<std::size_t>(r)] = acc;
+  }
+}
+
+void CsrMatrix::matvec_transpose(std::span<const double> x,
+                                 std::span<double> y) const {
+  NPD_CHECK(static_cast<Index>(x.size()) == rows_);
+  NPD_CHECK(static_cast<Index>(y.size()) == cols_);
+  for (double& v : y) {
+    v = 0.0;
+  }
+  for (Index r = 0; r < rows_; ++r) {
+    const double weight = x[static_cast<std::size_t>(r)];
+    if (weight == 0.0) {
+      continue;
+    }
+    const auto lo = static_cast<std::size_t>(row_offsets_[static_cast<std::size_t>(r)]);
+    const auto hi =
+        static_cast<std::size_t>(row_offsets_[static_cast<std::size_t>(r) + 1]);
+    for (std::size_t t = lo; t < hi; ++t) {
+      y[static_cast<std::size_t>(cols_idx_[t])] += weight * values_[t];
+    }
+  }
+}
+
+double CsrMatrix::at(Index r, Index c) const {
+  NPD_CHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+  const auto lo = static_cast<std::size_t>(row_offsets_[static_cast<std::size_t>(r)]);
+  const auto hi =
+      static_cast<std::size_t>(row_offsets_[static_cast<std::size_t>(r) + 1]);
+  for (std::size_t t = lo; t < hi; ++t) {
+    if (cols_idx_[t] == c) {
+      return values_[t];
+    }
+  }
+  return 0.0;
+}
+
+CsrMatrix counting_matrix_sparse(const pooling::PoolingGraph& graph) {
+  std::vector<Index> rows;
+  std::vector<Index> cols;
+  std::vector<double> vals;
+  for (Index j = 0; j < graph.num_queries(); ++j) {
+    const auto agents = graph.query_distinct(j);
+    const auto counts = graph.query_multiplicity(j);
+    for (std::size_t idx = 0; idx < agents.size(); ++idx) {
+      rows.push_back(j);
+      cols.push_back(agents[idx]);
+      vals.push_back(static_cast<double>(counts[idx]));
+    }
+  }
+  return CsrMatrix::from_triplets(graph.num_queries(), graph.num_agents(),
+                                  rows, cols, vals);
+}
+
+}  // namespace npd::linalg

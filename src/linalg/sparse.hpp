@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file sparse.hpp
+/// Compressed sparse row (CSR) matrix with double values, used for sparse
+/// pooling designs (constant column weight, small Γ ablations) where the
+/// dense representation would waste memory and bandwidth.
+
+#include <span>
+#include <vector>
+
+#include "pooling/pooling_graph.hpp"
+#include "util/types.hpp"
+
+namespace npd::linalg {
+
+/// Immutable CSR matrix.
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  /// Build from coordinate triplets (row-sorted not required).
+  static CsrMatrix from_triplets(Index rows, Index cols,
+                                 std::span<const Index> row_idx,
+                                 std::span<const Index> col_idx,
+                                 std::span<const double> values);
+
+  [[nodiscard]] Index rows() const { return rows_; }
+  [[nodiscard]] Index cols() const { return cols_; }
+  [[nodiscard]] Index nonzeros() const {
+    return static_cast<Index>(values_.size());
+  }
+
+  /// y = A·x.
+  void matvec(std::span<const double> x, std::span<double> y) const;
+
+  /// y = Aᵀ·x.
+  void matvec_transpose(std::span<const double> x, std::span<double> y) const;
+
+  /// Entry access (O(row nnz)); returns 0 for absent entries.
+  [[nodiscard]] double at(Index r, Index c) const;
+
+  [[nodiscard]] std::span<const Index> row_offsets() const {
+    return row_offsets_;
+  }
+  [[nodiscard]] std::span<const Index> col_indices() const { return cols_idx_; }
+  [[nodiscard]] std::span<const double> values() const { return values_; }
+
+ private:
+  Index rows_ = 0;
+  Index cols_ = 0;
+  std::vector<Index> row_offsets_{0};
+  std::vector<Index> cols_idx_;
+  std::vector<double> values_;
+};
+
+/// CSR counting matrix of a pooling graph (values = edge multiplicities).
+[[nodiscard]] CsrMatrix counting_matrix_sparse(
+    const pooling::PoolingGraph& graph);
+
+}  // namespace npd::linalg

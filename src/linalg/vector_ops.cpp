@@ -1,0 +1,60 @@
+#include "linalg/vector_ops.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace npd::linalg {
+
+double dot(std::span<const double> x, std::span<const double> y) {
+  NPD_CHECK(x.size() == y.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    acc += x[i] * y[i];
+  }
+  return acc;
+}
+
+double norm_squared(std::span<const double> x) { return dot(x, x); }
+
+double norm(std::span<const double> x) { return std::sqrt(norm_squared(x)); }
+
+void axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  NPD_CHECK(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    y[i] += alpha * x[i];
+  }
+}
+
+void scale(double alpha, std::span<double> x) {
+  for (double& v : x) {
+    v *= alpha;
+  }
+}
+
+double mean(std::span<const double> x) {
+  if (x.empty()) {
+    return 0.0;
+  }
+  double acc = 0.0;
+  for (const double v : x) {
+    acc += v;
+  }
+  return acc / static_cast<double>(x.size());
+}
+
+double distance_squared(std::span<const double> x, std::span<const double> y) {
+  NPD_CHECK(x.size() == y.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double d = x[i] - y[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+std::vector<double> to_vector(std::span<const double> x) {
+  return std::vector<double>(x.begin(), x.end());
+}
+
+}  // namespace npd::linalg

@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file vector_ops.hpp
+/// Dense vector kernels used by the AMP iteration.  Deliberately plain
+/// loops over `std::span` — the compiler vectorizes these, and the sizes
+/// involved (n ≤ 10^5) never warrant a BLAS dependency.
+
+#include <span>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace npd::linalg {
+
+/// Euclidean inner product ⟨x, y⟩.
+[[nodiscard]] double dot(std::span<const double> x, std::span<const double> y);
+
+/// Squared Euclidean norm ‖x‖².
+[[nodiscard]] double norm_squared(std::span<const double> x);
+
+/// Euclidean norm ‖x‖.
+[[nodiscard]] double norm(std::span<const double> x);
+
+/// y ← y + alpha·x.
+void axpy(double alpha, std::span<const double> x, std::span<double> y);
+
+/// x ← alpha·x.
+void scale(double alpha, std::span<double> x);
+
+/// Arithmetic mean of the entries (0 for empty input).
+[[nodiscard]] double mean(std::span<const double> x);
+
+/// ‖x − y‖² (squared distance).
+[[nodiscard]] double distance_squared(std::span<const double> x,
+                                      std::span<const double> y);
+
+/// Elementwise copy helper returning a fresh vector.
+[[nodiscard]] std::vector<double> to_vector(std::span<const double> x);
+
+}  // namespace npd::linalg

@@ -1,0 +1,223 @@
+#include "netsim/distributed_greedy.hpp"
+
+#include <memory>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace npd::netsim {
+
+namespace {
+
+/// A score record traveling through the sorting network.
+struct Record {
+  double score = 0.0;
+  Index orig_id = -1;
+};
+
+/// "a sorts before b": descending score, ties by ascending agent id —
+/// the same order as core::select_top_k.
+bool sorts_before(const Record& a, const Record& b) {
+  if (a.score != b.score) {
+    return a.score > b.score;
+  }
+  return a.orig_id < b.orig_id;
+}
+
+/// Static public knowledge shared by all agents: the comparator schedule
+/// and, for the current layer, each position's partner.  Rebuilt O(n) per
+/// layer by the driver; looking it up is local computation.
+struct SortDirectory {
+  const SortingSchedule* schedule = nullptr;
+  Index current_layer = -1;
+  std::vector<Index> partner;    // -1 when idle in this layer
+  std::vector<Bit> is_lo;        // 1 if this position is the comparator's lo
+
+  void load(Index layer) {
+    const Index n = schedule->wire_count();
+    partner.assign(static_cast<std::size_t>(n), -1);
+    is_lo.assign(static_cast<std::size_t>(n), 0);
+    if (layer >= 0 && layer < schedule->depth()) {
+      for (const Comparator& c : schedule->layer(layer)) {
+        partner[static_cast<std::size_t>(c.lo)] = c.hi;
+        partner[static_cast<std::size_t>(c.hi)] = c.lo;
+        is_lo[static_cast<std::size_t>(c.lo)] = 1;
+      }
+    }
+    current_layer = layer;
+  }
+};
+
+/// A query node: broadcasts its (pre-measured) result once, in round 0.
+/// The payload carries (σ̂_j, Γ_j): agents need the pool size to center
+/// their scores (Γ_j·k/n; = k/2 under the paper's Γ = n/2 design).
+class QueryNode final : public Node {
+ public:
+  QueryNode(Index network_id, std::span<const Index> distinct_agents,
+            double result, Index pool_size)
+      : network_id_(network_id),
+        distinct_agents_(distinct_agents),
+        result_(result),
+        pool_size_(pool_size) {}
+
+  void on_round(Index round, std::span<const Message> /*received*/,
+                NetworkContext& ctx) override {
+    if (round == 0) {
+      for (const Index agent : distinct_agents_) {
+        // Agents occupy network ids [0, n); broadcast once per distinct
+        // neighbor (Algorithm 1, line 7).
+        ctx.send(network_id_, agent, Tag::QueryResult, result_,
+                 static_cast<double>(pool_size_));
+      }
+    }
+  }
+
+ private:
+  Index network_id_;
+  std::span<const Index> distinct_agents_;
+  double result_;
+  Index pool_size_;
+};
+
+/// An agent: accumulates its neighborhood sum, then acts as one position
+/// of the sorting network, and finally reports its output bit.
+class AgentNode final : public Node {
+ public:
+  AgentNode(Index self, double k_over_n, const SortDirectory* directory,
+            Index sort_depth)
+      : self_(self),
+        k_over_n_(k_over_n),
+        directory_(directory),
+        sort_depth_(sort_depth),
+        held_{.score = 0.0, .orig_id = self} {}
+
+  void on_round(Index round, std::span<const Message> received,
+                NetworkContext& ctx) override {
+    const Index notify_round = sort_depth_ + 1;
+
+    if (round == 1) {
+      // Phase I accumulation (Algorithm 1, lines 8-10).
+      for (const Message& msg : received) {
+        NPD_ASSERT(msg.tag == Tag::QueryResult);
+        psi_ += msg.a;
+        center_ += msg.b * k_over_n_;
+        ++delta_star_;
+      }
+      held_.score = psi_ - center_;
+      held_.orig_id = self_;
+    } else if (round >= 2 && round <= notify_round) {
+      // Resolve the previous layer's exchange (if we participated).
+      for (const Message& msg : received) {
+        if (msg.tag != Tag::SortExchange) {
+          continue;
+        }
+        const Record partner_record{.score = msg.a,
+                                    .orig_id = static_cast<Index>(msg.b)};
+        const bool mine_first = sorts_before(held_, partner_record);
+        if (pending_is_lo_) {
+          held_ = mine_first ? held_ : partner_record;
+        } else {
+          held_ = mine_first ? partner_record : held_;
+        }
+      }
+    }
+
+    if (round >= 1 && round <= sort_depth_) {
+      // Send for layer `round - 1` (directory pre-loaded by the driver).
+      NPD_ASSERT(directory_->current_layer == round - 1);
+      const Index partner = directory_->partner[static_cast<std::size_t>(self_)];
+      if (partner >= 0) {
+        pending_is_lo_ = directory_->is_lo[static_cast<std::size_t>(self_)] != 0;
+        ctx.send(self_, partner, Tag::SortExchange, held_.score,
+                 static_cast<double>(held_.orig_id));
+      }
+    }
+
+    if (round == notify_round) {
+      // Sorting done: position self_ holds the record of rank self_
+      // (descending).  Tell the record's owner its rank.
+      ctx.send(self_, held_.orig_id, Tag::RankNotify,
+               static_cast<double>(self_));
+    }
+    if (round == notify_round + 1) {
+      for (const Message& msg : received) {
+        if (msg.tag == Tag::RankNotify) {
+          rank_ = static_cast<Index>(msg.a);
+        }
+      }
+    }
+  }
+
+  [[nodiscard]] Index rank() const { return rank_; }
+  [[nodiscard]] double psi() const { return psi_; }
+  [[nodiscard]] Index delta_star() const { return delta_star_; }
+
+ private:
+  Index self_;
+  double k_over_n_;
+  const SortDirectory* directory_;
+  Index sort_depth_;
+  double psi_ = 0.0;
+  double center_ = 0.0;
+  Index delta_star_ = 0;
+  Record held_;
+  bool pending_is_lo_ = false;
+  Index rank_ = -1;
+};
+
+}  // namespace
+
+DistributedGreedyResult run_distributed_greedy(const core::Instance& instance) {
+  const Index n = instance.n();
+  const Index m = instance.m();
+  const Index k = instance.k();
+  NPD_CHECK(static_cast<Index>(instance.results.size()) == m);
+
+  const SortingSchedule schedule = make_odd_even_schedule(n);
+  SortDirectory directory;
+  directory.schedule = &schedule;
+
+  Network network;
+  std::vector<AgentNode*> agents;
+  agents.reserve(static_cast<std::size_t>(n));
+  for (Index i = 0; i < n; ++i) {
+    auto agent = std::make_unique<AgentNode>(
+        i, static_cast<double>(k) / static_cast<double>(n), &directory,
+        schedule.depth());
+    agents.push_back(agent.get());
+    (void)network.add_node(std::move(agent));
+  }
+  for (Index j = 0; j < m; ++j) {
+    (void)network.add_node(std::make_unique<QueryNode>(
+        n + j, instance.graph.query_distinct(j),
+        instance.results[static_cast<std::size_t>(j)],
+        static_cast<Index>(instance.graph.query_multiset(j).size())));
+  }
+
+  // Round r in [1, depth] sends layer r-1; pre-load the directory so the
+  // lookup agents perform is purely local.
+  const Index total_rounds = schedule.depth() + 3;
+  for (Index r = 0; r < total_rounds; ++r) {
+    if (r >= 1 && r <= schedule.depth()) {
+      directory.load(r - 1);
+    }
+    (void)network.run_round();
+  }
+  NPD_CHECK_MSG(network.pending_messages() == 0,
+                "protocol must be quiescent after its final round");
+
+  DistributedGreedyResult result;
+  result.sorting_depth = schedule.depth();
+  result.stats = network.stats();
+  result.estimate.assign(static_cast<std::size_t>(n), Bit{0});
+  for (Index i = 0; i < n; ++i) {
+    const Index rank = agents[static_cast<std::size_t>(i)]->rank();
+    NPD_CHECK_MSG(rank >= 0, "every agent must learn its rank");
+    if (rank < k) {
+      result.estimate[static_cast<std::size_t>(i)] = Bit{1};
+    }
+  }
+  return result;
+}
+
+}  // namespace npd::netsim

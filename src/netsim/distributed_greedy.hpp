@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file distributed_greedy.hpp
+/// The **faithful distributed execution of Algorithm 1** on the
+/// synchronous network simulator.
+///
+/// Phase I (one round): every query node broadcasts its measured result
+/// σ̂_j to its distinct neighbors; each agent accumulates Ψ_i and Δ*_i and
+/// forms its score record (Ψ_i − Δ*_i·k/2, i).
+///
+/// Phase II (depth(Batcher) rounds): the agents sort their records
+/// descending by score over Batcher's odd-even mergesort — every
+/// comparator is a pairwise record exchange, every schedule layer one
+/// communication round.  A final round notifies each agent of its rank;
+/// agents with rank < k output 1 (Algorithm 1, lines 12–16).
+///
+/// The comparator schedule is static public knowledge (a function of `n`
+/// alone), so looking it up is local computation, not communication.
+/// The tie-break (score desc, agent id asc) matches
+/// `core::select_top_k`, so this execution is **bit-identical** to the
+/// centralized reference — the integration tests assert exactly that.
+
+#include "core/instance.hpp"
+#include "netsim/network.hpp"
+#include "netsim/sorting_network.hpp"
+#include "util/types.hpp"
+
+namespace npd::netsim {
+
+/// Result of a distributed run.
+struct DistributedGreedyResult {
+  /// Per-agent output bits (exactly k ones).
+  BitVector estimate;
+  /// Network cost of the full protocol (measure + sort + notify).
+  NetStats stats;
+  /// Rounds spent inside the sorting network (= schedule depth).
+  Index sorting_depth = 0;
+};
+
+/// Execute Algorithm 1 distributedly on a pre-measured instance (the
+/// query results in `instance.results` are what the query nodes
+/// broadcast, enabling exact comparison with the centralized path).
+[[nodiscard]] DistributedGreedyResult run_distributed_greedy(
+    const core::Instance& instance);
+
+}  // namespace npd::netsim

@@ -1,0 +1,155 @@
+#include "netsim/distributed_topk.hpp"
+
+#include <memory>
+#include <vector>
+
+#include "netsim/sorting_network.hpp"
+#include "util/assert.hpp"
+
+namespace npd::netsim {
+
+namespace {
+
+struct Record {
+  double score = 0.0;
+  Index orig_id = -1;
+};
+
+bool sorts_before(const Record& a, const Record& b) {
+  if (a.score != b.score) {
+    return a.score > b.score;
+  }
+  return a.orig_id < b.orig_id;
+}
+
+/// Shared static schedule knowledge (same pattern as distributed_greedy).
+struct Directory {
+  const SortingSchedule* schedule = nullptr;
+  Index current_layer = -1;
+  std::vector<Index> partner;
+  std::vector<Bit> is_lo;
+
+  void load(Index layer) {
+    const Index n = schedule->wire_count();
+    partner.assign(static_cast<std::size_t>(n), -1);
+    is_lo.assign(static_cast<std::size_t>(n), 0);
+    if (layer >= 0 && layer < schedule->depth()) {
+      for (const Comparator& c : schedule->layer(layer)) {
+        partner[static_cast<std::size_t>(c.lo)] = c.hi;
+        partner[static_cast<std::size_t>(c.hi)] = c.lo;
+        is_lo[static_cast<std::size_t>(c.lo)] = 1;
+      }
+    }
+    current_layer = layer;
+  }
+};
+
+class SortNode final : public Node {
+ public:
+  SortNode(Index self, double score, const Directory* directory, Index depth)
+      : self_(self),
+        directory_(directory),
+        depth_(depth),
+        held_{.score = score, .orig_id = self} {}
+
+  void on_round(Index round, std::span<const Message> received,
+                NetworkContext& ctx) override {
+    // Resolve the previous layer's exchange.
+    for (const Message& msg : received) {
+      if (msg.tag != Tag::SortExchange) {
+        continue;
+      }
+      const Record partner_record{.score = msg.a,
+                                  .orig_id = static_cast<Index>(msg.b)};
+      const bool mine_first = sorts_before(held_, partner_record);
+      if (pending_is_lo_) {
+        held_ = mine_first ? held_ : partner_record;
+      } else {
+        held_ = mine_first ? partner_record : held_;
+      }
+    }
+
+    if (round < depth_) {
+      NPD_ASSERT(directory_->current_layer == round);
+      const Index partner =
+          directory_->partner[static_cast<std::size_t>(self_)];
+      if (partner >= 0) {
+        pending_is_lo_ =
+            directory_->is_lo[static_cast<std::size_t>(self_)] != 0;
+        ctx.send(self_, partner, Tag::SortExchange, held_.score,
+                 static_cast<double>(held_.orig_id));
+      }
+    }
+    if (round == depth_) {
+      ctx.send(self_, held_.orig_id, Tag::RankNotify,
+               static_cast<double>(self_));
+    }
+    if (round == depth_ + 1) {
+      for (const Message& msg : received) {
+        if (msg.tag == Tag::RankNotify) {
+          rank_ = static_cast<Index>(msg.a);
+        }
+      }
+    }
+  }
+
+  [[nodiscard]] Index rank() const { return rank_; }
+
+ private:
+  Index self_;
+  const Directory* directory_;
+  Index depth_;
+  Record held_;
+  bool pending_is_lo_ = false;
+  Index rank_ = -1;
+};
+
+}  // namespace
+
+DistributedTopKResult run_distributed_topk(std::span<const double> scores,
+                                           Index k) {
+  const Index n = static_cast<Index>(scores.size());
+  NPD_CHECK(n > 0);
+  NPD_CHECK(k >= 0 && k <= n);
+
+  const SortingSchedule schedule = make_odd_even_schedule(n);
+  Directory directory;
+  directory.schedule = &schedule;
+
+  Network network;
+  std::vector<SortNode*> nodes;
+  nodes.reserve(static_cast<std::size_t>(n));
+  for (Index i = 0; i < n; ++i) {
+    auto node = std::make_unique<SortNode>(
+        i, scores[static_cast<std::size_t>(i)], &directory, schedule.depth());
+    nodes.push_back(node.get());
+    (void)network.add_node(std::move(node));
+  }
+
+  // Layer l is sent during round l; the final two rounds carry the rank
+  // notifications.
+  const Index total_rounds = schedule.depth() + 2;
+  for (Index r = 0; r < total_rounds; ++r) {
+    if (r < schedule.depth()) {
+      directory.load(r);
+    }
+    (void)network.run_round();
+  }
+  NPD_CHECK_MSG(network.pending_messages() == 0,
+                "top-k protocol must end quiescent");
+
+  DistributedTopKResult result;
+  result.sorting_depth = schedule.depth();
+  result.stats = network.stats();
+  result.estimate.assign(static_cast<std::size_t>(n), Bit{0});
+  for (Index i = 0; i < n; ++i) {
+    const Index rank = nodes[static_cast<std::size_t>(i)]->rank();
+    NPD_CHECK_MSG(rank >= 0, "every agent must learn its rank");
+    if (rank < k) {
+      result.estimate[static_cast<std::size_t>(i)] = Bit{1};
+    }
+  }
+  return result;
+}
+
+}  // namespace npd::netsim

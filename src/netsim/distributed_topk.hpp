@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file distributed_topk.hpp
+/// A reusable distributed top-k selection protocol: agents hold one score
+/// each, sort themselves descending over Batcher's odd-even mergesort
+/// (one communication round per comparator layer, records travel as
+/// (score, id) pairs), learn their rank, and output 1 iff rank < k.
+///
+/// This is Phase II of Algorithm 1 in isolation; the distributed AMP
+/// baseline reuses it to round its final estimate to exactly k ones with
+/// the same tie-breaking as `core::select_top_k` (score desc, id asc),
+/// so both distributed pipelines are bit-comparable with their
+/// centralized references.
+
+#include <span>
+
+#include "netsim/network.hpp"
+#include "util/types.hpp"
+
+namespace npd::netsim {
+
+/// Result of a distributed top-k run.
+struct DistributedTopKResult {
+  /// estimate[i] = 1 iff agent i's score ranks among the k largest.
+  BitVector estimate;
+  /// Traffic of the sort + rank-notification phases.
+  NetStats stats;
+  /// Comparator depth of the sorting network used.
+  Index sorting_depth = 0;
+};
+
+/// Run the protocol for the given per-agent scores.
+[[nodiscard]] DistributedTopKResult run_distributed_topk(
+    std::span<const double> scores, Index k);
+
+}  // namespace npd::netsim

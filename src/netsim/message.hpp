@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file message.hpp
+/// The wire format of the simulated network.
+///
+/// Messages are small PODs: a header (sender, receiver, tag) plus two
+/// doubles of payload — enough for every protocol in this repository
+/// (query results, (score, id) records, rank notifications).  Byte
+/// accounting assumes an 8-byte header word per field, mirroring a simple
+/// RPC encoding.
+
+#include "util/types.hpp"
+
+namespace npd::netsim {
+
+/// Protocol-defined message kinds.
+enum class Tag : int {
+  /// Phase I: query node -> agent, payload.a = measured σ̂_j.
+  QueryResult = 0,
+  /// Phase II: comparator exchange, payload.a = score, payload.b = orig id.
+  SortExchange = 1,
+  /// Phase II: final rank notification, payload.a = rank.
+  RankNotify = 2,
+  /// Free-form tag for user protocols built on the simulator.
+  User = 100,
+};
+
+/// One message in flight.
+struct Message {
+  Index from = -1;
+  Index to = -1;
+  Tag tag = Tag::User;
+  double a = 0.0;
+  double b = 0.0;
+};
+
+/// Accounted wire size of a message (header + payload).
+[[nodiscard]] constexpr Index message_bytes(const Message& /*msg*/) {
+  // from (8) + to (8) + tag (8, padded) + a (8) + b (8)
+  return 40;
+}
+
+}  // namespace npd::netsim

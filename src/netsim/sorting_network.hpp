@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file sorting_network.hpp
+/// Data-oblivious sorting networks — the mechanism Algorithm 1 (line 13)
+/// uses so the agents can sort themselves by score with only pairwise
+/// exchanges (the paper cites Batcher [6] and Santoro [44]).
+///
+/// We provide Batcher's **odd-even mergesort** for arbitrary `n` (the
+/// schedule the distributed protocol runs on) and the classic **bitonic
+/// sorter** (power-of-two wire count, padded applications) for
+/// comparison.  A schedule is a sequence of *layers*; comparators within
+/// a layer touch disjoint positions and can run in one communication
+/// round, so `depth()` is the round complexity of the sort phase.
+
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace npd::netsim {
+
+/// One compare-exchange gate: after application, the smaller value sits at
+/// `lo` and the larger at `hi` (ascending semantics; callers sort by
+/// arbitrary keys by choosing the key order).
+struct Comparator {
+  Index lo = 0;
+  Index hi = 0;
+};
+
+/// A layered comparator schedule over `wire_count` wires.
+class SortingSchedule {
+ public:
+  SortingSchedule(Index wire_count, std::vector<std::vector<Comparator>> layers);
+
+  [[nodiscard]] Index wire_count() const { return wire_count_; }
+  [[nodiscard]] Index depth() const {
+    return static_cast<Index>(layers_.size());
+  }
+  [[nodiscard]] Index comparator_count() const { return total_comparators_; }
+  [[nodiscard]] const std::vector<Comparator>& layer(Index l) const {
+    return layers_[static_cast<std::size_t>(l)];
+  }
+
+ private:
+  Index wire_count_;
+  std::vector<std::vector<Comparator>> layers_;
+  Index total_comparators_ = 0;
+};
+
+/// Batcher odd-even mergesort over exactly `n` wires (any `n ≥ 1`).
+/// Depth Θ(log² n), comparators Θ(n log² n).
+[[nodiscard]] SortingSchedule make_odd_even_schedule(Index n);
+
+/// Bitonic sorter.  The wire count is the next power of two ≥ `n`;
+/// `apply_schedule` pads with +∞ so shorter inputs still sort correctly.
+[[nodiscard]] SortingSchedule make_bitonic_schedule(Index n);
+
+/// Run the schedule on `values` (ascending).  `values.size()` may be less
+/// than the wire count; missing wires are padded with +∞ internally.
+void apply_schedule(const SortingSchedule& schedule,
+                    std::vector<double>& values);
+
+/// Next power of two ≥ `n` (n ≥ 1).
+[[nodiscard]] Index next_pow2(Index n);
+
+}  // namespace npd::netsim

@@ -1,0 +1,185 @@
+#pragma once
+
+/// \file channel.hpp
+/// The noise-channel abstraction: how a query node's reading of the
+/// sampled agents' bits is corrupted.
+///
+/// Section II of the paper defines two models:
+///   * **noisy channel** — every edge contribution flips independently
+///     (false negative with probability `p`, false positive with `q`);
+///   * **noisy query**   — the exact sum plus Gaussian `N(0, λ²)`.
+/// We add the noiseless channel (the baseline of [29]) and a bounded
+/// adversarial perturbation (an extension in the spirit of [39]).
+///
+/// A channel also exposes its *linearization* — the affine-Gaussian
+/// surrogate `σ̂ ≈ offset + gain·S + N(0, noise_var)` of the measurement
+/// given the true (multiplicity-weighted) pool sum `S`.  The AMP baseline
+/// and the two-stage refinement use it to whiten observations.
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "rand/rng.hpp"
+#include "util/types.hpp"
+
+namespace npd::noise {
+
+/// Affine-Gaussian surrogate of a channel for a query of size `gamma` on a
+/// population with `k` of `n` bits set:
+///   observed ≈ offset + gain * true_sum + N(0, noise_var).
+struct Linearization {
+  double gain = 1.0;
+  double offset = 0.0;
+  double noise_var = 0.0;
+};
+
+/// Interface for all measurement channels.
+///
+/// `measure` receives the sampled multiset (agent ids, with multiplicity,
+/// in sampling order) and the hidden bit vector, and returns the noisy
+/// query result σ̂_a.  Implementations must draw all randomness from `rng`.
+class NoiseChannel {
+ public:
+  virtual ~NoiseChannel() = default;
+
+  NoiseChannel() = default;
+  NoiseChannel(const NoiseChannel&) = delete;
+  NoiseChannel& operator=(const NoiseChannel&) = delete;
+
+  /// Perform one noisy measurement of the pooled sum.
+  [[nodiscard]] virtual double measure(std::span<const Index> sampled,
+                                       std::span<const Bit> bits,
+                                       rand::Rng& rng) const = 0;
+
+  /// Affine-Gaussian surrogate for a pool of `gamma` slots drawn from a
+  /// population of `n` agents with `k` ones.
+  [[nodiscard]] virtual Linearization linearization(Index n, Index k,
+                                                    Index gamma) const = 0;
+
+  /// Human-readable channel name for tables and logs.
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// σ̂ = Σ σ(v_i): the idealized noiseless channel of [29].
+class NoiselessChannel final : public NoiseChannel {
+ public:
+  [[nodiscard]] double measure(std::span<const Index> sampled,
+                               std::span<const Bit> bits,
+                               rand::Rng& rng) const override;
+  [[nodiscard]] Linearization linearization(Index n, Index k,
+                                            Index gamma) const override;
+  [[nodiscard]] std::string name() const override { return "noiseless"; }
+};
+
+/// The paper's **noisy channel model**: each edge's bit flips
+/// independently — a 1 is read as 0 with probability `p` (false negative)
+/// and a 0 is read as 1 with probability `q` (false positive).
+/// `q = 0` gives the Z-channel (binary asymmetric channel).
+class BitFlipChannel final : public NoiseChannel {
+ public:
+  /// Requires `p, q ∈ [0, 1)` and `p + q < 1` (the paper's assumption).
+  BitFlipChannel(double p, double q);
+
+  [[nodiscard]] double measure(std::span<const Index> sampled,
+                               std::span<const Bit> bits,
+                               rand::Rng& rng) const override;
+  [[nodiscard]] Linearization linearization(Index n, Index k,
+                                            Index gamma) const override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] double p() const { return p_; }
+  [[nodiscard]] double q() const { return q_; }
+  [[nodiscard]] bool is_z_channel() const { return q_ == 0.0; }
+
+ private:
+  double p_;
+  double q_;
+};
+
+/// The paper's **noisy query model, per-sample interpretation**
+/// (Section II-B): each of the Γ probes in the pool carries an
+/// independent N(0, λ²·Γ⁻¹) fluctuation — "the inaccuracy of pipetting
+/// machines".  The total query noise is then N(0, λ²): distributionally
+/// identical to `GaussianQueryChannel`, but the noise is physically
+/// attached to samples rather than to the readout (verified equivalent
+/// in the tests).
+class PerSampleGaussianChannel final : public NoiseChannel {
+ public:
+  explicit PerSampleGaussianChannel(double lambda);
+
+  [[nodiscard]] double measure(std::span<const Index> sampled,
+                               std::span<const Bit> bits,
+                               rand::Rng& rng) const override;
+  [[nodiscard]] Linearization linearization(Index n, Index k,
+                                            Index gamma) const override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] double lambda() const { return lambda_; }
+
+ private:
+  double lambda_;
+};
+
+/// The paper's **noisy query model**: σ̂ = Σ σ(v_i) + N(0, λ²).
+class GaussianQueryChannel final : public NoiseChannel {
+ public:
+  explicit GaussianQueryChannel(double lambda);
+
+  [[nodiscard]] double measure(std::span<const Index> sampled,
+                               std::span<const Bit> bits,
+                               rand::Rng& rng) const override;
+  [[nodiscard]] Linearization linearization(Index n, Index k,
+                                            Index gamma) const override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] double lambda() const { return lambda_; }
+
+ private:
+  double lambda_;
+};
+
+/// Extension: bounded adversarial perturbation (in the spirit of the
+/// adversarially-perturbed measurements studied by Li & Wang [39]).
+/// Every query result is shifted by at most `budget`; the `AntiSignal`
+/// strategy pushes each result toward its population mean Γk/n, which is
+/// the perturbation that most effectively shrinks the score separation.
+class AdversarialChannel final : public NoiseChannel {
+ public:
+  enum class Strategy {
+    /// Uniform[-budget, budget] — a benign reference point.
+    RandomSign,
+    /// Shift by `budget` toward the mean pool sum Γ·k/n.
+    AntiSignal,
+  };
+
+  AdversarialChannel(double budget, Strategy strategy, Index n, Index k);
+
+  [[nodiscard]] double measure(std::span<const Index> sampled,
+                               std::span<const Bit> bits,
+                               rand::Rng& rng) const override;
+  [[nodiscard]] Linearization linearization(Index n, Index k,
+                                            Index gamma) const override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] double budget() const { return budget_; }
+
+ private:
+  double budget_;
+  Strategy strategy_;
+  Index n_;
+  Index k_;
+};
+
+/// Factory helpers (covariant `unique_ptr` returns for composition).
+[[nodiscard]] std::unique_ptr<NoiseChannel> make_noiseless();
+[[nodiscard]] std::unique_ptr<NoiseChannel> make_z_channel(double p);
+[[nodiscard]] std::unique_ptr<NoiseChannel> make_bitflip_channel(double p,
+                                                                 double q);
+[[nodiscard]] std::unique_ptr<NoiseChannel> make_gaussian_channel(double lambda);
+
+/// Exact pooled sum with multiplicity: Σ_{v in sampled} σ(v).
+[[nodiscard]] Index exact_pool_sum(std::span<const Index> sampled,
+                                   std::span<const Bit> bits);
+
+}  // namespace npd::noise

@@ -1,0 +1,212 @@
+#include "noise/channel.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace npd::noise {
+
+Index exact_pool_sum(std::span<const Index> sampled,
+                     std::span<const Bit> bits) {
+  Index sum = 0;
+  for (const Index agent : sampled) {
+    NPD_ASSERT(agent >= 0 && static_cast<std::size_t>(agent) < bits.size());
+    sum += bits[static_cast<std::size_t>(agent)];
+  }
+  return sum;
+}
+
+// ---------------------------------------------------------------- Noiseless
+
+double NoiselessChannel::measure(std::span<const Index> sampled,
+                                 std::span<const Bit> bits,
+                                 rand::Rng& /*rng*/) const {
+  return static_cast<double>(exact_pool_sum(sampled, bits));
+}
+
+Linearization NoiselessChannel::linearization(Index /*n*/, Index /*k*/,
+                                              Index /*gamma*/) const {
+  return Linearization{.gain = 1.0, .offset = 0.0, .noise_var = 0.0};
+}
+
+// ------------------------------------------------------------ Bit-flip (p,q)
+
+BitFlipChannel::BitFlipChannel(double p, double q) : p_(p), q_(q) {
+  NPD_CHECK_MSG(p >= 0.0 && p < 1.0, "false-negative rate p must be in [0,1)");
+  NPD_CHECK_MSG(q >= 0.0 && q < 1.0, "false-positive rate q must be in [0,1)");
+  NPD_CHECK_MSG(p + q < 1.0, "the paper assumes p + q < 1");
+}
+
+double BitFlipChannel::measure(std::span<const Index> sampled,
+                               std::span<const Bit> bits,
+                               rand::Rng& rng) const {
+  // Every edge is transmitted through the channel independently — this is
+  // S(x) of Section II-A.  An agent sampled twice is transmitted twice with
+  // independent noise ("if the same agent gets queried multiple times, the
+  // noise is independent").
+  Index observed = 0;
+  for (const Index agent : sampled) {
+    const bool bit = bits[static_cast<std::size_t>(agent)] != 0;
+    const double prob_one = bit ? (1.0 - p_) : q_;
+    observed += rng.bernoulli(prob_one) ? 1 : 0;
+  }
+  return static_cast<double>(observed);
+}
+
+Linearization BitFlipChannel::linearization(Index n, Index k,
+                                            Index gamma) const {
+  // Per edge: contributes Be(1-p) if the agent is a one, Be(q) otherwise.
+  // With S one-edges in a pool of gamma slots:
+  //   E[obs | S]   = (1-p)S + q(gamma - S) = q*gamma + (1-p-q)S
+  //   Var[obs | S] = S p(1-p) + (gamma-S) q(1-q);  we evaluate it at the
+  //   typical S = gamma*k/n (the binomial mean).
+  NPD_CHECK(n > 0);
+  const double frac_ones = static_cast<double>(k) / static_cast<double>(n);
+  const double expected_one_edges = static_cast<double>(gamma) * frac_ones;
+  const double expected_zero_edges =
+      static_cast<double>(gamma) * (1.0 - frac_ones);
+  return Linearization{
+      .gain = 1.0 - p_ - q_,
+      .offset = q_ * static_cast<double>(gamma),
+      .noise_var = expected_one_edges * p_ * (1.0 - p_) +
+                   expected_zero_edges * q_ * (1.0 - q_)};
+}
+
+std::string BitFlipChannel::name() const {
+  std::ostringstream oss;
+  if (is_z_channel()) {
+    oss << "z-channel(p=" << p_ << ")";
+  } else {
+    oss << "noisy-channel(p=" << p_ << ",q=" << q_ << ")";
+  }
+  return oss.str();
+}
+
+// ------------------------------------------------------------ Gaussian query
+
+GaussianQueryChannel::GaussianQueryChannel(double lambda) : lambda_(lambda) {
+  NPD_CHECK_MSG(lambda >= 0.0, "noise level lambda must be nonnegative");
+}
+
+double GaussianQueryChannel::measure(std::span<const Index> sampled,
+                                     std::span<const Bit> bits,
+                                     rand::Rng& rng) const {
+  const double exact = static_cast<double>(exact_pool_sum(sampled, bits));
+  return rng.gaussian(exact, lambda_);
+}
+
+Linearization GaussianQueryChannel::linearization(Index /*n*/, Index /*k*/,
+                                                  Index /*gamma*/) const {
+  return Linearization{
+      .gain = 1.0, .offset = 0.0, .noise_var = lambda_ * lambda_};
+}
+
+std::string GaussianQueryChannel::name() const {
+  std::ostringstream oss;
+  oss << "noisy-query(lambda=" << lambda_ << ")";
+  return oss.str();
+}
+
+// ---------------------------------------------------- Per-sample Gaussian
+
+PerSampleGaussianChannel::PerSampleGaussianChannel(double lambda)
+    : lambda_(lambda) {
+  NPD_CHECK_MSG(lambda >= 0.0, "noise level lambda must be nonnegative");
+}
+
+double PerSampleGaussianChannel::measure(std::span<const Index> sampled,
+                                         std::span<const Bit> bits,
+                                         rand::Rng& rng) const {
+  NPD_CHECK_MSG(!sampled.empty(), "pool must not be empty");
+  // Each probe fluctuates by N(0, λ²/Γ); Γ independent fluctuations sum
+  // to N(0, λ²) — the equivalence stated in Section II-B.
+  const double per_sample_stddev =
+      lambda_ / std::sqrt(static_cast<double>(sampled.size()));
+  double total = 0.0;
+  for (const Index agent : sampled) {
+    total += static_cast<double>(bits[static_cast<std::size_t>(agent)]) +
+             rng.gaussian(0.0, per_sample_stddev);
+  }
+  return total;
+}
+
+Linearization PerSampleGaussianChannel::linearization(Index /*n*/,
+                                                      Index /*k*/,
+                                                      Index /*gamma*/) const {
+  return Linearization{
+      .gain = 1.0, .offset = 0.0, .noise_var = lambda_ * lambda_};
+}
+
+std::string PerSampleGaussianChannel::name() const {
+  std::ostringstream oss;
+  oss << "per-sample-gaussian(lambda=" << lambda_ << ")";
+  return oss.str();
+}
+
+// ------------------------------------------------------------- Adversarial
+
+AdversarialChannel::AdversarialChannel(double budget, Strategy strategy,
+                                       Index n, Index k)
+    : budget_(budget), strategy_(strategy), n_(n), k_(k) {
+  NPD_CHECK_MSG(budget >= 0.0, "adversarial budget must be nonnegative");
+  NPD_CHECK(n > 0);
+  NPD_CHECK(k >= 0 && k <= n);
+}
+
+double AdversarialChannel::measure(std::span<const Index> sampled,
+                                   std::span<const Bit> bits,
+                                   rand::Rng& rng) const {
+  const double exact = static_cast<double>(exact_pool_sum(sampled, bits));
+  switch (strategy_) {
+    case Strategy::RandomSign:
+      return exact + (2.0 * rng.uniform_real() - 1.0) * budget_;
+    case Strategy::AntiSignal: {
+      const double mean = static_cast<double>(sampled.size()) *
+                          static_cast<double>(k_) / static_cast<double>(n_);
+      // Move the result toward the population mean but never past it —
+      // overshooting would itself leak information.
+      const double shift = std::clamp(mean - exact, -budget_, budget_);
+      return exact + shift;
+    }
+  }
+  NPD_CHECK_MSG(false, "unreachable: unknown adversary strategy");
+  return exact;
+}
+
+Linearization AdversarialChannel::linearization(Index /*n*/, Index /*k*/,
+                                                Index /*gamma*/) const {
+  // The adversary is not Gaussian; the variance of Uniform[-b, b] (b²/3)
+  // is the natural surrogate and is exact for the RandomSign strategy.
+  return Linearization{.gain = 1.0,
+                       .offset = 0.0,
+                       .noise_var = budget_ * budget_ / 3.0};
+}
+
+std::string AdversarialChannel::name() const {
+  std::ostringstream oss;
+  oss << "adversarial(budget=" << budget_ << ","
+      << (strategy_ == Strategy::RandomSign ? "random" : "anti-signal") << ")";
+  return oss.str();
+}
+
+// ---------------------------------------------------------------- Factories
+
+std::unique_ptr<NoiseChannel> make_noiseless() {
+  return std::make_unique<NoiselessChannel>();
+}
+
+std::unique_ptr<NoiseChannel> make_z_channel(double p) {
+  return std::make_unique<BitFlipChannel>(p, 0.0);
+}
+
+std::unique_ptr<NoiseChannel> make_bitflip_channel(double p, double q) {
+  return std::make_unique<BitFlipChannel>(p, q);
+}
+
+std::unique_ptr<NoiseChannel> make_gaussian_channel(double lambda) {
+  return std::make_unique<GaussianQueryChannel>(lambda);
+}
+
+}  // namespace npd::noise

@@ -1,0 +1,62 @@
+#include "noise/estimation.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace npd::noise {
+
+double results_mean(std::span<const double> results) {
+  NPD_CHECK_MSG(!results.empty(), "need at least one query result");
+  double acc = 0.0;
+  for (const double r : results) {
+    acc += r;
+  }
+  return acc / static_cast<double>(results.size());
+}
+
+double results_variance(std::span<const double> results) {
+  NPD_CHECK_MSG(results.size() >= 2, "need at least two query results");
+  const double mean = results_mean(results);
+  double acc = 0.0;
+  for (const double r : results) {
+    acc += (r - mean) * (r - mean);
+  }
+  return acc / static_cast<double>(results.size() - 1);
+}
+
+double estimate_k(std::span<const double> results, Index n, Index gamma,
+                  double gain, double offset) {
+  NPD_CHECK(n > 0);
+  NPD_CHECK(gamma > 0);
+  NPD_CHECK_MSG(gain > 0.0, "estimation needs a positive channel gain");
+  const double mean = results_mean(results);
+  const double k_hat = static_cast<double>(n) * (mean - offset) /
+                       (gain * static_cast<double>(gamma));
+  return std::clamp(k_hat, 0.0, static_cast<double>(n));
+}
+
+double estimate_z_channel_p(std::span<const double> results, Index n,
+                            Index gamma, Index k) {
+  NPD_CHECK(n > 0);
+  NPD_CHECK(gamma > 0);
+  NPD_CHECK_MSG(k > 0, "estimating p needs at least one 1-agent");
+  const double mean = results_mean(results);
+  const double p_hat =
+      1.0 - static_cast<double>(n) * mean /
+                (static_cast<double>(gamma) * static_cast<double>(k));
+  return std::clamp(p_hat, 0.0, 1.0 - 1e-12);
+}
+
+double estimate_lambda_squared(std::span<const double> results, Index n,
+                               Index gamma, Index k) {
+  NPD_CHECK(n > 0);
+  NPD_CHECK(gamma > 0);
+  NPD_CHECK(k >= 0 && k <= n);
+  const double frac = static_cast<double>(k) / static_cast<double>(n);
+  const double pool_var = static_cast<double>(gamma) * frac * (1.0 - frac);
+  const double var = results_variance(results);
+  return std::max(0.0, var - pool_var);
+}
+
+}  // namespace npd::noise

@@ -1,0 +1,39 @@
+#include "pooling/ground_truth.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rand/distributions.hpp"
+#include "util/assert.hpp"
+
+namespace npd::pooling {
+
+GroundTruth make_ground_truth(Index n, Index k, rand::Rng& rng) {
+  NPD_CHECK_MSG(n > 0, "need at least one agent");
+  NPD_CHECK_MSG(k >= 0 && k <= n, "k must lie in [0, n]");
+
+  GroundTruth truth;
+  truth.bits.assign(static_cast<std::size_t>(n), Bit{0});
+  truth.ones = rand::sample_without_replacement(rng, n, k);
+  for (const Index i : truth.ones) {
+    truth.bits[static_cast<std::size_t>(i)] = Bit{1};
+  }
+  return truth;
+}
+
+Index sublinear_k(Index n, double theta) {
+  NPD_CHECK_MSG(theta > 0.0 && theta < 1.0, "theta must lie in (0, 1)");
+  NPD_CHECK(n > 0);
+  const double raw = std::pow(static_cast<double>(n), theta);
+  const Index k = static_cast<Index>(std::llround(raw));
+  return std::clamp<Index>(k, 1, n);
+}
+
+Index linear_k(Index n, double zeta) {
+  NPD_CHECK_MSG(zeta > 0.0 && zeta < 1.0, "zeta must lie in (0, 1)");
+  NPD_CHECK(n > 0);
+  const Index k = static_cast<Index>(std::llround(zeta * static_cast<double>(n)));
+  return std::clamp<Index>(k, 1, n);
+}
+
+}  // namespace npd::pooling

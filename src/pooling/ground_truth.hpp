@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file ground_truth.hpp
+/// The hidden state vector σ and the two sparsity regimes of the paper.
+///
+/// Out of `n` agents exactly `k` hold bit 1; σ is uniform over all binary
+/// vectors of Hamming weight `k` (Section II of the paper).  The paper
+/// distinguishes the **sublinear** regime `k = n^θ` (early-pandemic
+/// screening, rare-variant detection) and the **linear** regime `k = ζn`
+/// (traffic monitoring, confidential data transfer).
+
+#include <vector>
+
+#include "rand/rng.hpp"
+#include "util/types.hpp"
+
+namespace npd::pooling {
+
+/// The hidden assignment σ ∈ {0,1}^n with |σ| = k.
+struct GroundTruth {
+  /// Per-agent hidden bit; size `n`.
+  BitVector bits;
+  /// Sorted indices of the agents with bit 1; size `k`.
+  std::vector<Index> ones;
+
+  [[nodiscard]] Index n() const { return static_cast<Index>(bits.size()); }
+  [[nodiscard]] Index k() const { return static_cast<Index>(ones.size()); }
+};
+
+/// Sample σ uniformly among weight-`k` vectors of length `n`.
+[[nodiscard]] GroundTruth make_ground_truth(Index n, Index k, rand::Rng& rng);
+
+/// Number of 1-agents in the sublinear regime `k = round(n^θ)`, clamped
+/// to `[1, n]`.  The paper's evaluation fixes θ = 0.25.
+[[nodiscard]] Index sublinear_k(Index n, double theta);
+
+/// Number of 1-agents in the linear regime `k = round(ζ·n)`, clamped to
+/// `[1, n]`.
+[[nodiscard]] Index linear_k(Index n, double zeta);
+
+}  // namespace npd::pooling

@@ -1,0 +1,174 @@
+#include "pooling/pooling_graph.hpp"
+
+#include <algorithm>
+
+#include "rand/distributions.hpp"
+#include "util/assert.hpp"
+
+namespace npd::pooling {
+
+std::span<const Index> PoolingGraph::query_multiset(Index j) const {
+  NPD_ASSERT(j >= 0 && j < num_queries());
+  const auto lo = static_cast<std::size_t>(query_offsets_[static_cast<std::size_t>(j)]);
+  const auto hi =
+      static_cast<std::size_t>(query_offsets_[static_cast<std::size_t>(j) + 1]);
+  return {query_agents_.data() + lo, hi - lo};
+}
+
+std::span<const Index> PoolingGraph::query_distinct(Index j) const {
+  NPD_ASSERT(j >= 0 && j < num_queries());
+  const auto lo =
+      static_cast<std::size_t>(distinct_offsets_[static_cast<std::size_t>(j)]);
+  const auto hi =
+      static_cast<std::size_t>(distinct_offsets_[static_cast<std::size_t>(j) + 1]);
+  return {distinct_agents_.data() + lo, hi - lo};
+}
+
+std::span<const Index> PoolingGraph::query_multiplicity(Index j) const {
+  NPD_ASSERT(j >= 0 && j < num_queries());
+  const auto lo =
+      static_cast<std::size_t>(distinct_offsets_[static_cast<std::size_t>(j)]);
+  const auto hi =
+      static_cast<std::size_t>(distinct_offsets_[static_cast<std::size_t>(j) + 1]);
+  return {distinct_counts_.data() + lo, hi - lo};
+}
+
+std::span<const Index> PoolingGraph::agent_queries(Index i) const {
+  NPD_ASSERT(i >= 0 && i < n_);
+  const auto lo = static_cast<std::size_t>(agent_offsets_[static_cast<std::size_t>(i)]);
+  const auto hi =
+      static_cast<std::size_t>(agent_offsets_[static_cast<std::size_t>(i) + 1]);
+  return {agent_query_ids_.data() + lo, hi - lo};
+}
+
+Index PoolingGraph::multiplicity(Index j, Index i) const {
+  const auto agents = query_distinct(j);
+  const auto counts = query_multiplicity(j);
+  const auto it = std::lower_bound(agents.begin(), agents.end(), i);
+  if (it == agents.end() || *it != i) {
+    return 0;
+  }
+  return counts[static_cast<std::size_t>(it - agents.begin())];
+}
+
+PoolingGraphBuilder::PoolingGraphBuilder(Index n) : n_(n) {
+  NPD_CHECK_MSG(n > 0, "graph needs at least one agent");
+  graph_.n_ = n;
+  graph_.delta_.assign(static_cast<std::size_t>(n), 0);
+}
+
+Index PoolingGraphBuilder::add_query(std::span<const Index> sampled_agents) {
+  NPD_CHECK_MSG(!sampled_agents.empty(), "query must sample at least one agent");
+
+  for (const Index agent : sampled_agents) {
+    NPD_CHECK_MSG(agent >= 0 && agent < n_, "agent id out of range");
+    graph_.query_agents_.push_back(agent);
+    ++graph_.delta_[static_cast<std::size_t>(agent)];
+  }
+  graph_.query_offsets_.push_back(
+      static_cast<Index>(graph_.query_agents_.size()));
+
+  // Deduplicate into (agent, multiplicity), sorted by agent id.
+  std::vector<Index> sorted(sampled_agents.begin(), sampled_agents.end());
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < sorted.size();) {
+    std::size_t run = i;
+    while (run < sorted.size() && sorted[run] == sorted[i]) {
+      ++run;
+    }
+    graph_.distinct_agents_.push_back(sorted[i]);
+    graph_.distinct_counts_.push_back(static_cast<Index>(run - i));
+    i = run;
+  }
+  graph_.distinct_offsets_.push_back(
+      static_cast<Index>(graph_.distinct_agents_.size()));
+
+  return static_cast<Index>(graph_.query_offsets_.size()) - 2;
+}
+
+Index PoolingGraphBuilder::add_random_query(const QueryDesign& design,
+                                            rand::Rng& rng) {
+  const auto sampled = sample_query(design, n_, rng);
+  return add_query(sampled);
+}
+
+Index PoolingGraphBuilder::num_queries_so_far() const {
+  return static_cast<Index>(graph_.query_offsets_.size()) - 1;
+}
+
+PoolingGraph PoolingGraphBuilder::build() {
+  const Index m = num_queries_so_far();
+  const auto n = static_cast<std::size_t>(n_);
+
+  // Counting pass over distinct incidences, then prefix sums, then fill —
+  // the classic two-pass CSR transpose.
+  std::vector<Index> counts(n, 0);
+  for (Index j = 0; j < m; ++j) {
+    for (const Index agent : graph_.query_distinct(j)) {
+      ++counts[static_cast<std::size_t>(agent)];
+    }
+  }
+  graph_.agent_offsets_.assign(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    graph_.agent_offsets_[i + 1] = graph_.agent_offsets_[i] + counts[i];
+  }
+  graph_.agent_query_ids_.assign(
+      static_cast<std::size_t>(graph_.agent_offsets_[n]), 0);
+  std::vector<Index> cursor(graph_.agent_offsets_.begin(),
+                            graph_.agent_offsets_.end() - 1);
+  for (Index j = 0; j < m; ++j) {
+    for (const Index agent : graph_.query_distinct(j)) {
+      graph_.agent_query_ids_[static_cast<std::size_t>(
+          cursor[static_cast<std::size_t>(agent)]++)] = j;
+    }
+  }
+  // Query ids were appended in ascending j, so each agent's list is sorted.
+
+  PoolingGraph result = std::move(graph_);
+  graph_ = PoolingGraph{};
+  graph_.n_ = n_;
+  graph_.delta_.assign(n, 0);
+  return result;
+}
+
+PoolingGraph make_pooling_graph(Index n, Index m, const QueryDesign& design,
+                                rand::Rng& rng) {
+  NPD_CHECK(m >= 0);
+  PoolingGraphBuilder builder(n);
+  for (Index j = 0; j < m; ++j) {
+    (void)builder.add_random_query(design, rng);
+  }
+  return builder.build();
+}
+
+PoolingGraph make_constant_column_weight_graph(Index n, Index m,
+                                               Index column_weight,
+                                               rand::Rng& rng) {
+  NPD_CHECK(n > 0);
+  NPD_CHECK(m > 0);
+  NPD_CHECK_MSG(column_weight > 0 && column_weight <= m,
+                "column weight must lie in [1, m]");
+
+  // Each agent joins `column_weight` distinct queries chosen uniformly.
+  std::vector<std::vector<Index>> per_query(static_cast<std::size_t>(m));
+  for (Index i = 0; i < n; ++i) {
+    const auto queries = rand::sample_without_replacement(rng, m, column_weight);
+    for (const Index j : queries) {
+      per_query[static_cast<std::size_t>(j)].push_back(i);
+    }
+  }
+
+  PoolingGraphBuilder builder(n);
+  for (Index j = 0; j < m; ++j) {
+    auto& agents = per_query[static_cast<std::size_t>(j)];
+    if (agents.empty()) {
+      // Guarantee nonempty queries so downstream code never divides by a
+      // zero pool size: assign one uniform agent (negligible perturbation).
+      agents.push_back(rng.uniform_index(n));
+    }
+    (void)builder.add_query(agents);
+  }
+  return builder.build();
+}
+
+}  // namespace npd::pooling

@@ -1,0 +1,61 @@
+#include "pooling/query_design.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rand/distributions.hpp"
+#include "util/assert.hpp"
+
+namespace npd::pooling {
+
+QueryDesign paper_design(Index n) {
+  NPD_CHECK(n >= 2);
+  return QueryDesign{.gamma = n / 2, .mode = SamplingMode::WithReplacement};
+}
+
+QueryDesign fractional_design(Index n, double gamma_fraction,
+                              SamplingMode mode) {
+  NPD_CHECK(n >= 2);
+  NPD_CHECK_MSG(gamma_fraction > 0.0 && gamma_fraction <= 1.0,
+                "pool fraction must lie in (0, 1]");
+  const auto gamma = static_cast<Index>(
+      std::llround(gamma_fraction * static_cast<double>(n)));
+  return QueryDesign{.gamma = std::clamp<Index>(gamma, 1, n), .mode = mode};
+}
+
+std::vector<Index> sample_query(const QueryDesign& design, Index n,
+                                rand::Rng& rng) {
+  NPD_CHECK(n > 0);
+  NPD_CHECK_MSG(design.gamma > 0, "query size must be positive");
+  switch (design.mode) {
+    case SamplingMode::WithReplacement:
+      return rand::sample_with_replacement(rng, n, design.gamma);
+    case SamplingMode::WithoutReplacement:
+      NPD_CHECK_MSG(design.gamma <= n,
+                    "cannot sample more agents than exist without replacement");
+      return rand::sample_without_replacement(rng, n, design.gamma);
+    case SamplingMode::Bernoulli: {
+      NPD_CHECK_MSG(design.gamma <= n,
+                    "Bernoulli inclusion probability would exceed 1");
+      const double inclusion =
+          static_cast<double>(design.gamma) / static_cast<double>(n);
+      std::vector<Index> pool;
+      pool.reserve(static_cast<std::size_t>(design.gamma) +
+                   static_cast<std::size_t>(design.gamma) / 4 + 8);
+      for (Index agent = 0; agent < n; ++agent) {
+        if (rng.bernoulli(inclusion)) {
+          pool.push_back(agent);
+        }
+      }
+      if (pool.empty()) {
+        // Keep queries nonempty so downstream pool-size math is safe.
+        pool.push_back(rng.uniform_index(n));
+      }
+      return pool;
+    }
+  }
+  NPD_CHECK_MSG(false, "unreachable: unknown sampling mode");
+  return {};
+}
+
+}  // namespace npd::pooling

@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file query_design.hpp
+/// How a single query node chooses the agents it measures.
+///
+/// The paper's design (Section II): every query has size Γ = n/2 and picks
+/// its Γ agents **uniformly at random with replacement** — so the pooling
+/// graph is a bipartite *multigraph* and an agent can contribute to the
+/// same query result more than once.  For the ablation benches we also
+/// support sampling without replacement (a simple random Γ-subset) — the
+/// design used by much of the classical group-testing literature.
+
+#include <vector>
+
+#include "rand/rng.hpp"
+#include "util/types.hpp"
+
+namespace npd::pooling {
+
+/// Sampling discipline for a single query.
+enum class SamplingMode {
+  /// Γ i.i.d. uniform draws; multi-edges possible (the paper's model).
+  WithReplacement,
+  /// A uniform Γ-subset; all edges simple (classical design, ablation A2).
+  WithoutReplacement,
+  /// Every agent joins independently with probability Γ/n; pool size is
+  /// Binomial(n, Γ/n) — the i.i.d. Bernoulli design of the group-testing
+  /// literature [5].  Empty draws are padded with one uniform agent.
+  Bernoulli,
+};
+
+/// Parameters of the (non-adaptive) query design.
+struct QueryDesign {
+  /// Pool size Γ: number of agent slots per query.
+  Index gamma = 0;
+  /// Sampling discipline.
+  SamplingMode mode = SamplingMode::WithReplacement;
+};
+
+/// The design used throughout the paper: Γ = n/2, with replacement.
+[[nodiscard]] QueryDesign paper_design(Index n);
+
+/// A design with pool fraction `gamma_fraction` of `n` (ablation A1).
+[[nodiscard]] QueryDesign fractional_design(Index n, double gamma_fraction,
+                                            SamplingMode mode);
+
+/// Sample the multiset of agents for one query node.  The result has
+/// exactly `design.gamma` entries (with possible duplicates when sampling
+/// with replacement) in sampling order.
+[[nodiscard]] std::vector<Index> sample_query(const QueryDesign& design,
+                                              Index n, rand::Rng& rng);
+
+}  // namespace npd::pooling

@@ -1,0 +1,11 @@
+#include "rand/rng.hpp"
+
+// Header-only implementation; this translation unit anchors the library
+// and provides a home for future non-inline members.
+
+namespace npd::rand {
+
+static_assert(Rng::min() < Rng::max(),
+              "Rng must satisfy UniformRandomBitGenerator");
+
+}  // namespace npd::rand

@@ -1,0 +1,158 @@
+#include "util/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "util/assert.hpp"
+#include "util/csv.hpp"
+
+namespace npd {
+
+namespace {
+
+/// Apply the axis transform; returns NaN for values invalid on the axis.
+double transform(double v, AxisScale scale) {
+  if (!std::isfinite(v)) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  if (scale == AxisScale::Log10) {
+    if (v <= 0.0) {
+      return std::numeric_limits<double>::quiet_NaN();
+    }
+    return std::log10(v);
+  }
+  return v;
+}
+
+struct Range {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+
+  void include(double v) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  [[nodiscard]] bool valid() const { return lo <= hi; }
+  /// Pad degenerate ranges so every point maps inside the canvas.
+  void widen_if_flat() {
+    if (hi - lo < 1e-12) {
+      lo -= 0.5;
+      hi += 0.5;
+    }
+  }
+  [[nodiscard]] double fraction(double v) const {
+    return (v - lo) / (hi - lo);
+  }
+};
+
+}  // namespace
+
+std::string render_plot(const std::vector<PlotSeries>& series,
+                        const PlotOptions& options) {
+  NPD_CHECK_MSG(options.width >= 16 && options.height >= 4,
+                "plot canvas too small");
+
+  Range xr;
+  Range yr;
+  for (const PlotSeries& s : series) {
+    NPD_CHECK_MSG(s.x.size() == s.y.size(), "series x/y arity mismatch");
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      const double tx = transform(s.x[i], options.x_scale);
+      const double ty = transform(s.y[i], options.y_scale);
+      if (std::isnan(tx) || std::isnan(ty)) {
+        continue;
+      }
+      xr.include(tx);
+      yr.include(ty);
+    }
+  }
+
+  std::ostringstream out;
+  if (!options.title.empty()) {
+    out << options.title << '\n';
+  }
+  if (!xr.valid() || !yr.valid()) {
+    out << "(no plottable points)\n";
+    return out.str();
+  }
+  xr.widen_if_flat();
+  yr.widen_if_flat();
+
+  const auto w = static_cast<std::size_t>(options.width);
+  const auto h = static_cast<std::size_t>(options.height);
+  std::vector<std::string> canvas(h, std::string(w, ' '));
+
+  for (const PlotSeries& s : series) {
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      const double tx = transform(s.x[i], options.x_scale);
+      const double ty = transform(s.y[i], options.y_scale);
+      if (std::isnan(tx) || std::isnan(ty)) {
+        continue;
+      }
+      const auto col = static_cast<std::size_t>(std::lround(
+          xr.fraction(tx) * static_cast<double>(w - 1)));
+      const auto row_from_bottom = static_cast<std::size_t>(std::lround(
+          yr.fraction(ty) * static_cast<double>(h - 1)));
+      canvas[h - 1 - row_from_bottom][col] = s.marker;
+    }
+  }
+
+  const auto untransform = [](double v, AxisScale scale) {
+    return scale == AxisScale::Log10 ? std::pow(10.0, v) : v;
+  };
+
+  // y gutter: top and bottom tick labels.
+  const std::string y_hi = format_double(untransform(yr.hi, options.y_scale));
+  const std::string y_lo = format_double(untransform(yr.lo, options.y_scale));
+  const std::size_t gutter = std::max(y_hi.size(), y_lo.size()) + 1;
+
+  for (std::size_t r = 0; r < h; ++r) {
+    std::string label;
+    if (r == 0) {
+      label = y_hi;
+    } else if (r == h - 1) {
+      label = y_lo;
+    }
+    out << std::string(gutter - label.size(), ' ') << label << '|'
+        << canvas[r] << '\n';
+  }
+  out << std::string(gutter, ' ') << '+' << std::string(w, '-') << '\n';
+
+  const std::string x_lo = format_double(untransform(xr.lo, options.x_scale));
+  const std::string x_hi = format_double(untransform(xr.hi, options.x_scale));
+  std::string x_axis_line(gutter + 1 + w, ' ');
+  // Left tick.
+  for (std::size_t i = 0; i < x_lo.size() && gutter + 1 + i < x_axis_line.size();
+       ++i) {
+    x_axis_line[gutter + 1 + i] = x_lo[i];
+  }
+  // Right tick (right-aligned).
+  if (x_hi.size() <= w) {
+    const std::size_t start = gutter + 1 + w - x_hi.size();
+    for (std::size_t i = 0; i < x_hi.size(); ++i) {
+      x_axis_line[start + i] = x_hi[i];
+    }
+  }
+  out << x_axis_line << '\n';
+
+  // Axis labels and legend.
+  if (!options.x_label.empty() || !options.y_label.empty()) {
+    out << "  [x: " << options.x_label;
+    if (options.x_scale == AxisScale::Log10) {
+      out << " (log)";
+    }
+    out << ", y: " << options.y_label;
+    if (options.y_scale == AxisScale::Log10) {
+      out << " (log)";
+    }
+    out << "]\n";
+  }
+  for (const PlotSeries& s : series) {
+    out << "  " << s.marker << " " << s.label << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace npd

@@ -1,0 +1,76 @@
+#pragma once
+
+/// \file assert.hpp
+/// Contract-checking macros used throughout the library.
+///
+/// Following the C++ Core Guidelines (I.6/I.8, "Prefer Expects()/Ensures()
+/// for expressing preconditions"), we centralize all runtime contract checks
+/// here.  `NPD_CHECK` is always active (used for preconditions on public API
+/// boundaries and for conditions whose violation would corrupt results);
+/// `NPD_ASSERT` compiles away in release builds (used for internal
+/// invariants that are expensive to check).
+///
+/// Violations throw `npd::ContractViolation` rather than calling
+/// `std::abort` so that unit tests can assert on contract enforcement.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace npd {
+
+/// Exception thrown when a contract (precondition, postcondition or
+/// invariant) is violated.  Carries the failing expression and location.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void contract_failed(const char* kind, const char* expr,
+                                         const char* file, int line,
+                                         const std::string& message) {
+  std::ostringstream oss;
+  oss << kind << " failed: (" << expr << ") at " << file << ":" << line;
+  if (!message.empty()) {
+    oss << " — " << message;
+  }
+  throw ContractViolation(oss.str());
+}
+
+}  // namespace detail
+}  // namespace npd
+
+/// Always-on contract check.  Use on public API boundaries.
+#define NPD_CHECK(expr)                                                     \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      ::npd::detail::contract_failed("NPD_CHECK", #expr, __FILE__,          \
+                                     __LINE__, std::string{});              \
+    }                                                                       \
+  } while (false)
+
+/// Always-on contract check with an explanatory message.
+#define NPD_CHECK_MSG(expr, msg)                                            \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      ::npd::detail::contract_failed("NPD_CHECK", #expr, __FILE__,          \
+                                     __LINE__, (msg));                      \
+    }                                                                       \
+  } while (false)
+
+#ifdef NDEBUG
+#define NPD_ASSERT(expr) \
+  do {                   \
+  } while (false)
+#else
+/// Debug-only internal invariant check.
+#define NPD_ASSERT(expr)                                                    \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      ::npd::detail::contract_failed("NPD_ASSERT", #expr, __FILE__,         \
+                                     __LINE__, std::string{});              \
+    }                                                                       \
+  } while (false)
+#endif

@@ -1,0 +1,167 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/assert.hpp"
+
+namespace npd {
+
+CliParser::CliParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+const long long& CliParser::add_int(std::string name, long long def,
+                                    std::string help) {
+  NPD_CHECK_MSG(find(name) == nullptr, "duplicate option --" + name);
+  auto opt = std::make_unique<Option>();
+  opt->name = std::move(name);
+  opt->help = std::move(help);
+  opt->kind = Kind::Int;
+  opt->int_value = def;
+  opt->default_repr = std::to_string(def);
+  options_.push_back(std::move(opt));
+  return options_.back()->int_value;
+}
+
+const double& CliParser::add_double(std::string name, double def,
+                                    std::string help) {
+  NPD_CHECK_MSG(find(name) == nullptr, "duplicate option --" + name);
+  auto opt = std::make_unique<Option>();
+  opt->name = std::move(name);
+  opt->help = std::move(help);
+  opt->kind = Kind::Double;
+  opt->double_value = def;
+  std::ostringstream repr;
+  repr << def;
+  opt->default_repr = repr.str();
+  options_.push_back(std::move(opt));
+  return options_.back()->double_value;
+}
+
+const std::string& CliParser::add_string(std::string name, std::string def,
+                                         std::string help) {
+  NPD_CHECK_MSG(find(name) == nullptr, "duplicate option --" + name);
+  auto opt = std::make_unique<Option>();
+  opt->name = std::move(name);
+  opt->help = std::move(help);
+  opt->kind = Kind::String;
+  opt->string_value = std::move(def);
+  opt->default_repr = options_.empty() ? "" : "";
+  opt->default_repr = opt->string_value;
+  options_.push_back(std::move(opt));
+  return options_.back()->string_value;
+}
+
+const bool& CliParser::add_flag(std::string name, std::string help) {
+  NPD_CHECK_MSG(find(name) == nullptr, "duplicate option --" + name);
+  auto opt = std::make_unique<Option>();
+  opt->name = std::move(name);
+  opt->help = std::move(help);
+  opt->kind = Kind::Flag;
+  opt->flag_value = false;
+  opt->default_repr = "false";
+  options_.push_back(std::move(opt));
+  return options_.back()->flag_value;
+}
+
+CliParser::Option* CliParser::find(std::string_view name) {
+  for (auto& opt : options_) {
+    if (opt->name == name) {
+      return opt.get();
+    }
+  }
+  return nullptr;
+}
+
+void CliParser::set_from_string(Option& opt, std::string_view value) {
+  const std::string str(value);
+  switch (opt.kind) {
+    case Kind::Int: {
+      std::size_t pos = 0;
+      opt.int_value = std::stoll(str, &pos);
+      if (pos != str.size()) {
+        throw std::invalid_argument("--" + opt.name +
+                                    ": not an integer: " + str);
+      }
+      break;
+    }
+    case Kind::Double: {
+      std::size_t pos = 0;
+      opt.double_value = std::stod(str, &pos);
+      if (pos != str.size()) {
+        throw std::invalid_argument("--" + opt.name + ": not a number: " + str);
+      }
+      break;
+    }
+    case Kind::String:
+      opt.string_value = str;
+      break;
+    case Kind::Flag:
+      if (str == "true" || str == "1") {
+        opt.flag_value = true;
+      } else if (str == "false" || str == "0") {
+        opt.flag_value = false;
+      } else {
+        throw std::invalid_argument("--" + opt.name +
+                                    ": expected true/false, got: " + str);
+      }
+      break;
+  }
+}
+
+void CliParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg(argv[i]);
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(help_text().c_str(), stdout);
+      std::exit(0);
+    }
+    if (arg.substr(0, 2) != "--") {
+      throw std::invalid_argument("positional arguments not supported: " +
+                                  std::string(arg));
+    }
+    arg.remove_prefix(2);
+    std::string_view value;
+    bool has_value = false;
+    if (const auto eq = arg.find('='); eq != std::string_view::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      has_value = true;
+    }
+    Option* opt = find(arg);
+    if (opt == nullptr) {
+      throw std::invalid_argument("unknown option --" + std::string(arg));
+    }
+    if (opt->kind == Kind::Flag && !has_value) {
+      opt->flag_value = true;
+      continue;
+    }
+    if (!has_value) {
+      if (i + 1 >= argc) {
+        throw std::invalid_argument("missing value for --" + std::string(arg));
+      }
+      value = argv[++i];
+    }
+    set_from_string(*opt, value);
+  }
+}
+
+std::string CliParser::help_text() const {
+  std::ostringstream oss;
+  oss << program_ << " — " << description_ << "\n\nOptions:\n";
+  for (const auto& opt : options_) {
+    oss << "  --" << opt->name;
+    if (opt->kind != Kind::Flag) {
+      oss << " <value>";
+    }
+    oss << "\n      " << opt->help << " (default: " << opt->default_repr
+        << ")\n";
+  }
+  oss << "  --help\n      show this message\n";
+  return oss.str();
+}
+
+}  // namespace npd

@@ -1,0 +1,66 @@
+#include "util/csv.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+#include "util/assert.hpp"
+
+namespace npd {
+
+std::string format_double(double value) {
+  if (std::nearbyint(value) == value && std::fabs(value) < 1e15) {
+    // Integral values print without a fractional part for readability.
+    return std::to_string(static_cast<long long>(value));
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.12g", value);
+  return std::string(buf);
+}
+
+CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> header)
+    : out_(path), columns_(header.size()) {
+  if (!out_) {
+    throw std::runtime_error("CsvWriter: cannot open " + path);
+  }
+  NPD_CHECK_MSG(columns_ > 0, "CSV header must not be empty");
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (i > 0) {
+      out_ << ',';
+    }
+    out_ << header[i];
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::row(const std::vector<double>& cells) {
+  NPD_CHECK_MSG(cells.size() == columns_, "CSV row arity mismatch");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) {
+      out_ << ',';
+    }
+    out_ << format_double(cells[i]);
+  }
+  out_ << '\n';
+  ++rows_;
+}
+
+void CsvWriter::row_strings(const std::vector<std::string>& cells) {
+  NPD_CHECK_MSG(cells.size() == columns_, "CSV row arity mismatch");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) {
+      out_ << ',';
+    }
+    out_ << cells[i];
+  }
+  out_ << '\n';
+  ++rows_;
+}
+
+void CsvWriter::close() {
+  if (out_.is_open()) {
+    out_.close();
+  }
+}
+
+}  // namespace npd

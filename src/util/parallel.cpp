@@ -1,0 +1,76 @@
+#include "util/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace npd {
+
+Index resolve_threads(Index requested) {
+  if (requested > 0) {
+    return requested;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<Index>(hw);
+}
+
+void parallel_for(Index count, Index threads,
+                  const std::function<void(Index)>& body) {
+  NPD_CHECK(count >= 0);
+  NPD_CHECK_MSG(body != nullptr, "parallel_for needs a callable body");
+  if (count == 0) {
+    return;
+  }
+
+  const Index workers = std::min(resolve_threads(threads), count);
+  if (workers <= 1) {
+    for (Index i = 0; i < count; ++i) {
+      body(i);
+    }
+    return;
+  }
+
+  std::atomic<Index> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  auto worker = [&]() {
+    for (;;) {
+      const Index i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) {
+        return;
+      }
+      try {
+        body(i);
+      } catch (...) {
+        const std::scoped_lock lock(error_mutex);
+        if (!first_error) {
+          first_error = std::current_exception();
+        }
+        // Drain remaining work so all threads exit promptly.
+        next.store(count, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers) - 1);
+  for (Index w = 1; w < workers; ++w) {
+    pool.emplace_back(worker);
+  }
+  worker();  // the calling thread participates
+  for (std::thread& t : pool) {
+    t.join();
+  }
+  if (first_error) {
+    std::rethrow_exception(first_error);
+  }
+}
+
+}  // namespace npd

@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file parallel.hpp
+/// A minimal parallel-for over an index range, used by the experiment
+/// harness to spread independent repetitions across cores.
+///
+/// Experiments derive one RNG stream per (grid point, repetition) from
+/// the base seed, so parallel execution produces *bit-identical* results
+/// to sequential execution — parallelism here is purely a wall-clock
+/// optimization and never a source of nondeterminism (CP.2: tasks share
+/// no mutable state except their own result slots).
+
+#include <functional>
+
+#include "util/types.hpp"
+
+namespace npd {
+
+/// Invoke `body(i)` for every `i` in `[0, count)` using up to `threads`
+/// worker threads (including the calling thread's share of work).
+///
+/// * `threads <= 1` runs inline (no thread is spawned).
+/// * `threads == 0` uses the hardware concurrency.
+/// * `body` must be safe to call concurrently for distinct `i`; writes
+///   must target distinct locations per index.
+/// * If any invocation throws, the first exception is rethrown on the
+///   caller's thread after all workers have stopped.
+void parallel_for(Index count, Index threads,
+                  const std::function<void(Index)>& body);
+
+/// Resolved number of worker threads for a request (0 = auto).
+[[nodiscard]] Index resolve_threads(Index requested);
+
+}  // namespace npd

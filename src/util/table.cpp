@@ -1,0 +1,67 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/assert.hpp"
+#include "util/csv.hpp"
+
+namespace npd {
+
+ConsoleTable::ConsoleTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  NPD_CHECK_MSG(!header_.empty(), "table header must not be empty");
+}
+
+void ConsoleTable::add_row(std::vector<std::string> cells) {
+  NPD_CHECK_MSG(cells.size() == header_.size(), "table row arity mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+void ConsoleTable::add_row_doubles(const std::vector<double>& cells) {
+  std::vector<std::string> formatted;
+  formatted.reserve(cells.size());
+  for (const double cell : cells) {
+    formatted.push_back(format_double(cell));
+  }
+  add_row(std::move(formatted));
+}
+
+std::string ConsoleTable::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream oss;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) {
+        oss << "  ";
+      }
+      oss << row[c];
+      for (std::size_t pad = row[c].size(); pad < widths[c]; ++pad) {
+        oss << ' ';
+      }
+    }
+    oss << '\n';
+  };
+
+  emit_row(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c > 0 ? 2 : 0);
+  }
+  oss << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) {
+    emit_row(row);
+  }
+  return oss.str();
+}
+
+}  // namespace npd

@@ -1,0 +1,25 @@
+#pragma once
+
+/// \file types.hpp
+/// Shared fundamental type aliases for the library.
+
+#include <cstdint>
+#include <vector>
+
+namespace npd {
+
+/// Signed index type used for agents, queries and edge counts.
+/// Signed per ES.100-ES.107 of the C++ Core Guidelines (mixing signed and
+/// unsigned arithmetic in score computations invites bugs); 64-bit because
+/// edge counts scale with `m * Gamma ~ n^2 log n`.
+using Index = std::int64_t;
+
+/// A hidden state bit as stored in the ground truth vector.
+/// Stored as an 8-bit integer (std::vector<bool> is intentionally avoided:
+/// it is not a container and cannot hand out spans).
+using Bit = std::uint8_t;
+
+/// A vector of hidden bits, e.g. the ground truth or an estimate.
+using BitVector = std::vector<Bit>;
+
+}  // namespace npd

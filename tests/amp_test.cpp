@@ -1,0 +1,375 @@
+// Tests for the AMP baseline: denoiser calculus (closed forms + finite
+// differences), the exactness of the centering/scaling preprocessing,
+// convergence of the iteration on easy instances, and agreement between
+// the state-evolution prediction and the empirical τ trace.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "amp/amp.hpp"
+#include "amp/denoiser.hpp"
+#include "amp/preprocess.hpp"
+#include "amp/state_evolution.hpp"
+#include "core/evaluation.hpp"
+#include "core/greedy.hpp"
+#include "core/instance.hpp"
+#include "linalg/vector_ops.hpp"
+#include "noise/channel.hpp"
+#include "pooling/query_design.hpp"
+#include "rand/rng.hpp"
+#include "util/assert.hpp"
+
+namespace npd::amp {
+namespace {
+
+rand::Rng test_rng(std::uint64_t tag = 0) { return rand::Rng(0xA3B + tag); }
+
+// --------------------------------------------------------------- denoiser
+
+TEST(BayesDenoiserTest, OutputIsPosteriorInUnitInterval) {
+  const BayesBernoulliDenoiser d(0.1);
+  for (const double y : {-5.0, -1.0, 0.0, 0.5, 1.0, 2.0, 6.0}) {
+    const double e = d.eta(y, 0.5);
+    EXPECT_GT(e, 0.0);
+    EXPECT_LT(e, 1.0);
+  }
+}
+
+TEST(BayesDenoiserTest, MonotoneInY) {
+  const BayesBernoulliDenoiser d(0.2);
+  double prev = 0.0;
+  for (double y = -3.0; y <= 4.0; y += 0.25) {
+    const double e = d.eta(y, 0.7);
+    EXPECT_GT(e, prev);
+    prev = e;
+  }
+}
+
+TEST(BayesDenoiserTest, SymmetryPointAtHalfForUniformPrior) {
+  // With π = 1/2 the posterior at y = 1/2 is exactly 1/2.
+  const BayesBernoulliDenoiser d(0.5);
+  EXPECT_NEAR(d.eta(0.5, 0.3), 0.5, 1e-12);
+}
+
+TEST(BayesDenoiserTest, SmallNoiseSharpensDecision) {
+  const BayesBernoulliDenoiser d(0.1);
+  EXPECT_GT(d.eta(1.0, 0.01), 0.999);
+  EXPECT_LT(d.eta(0.0, 0.01), 0.001);
+}
+
+TEST(BayesDenoiserTest, LargeNoiseReturnsPrior) {
+  const BayesBernoulliDenoiser d(0.3);
+  EXPECT_NEAR(d.eta(0.7, 1e6), 0.3, 1e-3);
+}
+
+TEST(BayesDenoiserTest, DerivativeMatchesFiniteDifference) {
+  const BayesBernoulliDenoiser d(0.15);
+  const double tau2 = 0.4;
+  for (const double y : {-1.0, 0.0, 0.3, 0.5, 1.0, 2.0}) {
+    const double h = 1e-6;
+    const double fd = (d.eta(y + h, tau2) - d.eta(y - h, tau2)) / (2.0 * h);
+    EXPECT_NEAR(d.eta_prime(y, tau2), fd, 1e-5) << "y=" << y;
+  }
+}
+
+TEST(BayesDenoiserTest, RejectsDegenerateParams) {
+  EXPECT_THROW(BayesBernoulliDenoiser(0.0), ContractViolation);
+  EXPECT_THROW(BayesBernoulliDenoiser(1.0), ContractViolation);
+  const BayesBernoulliDenoiser d(0.5);
+  EXPECT_THROW((void)d.eta(0.0, 0.0), ContractViolation);
+}
+
+TEST(SoftThresholdTest, ShrinksAndKills) {
+  const SoftThresholdDenoiser d(2.0);
+  const double tau2 = 0.25;  // tau = 0.5, cut = 1.0
+  EXPECT_DOUBLE_EQ(d.eta(3.0, tau2), 2.0);
+  EXPECT_DOUBLE_EQ(d.eta(-3.0, tau2), -2.0);
+  EXPECT_DOUBLE_EQ(d.eta(0.5, tau2), 0.0);
+  EXPECT_DOUBLE_EQ(d.eta(-0.9, tau2), 0.0);
+}
+
+TEST(SoftThresholdTest, DerivativeIsIndicator) {
+  const SoftThresholdDenoiser d(1.0);
+  EXPECT_DOUBLE_EQ(d.eta_prime(2.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(d.eta_prime(0.5, 1.0), 0.0);
+}
+
+TEST(DenoiserFactoryTest, NamesIdentifyConfiguration) {
+  EXPECT_NE(make_bayes_denoiser(0.1)->name().find("bayes"),
+            std::string::npos);
+  EXPECT_NE(make_soft_threshold_denoiser(1.5)->name().find("soft"),
+            std::string::npos);
+}
+
+// ------------------------------------------------------------- preprocess
+
+TEST(PreprocessTest, NoiselessStandardizationIsExact) {
+  // For the noiseless channel, y = B·σ must hold *exactly* (the centering
+  // uses the known k, so no approximation enters).
+  auto rng = test_rng(1);
+  const auto channel = noise::make_noiseless();
+  const core::Instance instance = core::make_instance(
+      60, 6, 25, pooling::paper_design(60), *channel, rng);
+  const AmpProblem problem =
+      standardize(instance, channel->linearization(60, 6, 30));
+
+  std::vector<double> sigma(60);
+  for (Index i = 0; i < 60; ++i) {
+    sigma[static_cast<std::size_t>(i)] =
+        static_cast<double>(instance.truth.bits[static_cast<std::size_t>(i)]);
+  }
+  std::vector<double> b_sigma(25);
+  problem.b.matvec(sigma, b_sigma);
+  for (Index j = 0; j < 25; ++j) {
+    EXPECT_NEAR(b_sigma[static_cast<std::size_t>(j)],
+                problem.y[static_cast<std::size_t>(j)], 1e-9);
+  }
+  EXPECT_DOUBLE_EQ(problem.effective_noise_var, 0.0);
+}
+
+TEST(PreprocessTest, ColumnsHaveRoughlyUnitNorm) {
+  auto rng = test_rng(2);
+  const auto channel = noise::make_noiseless();
+  const core::Instance instance = core::make_instance(
+      200, 10, 120, pooling::paper_design(200), *channel, rng);
+  const AmpProblem problem =
+      standardize(instance, channel->linearization(200, 10, 100));
+
+  double norm_sum = 0.0;
+  for (Index c = 0; c < problem.n; ++c) {
+    norm_sum += problem.b.column_norm_squared(c);
+  }
+  EXPECT_NEAR(norm_sum / static_cast<double>(problem.n), 1.0, 0.1);
+}
+
+TEST(PreprocessTest, BitFlipChannelResidualIsCentered) {
+  // Under the bit-flip channel, y − B·σ is the (standardized) channel
+  // noise: it must be centered with roughly the predicted variance.
+  auto rng = test_rng(3);
+  const noise::BitFlipChannel channel(0.2, 0.1);
+  const core::Instance instance = core::make_instance(
+      400, 20, 300, pooling::paper_design(400), channel, rng);
+  const AmpProblem problem =
+      standardize(instance, channel.linearization(400, 20, 200));
+
+  std::vector<double> sigma(400);
+  for (Index i = 0; i < 400; ++i) {
+    sigma[static_cast<std::size_t>(i)] =
+        static_cast<double>(instance.truth.bits[static_cast<std::size_t>(i)]);
+  }
+  std::vector<double> b_sigma(300);
+  problem.b.matvec(sigma, b_sigma);
+  double mean_resid = 0.0;
+  double var_resid = 0.0;
+  for (Index j = 0; j < 300; ++j) {
+    const double r = problem.y[static_cast<std::size_t>(j)] -
+                     b_sigma[static_cast<std::size_t>(j)];
+    mean_resid += r;
+    var_resid += r * r;
+  }
+  mean_resid /= 300.0;
+  var_resid = var_resid / 300.0 - mean_resid * mean_resid;
+  // Per-residual std ≈ 0.5 after standardization; the mean of 300 draws
+  // fluctuates at the 0.03 scale, so test at ±3σ.
+  EXPECT_NEAR(mean_resid, 0.0, 0.09);
+  EXPECT_NEAR(var_resid / problem.effective_noise_var, 1.0, 0.3);
+}
+
+TEST(PreprocessTest, PriorIsKOverN) {
+  auto rng = test_rng(4);
+  const auto channel = noise::make_noiseless();
+  const core::Instance instance = core::make_instance(
+      50, 5, 10, pooling::paper_design(50), *channel, rng);
+  const AmpProblem problem =
+      standardize(instance, channel->linearization(50, 5, 25));
+  EXPECT_DOUBLE_EQ(problem.pi, 0.1);
+}
+
+// --------------------------------------------------------------- run_amp
+
+TEST(AmpRunTest, RecoversNoiselessInstance) {
+  auto rng = test_rng(5);
+  const auto channel = noise::make_noiseless();
+  const Index n = 500;
+  const Index k = 5;
+  const Index m = 120;
+  const core::Instance instance = core::make_instance(
+      n, k, m, pooling::paper_design(n), *channel, rng);
+  const AmpResult result =
+      amp_reconstruct(instance, channel->linearization(n, k, n / 2));
+  EXPECT_TRUE(core::exact_success(result.estimate, instance.truth));
+}
+
+TEST(AmpRunTest, RecoversZChannelInstance) {
+  auto rng = test_rng(6);
+  const noise::BitFlipChannel channel(0.1, 0.0);
+  const Index n = 500;
+  const Index k = 5;
+  const Index m = 200;
+  const core::Instance instance = core::make_instance(
+      n, k, m, pooling::paper_design(n), channel, rng);
+  const AmpResult result =
+      amp_reconstruct(instance, channel.linearization(n, k, n / 2));
+  EXPECT_TRUE(core::exact_success(result.estimate, instance.truth));
+}
+
+TEST(AmpRunTest, TauDecreasesOnEasyInstances) {
+  auto rng = test_rng(7);
+  const auto channel = noise::make_noiseless();
+  const core::Instance instance = core::make_instance(
+      400, 4, 150, pooling::paper_design(400), *channel, rng);
+  const AmpResult result =
+      amp_reconstruct(instance, channel->linearization(400, 4, 200));
+  ASSERT_GE(result.tau2_history.size(), 2u);
+  EXPECT_LT(result.tau2_history.back(), result.tau2_history.front());
+}
+
+TEST(AmpRunTest, ConvergesAndStopsEarly) {
+  auto rng = test_rng(8);
+  const auto channel = noise::make_noiseless();
+  const core::Instance instance = core::make_instance(
+      300, 3, 120, pooling::paper_design(300), *channel, rng);
+  AmpOptions options;
+  options.max_iterations = 200;
+  const AmpResult result = amp_reconstruct(
+      instance, channel->linearization(300, 3, 150), options);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LT(result.iterations, 200);
+}
+
+TEST(AmpRunTest, EstimateAlwaysHasKOnes) {
+  auto rng = test_rng(9);
+  const noise::GaussianQueryChannel channel(3.0);
+  const core::Instance instance = core::make_instance(
+      100, 8, 15, pooling::paper_design(100), channel, rng);
+  const AmpResult result =
+      amp_reconstruct(instance, channel.linearization(100, 8, 50));
+  Index ones = 0;
+  for (const Bit b : result.estimate) {
+    ones += b;
+  }
+  EXPECT_EQ(ones, 8);
+}
+
+TEST(AmpRunTest, DampingStillConverges) {
+  auto rng = test_rng(10);
+  const auto channel = noise::make_noiseless();
+  const core::Instance instance = core::make_instance(
+      300, 3, 120, pooling::paper_design(300), *channel, rng);
+  AmpOptions options;
+  options.damping = 0.7;
+  const AmpResult result = amp_reconstruct(
+      instance, channel->linearization(300, 3, 150), options);
+  EXPECT_TRUE(core::exact_success(result.estimate, instance.truth));
+}
+
+TEST(AmpRunTest, OptionsAreValidated) {
+  auto rng = test_rng(11);
+  const auto channel = noise::make_noiseless();
+  const core::Instance instance = core::make_instance(
+      50, 3, 10, pooling::paper_design(50), *channel, rng);
+  AmpOptions options;
+  options.damping = 0.0;
+  EXPECT_THROW((void)amp_reconstruct(
+                   instance, channel->linearization(50, 3, 25), options),
+               ContractViolation);
+  options.damping = 1.0;
+  options.max_iterations = 0;
+  EXPECT_THROW((void)amp_reconstruct(
+                   instance, channel->linearization(50, 3, 25), options),
+               ContractViolation);
+}
+
+// -------------------------------------------------------- state evolution
+
+TEST(StateEvolutionTest, MseBoundedByPriorVariance) {
+  // The Bayes denoiser can never do worse than the prior mean:
+  // E[(η − X)²] ≤ Var(X) = π(1−π).
+  const BayesBernoulliDenoiser d(0.2);
+  for (const double tau2 : {0.01, 0.1, 1.0, 10.0}) {
+    const double mse = denoiser_mse(d, 0.2, tau2);
+    EXPECT_LE(mse, 0.2 * 0.8 + 1e-9) << "tau2=" << tau2;
+    EXPECT_GE(mse, 0.0);
+  }
+}
+
+TEST(StateEvolutionTest, MseVanishesWithNoise) {
+  const BayesBernoulliDenoiser d(0.2);
+  EXPECT_LT(denoiser_mse(d, 0.2, 1e-4), 1e-3);
+}
+
+TEST(StateEvolutionTest, MseIncreasingInTau) {
+  const BayesBernoulliDenoiser d(0.1);
+  double prev = 0.0;
+  for (const double tau2 : {0.01, 0.05, 0.2, 1.0, 5.0}) {
+    const double mse = denoiser_mse(d, 0.1, tau2);
+    EXPECT_GE(mse, prev);
+    prev = mse;
+  }
+}
+
+TEST(StateEvolutionTest, NoiselessRecursionCollapses) {
+  // With zero measurement noise and enough measurements the fixed point
+  // is τ² → 0 (perfect recovery regime).
+  StateEvolutionParams params;
+  params.pi = 0.01;
+  params.n_over_m = 4.0;   // m = n/4, plenty for k/n = 1%
+  params.noise_var = 0.0;
+  const BayesBernoulliDenoiser d(params.pi);
+  const StateEvolutionTrace trace = run_state_evolution(params, d);
+  EXPECT_LT(trace.tau2.back(), 1e-8);
+}
+
+TEST(StateEvolutionTest, NoiseFloorIsRespected) {
+  StateEvolutionParams params;
+  params.pi = 0.01;
+  params.n_over_m = 4.0;
+  params.noise_var = 0.05;
+  const BayesBernoulliDenoiser d(params.pi);
+  const StateEvolutionTrace trace = run_state_evolution(params, d);
+  EXPECT_GE(trace.tau2.back(), params.noise_var);
+  EXPECT_LT(trace.tau2.back(), params.noise_var * 1.5);
+}
+
+TEST(StateEvolutionTest, PredictsEmpiricalTauOnEasyInstance) {
+  // The empirical ‖z‖²/m trace should follow the SE prediction within a
+  // finite-size tolerance on a noiseless instance.
+  auto rng = test_rng(12);
+  const auto channel = noise::make_noiseless();
+  const Index n = 1000;
+  const Index k = 10;
+  const Index m = 300;
+  const core::Instance instance = core::make_instance(
+      n, k, m, pooling::paper_design(n), *channel, rng);
+  const AmpProblem problem =
+      standardize(instance, channel->linearization(n, k, n / 2));
+  const BayesBernoulliDenoiser d(problem.pi);
+  const AmpResult amp = run_amp(problem, d);
+
+  StateEvolutionParams params;
+  params.pi = problem.pi;
+  params.n_over_m = static_cast<double>(n) / static_cast<double>(m);
+  params.noise_var = problem.effective_noise_var;
+  const StateEvolutionTrace se = run_state_evolution(params, d);
+
+  // Compare the first iteration's tau² (before error feedback builds up).
+  ASSERT_GE(amp.tau2_history.size(), 2u);
+  ASSERT_GE(se.tau2.size(), 2u);
+  EXPECT_NEAR(amp.tau2_history[0] / se.tau2[0], 1.0, 0.25);
+  EXPECT_NEAR(amp.tau2_history[1] / se.tau2[1], 1.0, 0.5);
+}
+
+TEST(StateEvolutionTest, ParamsAreValidated) {
+  const BayesBernoulliDenoiser d(0.1);
+  StateEvolutionParams params;
+  params.pi = 0.0;
+  params.n_over_m = 1.0;
+  EXPECT_THROW((void)run_state_evolution(params, d), ContractViolation);
+  params.pi = 0.1;
+  params.n_over_m = 0.0;
+  EXPECT_THROW((void)run_state_evolution(params, d), ContractViolation);
+}
+
+}  // namespace
+}  // namespace npd::amp

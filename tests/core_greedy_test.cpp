@@ -1,0 +1,222 @@
+// Tests for the greedy reconstruction (Algorithm 1) and the evaluation
+// metrics: top-k selection semantics, tie-breaking, separation gaps, and
+// end-to-end exact recovery at query counts above the theory bound.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/evaluation.hpp"
+#include "core/greedy.hpp"
+#include "core/instance.hpp"
+#include "core/theory.hpp"
+#include "noise/channel.hpp"
+#include "pooling/query_design.hpp"
+#include "rand/rng.hpp"
+#include "util/assert.hpp"
+
+namespace npd::core {
+namespace {
+
+rand::Rng test_rng(std::uint64_t tag = 0) { return rand::Rng(0xBEEF + tag); }
+
+pooling::GroundTruth truth_from_bits(BitVector bits) {
+  pooling::GroundTruth truth;
+  truth.bits = std::move(bits);
+  for (std::size_t i = 0; i < truth.bits.size(); ++i) {
+    if (truth.bits[i] != 0) {
+      truth.ones.push_back(static_cast<Index>(i));
+    }
+  }
+  return truth;
+}
+
+// ------------------------------------------------------------ select_top_k
+
+TEST(SelectTopKTest, PicksLargestScores) {
+  const std::vector<double> scores{1.0, 5.0, 3.0, 4.0, 2.0};
+  const GreedyResult r = select_top_k(scores, 2);
+  EXPECT_EQ(r.declared_ones, (std::vector<Index>{1, 3}));
+  EXPECT_EQ(r.estimate, (BitVector{0, 1, 0, 1, 0}));
+}
+
+TEST(SelectTopKTest, SeparationGapIsKthMinusKPlusFirst) {
+  const std::vector<double> scores{1.0, 5.0, 3.0, 4.0, 2.0};
+  const GreedyResult r = select_top_k(scores, 2);
+  EXPECT_DOUBLE_EQ(r.separation_gap, 4.0 - 3.0);
+}
+
+TEST(SelectTopKTest, TieBreaksBySmallerId) {
+  const std::vector<double> scores{2.0, 2.0, 2.0, 2.0};
+  const GreedyResult r = select_top_k(scores, 2);
+  EXPECT_EQ(r.declared_ones, (std::vector<Index>{0, 1}));
+  EXPECT_DOUBLE_EQ(r.separation_gap, 0.0);
+}
+
+TEST(SelectTopKTest, KZeroSelectsNothing) {
+  const std::vector<double> scores{1.0, 2.0};
+  const GreedyResult r = select_top_k(scores, 0);
+  EXPECT_EQ(r.estimate, (BitVector{0, 0}));
+  EXPECT_TRUE(std::isinf(r.separation_gap));
+}
+
+TEST(SelectTopKTest, KEqualsNSelectsEverything) {
+  const std::vector<double> scores{1.0, 2.0, 3.0};
+  const GreedyResult r = select_top_k(scores, 3);
+  EXPECT_EQ(r.estimate, (BitVector{1, 1, 1}));
+  EXPECT_TRUE(std::isinf(r.separation_gap));
+}
+
+TEST(SelectTopKTest, RejectsBadK) {
+  const std::vector<double> scores{1.0, 2.0};
+  EXPECT_THROW((void)select_top_k(scores, 3), ContractViolation);
+  EXPECT_THROW((void)select_top_k(scores, -1), ContractViolation);
+}
+
+TEST(SelectTopKTest, NegativeScoresHandled) {
+  const std::vector<double> scores{-5.0, -1.0, -3.0};
+  const GreedyResult r = select_top_k(scores, 1);
+  EXPECT_EQ(r.declared_ones, (std::vector<Index>{1}));
+  EXPECT_DOUBLE_EQ(r.separation_gap, -1.0 - (-3.0));
+}
+
+// -------------------------------------------------------------- evaluation
+
+TEST(EvaluationTest, ExactSuccessRequiresEquality) {
+  const auto truth = truth_from_bits({1, 0, 1, 0});
+  EXPECT_TRUE(exact_success(BitVector{1, 0, 1, 0}, truth));
+  EXPECT_FALSE(exact_success(BitVector{1, 0, 0, 1}, truth));
+  EXPECT_FALSE(exact_success(BitVector{0, 1, 0, 1}, truth));
+}
+
+TEST(EvaluationTest, OverlapCountsIdentifiedOnes) {
+  const auto truth = truth_from_bits({1, 1, 1, 1, 0, 0});
+  EXPECT_DOUBLE_EQ(overlap(BitVector{1, 1, 1, 1, 0, 0}, truth), 1.0);
+  EXPECT_DOUBLE_EQ(overlap(BitVector{1, 1, 0, 0, 1, 1}, truth), 0.5);
+  EXPECT_DOUBLE_EQ(overlap(BitVector{0, 0, 0, 0, 1, 1}, truth), 0.0);
+}
+
+TEST(EvaluationTest, OverlapWithZeroKIsOne) {
+  const auto truth = truth_from_bits({0, 0, 0});
+  EXPECT_DOUBLE_EQ(overlap(BitVector{0, 0, 0}, truth), 1.0);
+}
+
+TEST(EvaluationTest, SeparationMarginSignsMatchOrdering) {
+  const auto truth = truth_from_bits({1, 0, 1, 0});
+  // ones at {0, 2}: separated scores
+  EXPECT_GT(separation_margin(std::vector<double>{9.0, 1.0, 8.0, 2.0}, truth),
+            0.0);
+  // a zero outranks a one
+  EXPECT_LT(separation_margin(std::vector<double>{9.0, 8.5, 8.0, 2.0}, truth),
+            0.0);
+  EXPECT_TRUE(
+      clearly_separated(std::vector<double>{9.0, 1.0, 8.0, 2.0}, truth));
+  EXPECT_FALSE(
+      clearly_separated(std::vector<double>{9.0, 9.0, 8.0, 2.0}, truth));
+}
+
+TEST(EvaluationTest, HammingErrorsCountsBothDirections) {
+  const auto truth = truth_from_bits({1, 0, 1, 0});
+  EXPECT_EQ(hamming_errors(BitVector{1, 0, 1, 0}, truth), 0);
+  EXPECT_EQ(hamming_errors(BitVector{0, 1, 1, 0}, truth), 2);
+  EXPECT_EQ(hamming_errors(BitVector{0, 1, 0, 1}, truth), 4);
+}
+
+TEST(EvaluationTest, DimensionMismatchThrows) {
+  const auto truth = truth_from_bits({1, 0});
+  EXPECT_THROW((void)exact_success(BitVector{1}, truth), ContractViolation);
+  EXPECT_THROW((void)overlap(BitVector{1, 0, 0}, truth), ContractViolation);
+}
+
+// ---------------------------------------------------------- end-to-end
+
+TEST(GreedyReconstructTest, NoiselessRecoveryAboveTheoryBound) {
+  // m chosen via Theorem 1 at p = q = 0 (the [29] bound) with slack.
+  const Index n = 500;
+  const double theta = 0.25;
+  const Index k = pooling::sublinear_k(n, theta);
+  const auto m = static_cast<Index>(
+      std::ceil(theory::z_channel_sublinear(n, theta, 0.0, 0.5)));
+  const auto channel = noise::make_noiseless();
+
+  int successes = 0;
+  for (int rep = 0; rep < 10; ++rep) {
+    auto rng = test_rng(100 + static_cast<std::uint64_t>(rep));
+    const Instance instance =
+        make_instance(n, k, m, pooling::paper_design(n), *channel, rng);
+    const GreedyResult r = greedy_reconstruct(instance);
+    if (exact_success(r.estimate, instance.truth)) {
+      ++successes;
+    }
+  }
+  EXPECT_GE(successes, 9);
+}
+
+TEST(GreedyReconstructTest, ZChannelRecoveryAboveTheoryBound) {
+  const Index n = 500;
+  const double theta = 0.25;
+  const double p = 0.1;
+  const Index k = pooling::sublinear_k(n, theta);
+  const auto m = static_cast<Index>(
+      std::ceil(theory::z_channel_sublinear(n, theta, p, 0.5)));
+  const noise::BitFlipChannel channel(p, 0.0);
+
+  int successes = 0;
+  for (int rep = 0; rep < 10; ++rep) {
+    auto rng = test_rng(200 + static_cast<std::uint64_t>(rep));
+    const Instance instance =
+        make_instance(n, k, m, pooling::paper_design(n), channel, rng);
+    const GreedyResult r = greedy_reconstruct(instance);
+    if (exact_success(r.estimate, instance.truth)) {
+      ++successes;
+    }
+  }
+  EXPECT_GE(successes, 8);
+}
+
+TEST(GreedyReconstructTest, FailsWithFarTooFewQueries) {
+  // A handful of queries cannot separate k = 22 agents out of 2000:
+  // exact recovery must be (nearly) impossible.
+  const Index n = 2000;
+  const Index k = 22;
+  const auto channel = noise::make_noiseless();
+  int successes = 0;
+  for (int rep = 0; rep < 10; ++rep) {
+    auto rng = test_rng(300 + static_cast<std::uint64_t>(rep));
+    const Instance instance =
+        make_instance(n, k, 3, pooling::paper_design(n), *channel, rng);
+    const GreedyResult r = greedy_reconstruct(instance);
+    if (exact_success(r.estimate, instance.truth)) {
+      ++successes;
+    }
+  }
+  EXPECT_EQ(successes, 0);
+}
+
+TEST(GreedyReconstructTest, EstimateAlwaysHasExactlyKOnes) {
+  auto rng = test_rng(7);
+  const noise::GaussianQueryChannel channel(2.0);
+  const Instance instance =
+      make_instance(100, 10, 20, pooling::paper_design(100), channel, rng);
+  const GreedyResult r = greedy_reconstruct(instance);
+  Index ones = 0;
+  for (const Bit b : r.estimate) {
+    ones += b;
+  }
+  EXPECT_EQ(ones, 10);
+}
+
+TEST(GreedyReconstructTest, GreedyFromScoresMatchesEndToEnd) {
+  auto rng = test_rng(8);
+  const auto channel = noise::make_z_channel(0.2);
+  const Instance instance =
+      make_instance(80, 9, 40, pooling::paper_design(80), *channel, rng);
+  const GreedyResult direct = greedy_reconstruct(instance);
+  const ScoreState scores = compute_scores(instance);
+  const GreedyResult via_scores = greedy_from_scores(scores);
+  EXPECT_EQ(direct.estimate, via_scores.estimate);
+  EXPECT_DOUBLE_EQ(direct.separation_gap, via_scores.separation_gap);
+}
+
+}  // namespace
+}  // namespace npd::core

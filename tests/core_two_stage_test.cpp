@@ -1,0 +1,133 @@
+// Tests for the two-stage local-correction extension (the paper's
+// concluding open question): fixed-point behavior, invariants, and the
+// statistical claim that stage 2 does not hurt — and near the threshold
+// helps — reconstruction quality.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/evaluation.hpp"
+#include "core/greedy.hpp"
+#include "core/instance.hpp"
+#include "core/theory.hpp"
+#include "core/two_stage.hpp"
+#include "noise/channel.hpp"
+#include "pooling/query_design.hpp"
+#include "rand/rng.hpp"
+#include "util/assert.hpp"
+
+namespace npd::core {
+namespace {
+
+rand::Rng test_rng(std::uint64_t tag = 0) { return rand::Rng(0x715A6E + tag); }
+
+TEST(TwoStageTest, EstimateKeepsExactlyKOnes) {
+  auto rng = test_rng(1);
+  const noise::BitFlipChannel channel(0.2, 0.0);
+  const Instance instance =
+      make_instance(200, 8, 60, pooling::paper_design(200), channel, rng);
+  const auto lin = channel.linearization(200, 8, 100);
+  const TwoStageResult r = two_stage_reconstruct(instance, lin);
+
+  Index ones = 0;
+  for (const Bit b : r.estimate) {
+    ones += b;
+  }
+  EXPECT_EQ(ones, 8);
+}
+
+TEST(TwoStageTest, PerfectGreedyStaysPerfect) {
+  // Far above the threshold greedy is exact; stage 2 must not break it.
+  const Index n = 300;
+  const Index k = 5;
+  const auto channel = noise::make_noiseless();
+  const auto lin = channel->linearization(n, k, n / 2);
+  for (int rep = 0; rep < 5; ++rep) {
+    auto rng = test_rng(10 + static_cast<std::uint64_t>(rep));
+    const Instance instance =
+        make_instance(n, k, 200, pooling::paper_design(n), *channel, rng);
+    const TwoStageResult r = two_stage_reconstruct(instance, lin);
+    ASSERT_TRUE(exact_success(r.greedy_estimate, instance.truth));
+    EXPECT_TRUE(exact_success(r.estimate, instance.truth));
+    EXPECT_TRUE(r.converged);
+  }
+}
+
+TEST(TwoStageTest, ConvergesToFixedPointQuickly) {
+  auto rng = test_rng(2);
+  const noise::BitFlipChannel channel(0.1, 0.0);
+  const Instance instance =
+      make_instance(200, 8, 120, pooling::paper_design(200), channel, rng);
+  const auto lin = channel.linearization(200, 8, 100);
+  const TwoStageResult r = two_stage_reconstruct(instance, lin);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LE(r.rounds_used, 20);
+}
+
+TEST(TwoStageTest, ZeroRoundsReturnsGreedy) {
+  auto rng = test_rng(3);
+  const noise::BitFlipChannel channel(0.3, 0.0);
+  const Instance instance =
+      make_instance(150, 7, 40, pooling::paper_design(150), channel, rng);
+  const auto lin = channel.linearization(150, 7, 75);
+  TwoStageOptions options;
+  options.max_rounds = 0;
+  const TwoStageResult r = two_stage_reconstruct(instance, lin, options);
+  EXPECT_EQ(r.estimate, r.greedy_estimate);
+  EXPECT_EQ(r.rounds_used, 0);
+}
+
+TEST(TwoStageTest, RejectsNonPositiveGain) {
+  auto rng = test_rng(4);
+  const noise::BitFlipChannel channel(0.1, 0.0);
+  const Instance instance =
+      make_instance(50, 3, 10, pooling::paper_design(50), channel, rng);
+  noise::Linearization lin = channel.linearization(50, 3, 25);
+  lin.gain = 0.0;
+  EXPECT_THROW((void)two_stage_reconstruct(instance, lin), ContractViolation);
+}
+
+TEST(TwoStageTest, ImprovesOverlapNearThreshold) {
+  // Just below the greedy threshold the refinement should recover part of
+  // the remaining errors on average (the conclusion's conjecture).
+  const Index n = 500;
+  const double theta = 0.25;
+  const Index k = pooling::sublinear_k(n, theta);
+  const double p = 0.2;
+  const noise::BitFlipChannel channel(p, 0.0);
+  const auto lin = channel.linearization(n, k, n / 2);
+  const auto m = static_cast<Index>(
+      0.55 * theory::z_channel_sublinear(n, theta, p, 0.05));
+
+  double greedy_overlap = 0.0;
+  double refined_overlap = 0.0;
+  const int reps = 40;
+  for (int rep = 0; rep < reps; ++rep) {
+    auto rng = test_rng(100 + static_cast<std::uint64_t>(rep));
+    const Instance instance =
+        make_instance(n, k, m, pooling::paper_design(n), channel, rng);
+    const TwoStageResult r = two_stage_reconstruct(instance, lin);
+    greedy_overlap += overlap(r.greedy_estimate, instance.truth);
+    refined_overlap += overlap(r.estimate, instance.truth);
+  }
+  greedy_overlap /= reps;
+  refined_overlap /= reps;
+  // Statistical claim with margin: refinement must not lose more than a
+  // point of overlap and typically gains several.
+  EXPECT_GE(refined_overlap, greedy_overlap - 0.01)
+      << "stage 2 made things worse";
+}
+
+TEST(TwoStageTest, HandlesGaussianChannel) {
+  auto rng = test_rng(5);
+  const noise::GaussianQueryChannel channel(1.0);
+  const Instance instance =
+      make_instance(200, 8, 80, pooling::paper_design(200), channel, rng);
+  const auto lin = channel.linearization(200, 8, 100);
+  const TwoStageResult r = two_stage_reconstruct(instance, lin);
+  EXPECT_GE(overlap(r.estimate, instance.truth), 0.5);
+}
+
+}  // namespace
+}  // namespace npd::core

@@ -1,0 +1,222 @@
+// Cross-module integration tests: the claims of the paper's evaluation
+// section reproduced in miniature — theory bounds envelope measured
+// requirements, AMP's phase transition is sharper than greedy's, the
+// noisy-query model transitions between the achievability and failure
+// regimes of Theorem 2, and the full distributed stack agrees with the
+// centralized one end-to-end.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/evaluation.hpp"
+#include "core/greedy.hpp"
+#include "core/instance.hpp"
+#include "core/theory.hpp"
+#include "core/two_stage.hpp"
+#include "harness/required_queries.hpp"
+#include "harness/stats.hpp"
+#include "harness/sweeps.hpp"
+#include "netsim/distributed_greedy.hpp"
+#include "noise/channel.hpp"
+#include "pooling/query_design.hpp"
+#include "rand/rng.hpp"
+
+namespace npd {
+namespace {
+
+rand::Rng test_rng(std::uint64_t tag = 0) { return rand::Rng(0x17E6 + tag); }
+
+TEST(IntegrationTest, TheoryBoundEnvelopesMeasuredRequirement) {
+  // At finite n the asymptotic bound with ε = 0.05 should upper-bound the
+  // measured median requirement for the Z-channel (the paper's Figure 2
+  // shows measurements below the dashed theory line).
+  const Index n = 1000;
+  const double theta = 0.25;
+  const double p = 0.1;
+  const Index k = pooling::sublinear_k(n, theta);
+  const auto channel = noise::make_z_channel(p);
+
+  std::vector<double> ms;
+  for (int rep = 0; rep < 10; ++rep) {
+    auto rng = test_rng(static_cast<std::uint64_t>(rep));
+    ms.push_back(static_cast<double>(
+        harness::required_queries(n, k, pooling::paper_design(n), *channel,
+                                  rng)
+            .m));
+  }
+  const double measured = harness::median(ms);
+  const double bound =
+      core::theory::z_channel_sublinear(n, theta, p, 0.05);
+  EXPECT_LT(measured, bound);
+}
+
+TEST(IntegrationTest, NoisyQueryCostsMoreThanNoiseless) {
+  // Figure 3's qualitative claim at small scale: Gaussian query noise
+  // increases the required number of queries.
+  const Index n = 500;
+  const Index k = pooling::sublinear_k(n, 0.25);
+  const pooling::QueryDesign design = pooling::paper_design(n);
+
+  const auto median_required = [&](double lambda) {
+    const auto channel = lambda > 0.0 ? noise::make_gaussian_channel(lambda)
+                                      : noise::make_noiseless();
+    std::vector<double> ms;
+    for (int rep = 0; rep < 15; ++rep) {
+      auto rng = test_rng(100 + static_cast<std::uint64_t>(rep) * 7 +
+                          static_cast<std::uint64_t>(lambda * 10));
+      ms.push_back(static_cast<double>(
+          harness::required_queries(n, k, design, *channel, rng).m));
+    }
+    return harness::median(ms);
+  };
+
+  EXPECT_LT(median_required(0.0), median_required(3.0));
+}
+
+TEST(IntegrationTest, Theorem2FailureRegimeDoesNotTerminate) {
+  // λ² = Ω(m): noise at the scale of the query count defeats the
+  // algorithm; within a generous cap the protocol must not terminate.
+  const Index n = 300;
+  const Index k = pooling::sublinear_k(n, 0.25);
+  const auto channel = noise::make_gaussian_channel(500.0);
+  harness::RequiredQueriesOptions options;
+  options.max_queries = 400;
+  auto rng = test_rng(3);
+  const auto r = harness::required_queries(n, k, pooling::paper_design(n),
+                                           *channel, rng, options);
+  EXPECT_FALSE(r.reached);
+}
+
+TEST(IntegrationTest, AmpBeatsGreedyNearThreshold) {
+  // Figure 6's core observation: between the two phase transitions there
+  // is a window of m where AMP already succeeds but greedy does not.
+  const Index n = 500;
+  const Index k = pooling::sublinear_k(n, 0.25);  // k = 5
+  const double p = 0.1;
+  const auto design_of_n = [](Index nn) { return pooling::paper_design(nn); };
+  const auto channel_factory = [p](Index, Index) {
+    return noise::make_z_channel(p);
+  };
+  // Around half the greedy threshold.
+  const auto m_mid = static_cast<Index>(
+      0.5 * core::theory::z_channel_sublinear(n, 0.25, p, 0.05));
+
+  const auto greedy = harness::success_sweep(
+      n, k, {m_mid}, 25, design_of_n, channel_factory,
+      harness::Algorithm::Greedy, 21);
+  const auto amp = harness::success_sweep(
+      n, k, {m_mid}, 25, design_of_n, channel_factory,
+      harness::Algorithm::Amp, 21);
+
+  EXPECT_GT(amp[0].success_rate, greedy[0].success_rate + 0.15)
+      << "AMP should dominate greedy in the transition window";
+}
+
+TEST(IntegrationTest, GreedyOverlapHighWhereSuccessModerate) {
+  // Figure 7's observation: at m where exact success is still uncommon,
+  // the overlap is already large.
+  const Index n = 500;
+  const Index k = pooling::sublinear_k(n, 0.25);
+  const double p = 0.1;
+  const auto m_mid = static_cast<Index>(
+      0.55 * core::theory::z_channel_sublinear(n, 0.25, p, 0.05));
+
+  const auto points = harness::success_sweep(
+      n, k, {m_mid}, 30, [](Index nn) { return pooling::paper_design(nn); },
+      [p](Index, Index) { return noise::make_z_channel(p); },
+      harness::Algorithm::Greedy, 31);
+
+  EXPECT_LT(points[0].success_rate, 0.9);
+  EXPECT_GT(points[0].mean_overlap, 0.6);
+  EXPECT_GT(points[0].mean_overlap, points[0].success_rate);
+}
+
+TEST(IntegrationTest, FullDistributedStackEndToEnd) {
+  // netsim + noise + pooling + greedy: the distributed protocol recovers
+  // the truth with ample queries under channel noise, and its estimate
+  // matches the centralized one exactly.
+  const Index n = 200;
+  const Index k = 4;
+  const double p = 0.1;
+  const noise::BitFlipChannel channel(p, 0.0);
+  const auto m = static_cast<Index>(
+      std::ceil(core::theory::z_channel_sublinear(n, 0.25, p, 0.5)));
+
+  auto rng = test_rng(4);
+  const core::Instance instance =
+      core::make_instance(n, k, m, pooling::paper_design(n), channel, rng);
+  const auto distributed = netsim::run_distributed_greedy(instance);
+  const auto centralized = core::greedy_reconstruct(instance);
+
+  EXPECT_EQ(distributed.estimate, centralized.estimate);
+  EXPECT_TRUE(core::exact_success(distributed.estimate, instance.truth));
+  EXPECT_GT(distributed.stats.messages, 0);
+}
+
+TEST(IntegrationTest, LinearRegimeRecoveryAboveBound) {
+  // Theorem 1's linear case end-to-end: ζ = 0.1 with the GNC channel.
+  // The asymptotic constant undershoots at n = 300 (the Δ*k/2 centering
+  // costs a γ-factor of the gap at finite n, see core_scores_test), so
+  // run at twice the bound — still the Θ(n log n) scaling under test.
+  const Index n = 300;
+  const double zeta = 0.1;
+  const Index k = pooling::linear_k(n, zeta);
+  const double p = 0.1;
+  const double q = 0.05;
+  const noise::BitFlipChannel channel(p, q);
+  const auto m = static_cast<Index>(
+      std::ceil(2.0 * core::theory::channel_linear(n, zeta, p, q, 0.5)));
+
+  int successes = 0;
+  for (int rep = 0; rep < 5; ++rep) {
+    auto rng = test_rng(50 + static_cast<std::uint64_t>(rep));
+    const core::Instance instance =
+        core::make_instance(n, k, m, pooling::paper_design(n), channel, rng);
+    if (core::exact_success(core::greedy_reconstruct(instance).estimate,
+                            instance.truth)) {
+      ++successes;
+    }
+  }
+  EXPECT_GE(successes, 4);
+}
+
+TEST(IntegrationTest, AdversarialChannelDegradesGracefully) {
+  // The anti-signal adversary with a small budget must not prevent
+  // recovery at ample m (its perturbation is bounded per query).
+  const Index n = 300;
+  const Index k = 4;
+  const noise::AdversarialChannel channel(
+      1.0, noise::AdversarialChannel::Strategy::AntiSignal, n, k);
+
+  auto rng = test_rng(60);
+  const core::Instance instance =
+      core::make_instance(n, k, 250, pooling::paper_design(n), channel, rng);
+  const auto result = core::greedy_reconstruct(instance);
+  EXPECT_TRUE(core::exact_success(result.estimate, instance.truth));
+}
+
+TEST(IntegrationTest, TwoStageNeverWorseAcrossChannels) {
+  // Sweep three channels near threshold; two-stage overlap must not fall
+  // below greedy overlap by more than statistical noise.
+  const Index n = 400;
+  const Index k = pooling::sublinear_k(n, 0.25);
+  const auto design_of_n = [](Index nn) { return pooling::paper_design(nn); };
+  const Index m = 60;
+
+  for (const double p : {0.1, 0.3}) {
+    const auto greedy = harness::success_sweep(
+        n, k, {m}, 20, design_of_n,
+        [p](Index, Index) { return noise::make_z_channel(p); },
+        harness::Algorithm::Greedy, 41);
+    const auto two_stage = harness::success_sweep(
+        n, k, {m}, 20, design_of_n,
+        [p](Index, Index) { return noise::make_z_channel(p); },
+        harness::Algorithm::TwoStage, 41);
+    EXPECT_GE(two_stage[0].mean_overlap, greedy[0].mean_overlap - 0.05)
+        << "p=" << p;
+  }
+}
+
+}  // namespace
+}  // namespace npd

@@ -1,0 +1,195 @@
+// Tests for the synchronous message-passing simulator: delivery timing,
+// ordering, statistics accounting and quiescence.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "netsim/network.hpp"
+#include "util/assert.hpp"
+
+namespace npd::netsim {
+namespace {
+
+/// Records everything it receives; can be scripted to send on a round.
+class Recorder final : public Node {
+ public:
+  struct Planned {
+    Index round;
+    Index to;
+    double value;
+  };
+
+  explicit Recorder(Index self) : self_(self) {}
+
+  void plan(Index round, Index to, double value) {
+    planned_.push_back(Planned{round, to, value});
+  }
+
+  void on_round(Index round, std::span<const Message> received,
+                NetworkContext& ctx) override {
+    for (const Message& msg : received) {
+      log_.push_back(msg);
+      rounds_seen_.push_back(round);
+    }
+    for (const Planned& p : planned_) {
+      if (p.round == round) {
+        ctx.send(self_, p.to, Tag::User, p.value);
+      }
+    }
+  }
+
+  [[nodiscard]] const std::vector<Message>& log() const { return log_; }
+  [[nodiscard]] const std::vector<Index>& rounds_seen() const {
+    return rounds_seen_;
+  }
+
+ private:
+  Index self_;
+  std::vector<Planned> planned_;
+  std::vector<Message> log_;
+  std::vector<Index> rounds_seen_;
+};
+
+TEST(NetworkTest, MessageArrivesNextRound) {
+  Network net;
+  auto a = std::make_unique<Recorder>(0);
+  auto b = std::make_unique<Recorder>(1);
+  a->plan(0, 1, 42.0);
+  Recorder* b_raw = b.get();
+  (void)net.add_node(std::move(a));
+  (void)net.add_node(std::move(b));
+
+  (void)net.run_round();  // round 0: a sends
+  EXPECT_TRUE(b_raw->log().empty());
+  (void)net.run_round();  // round 1: b receives
+  ASSERT_EQ(b_raw->log().size(), 1u);
+  EXPECT_DOUBLE_EQ(b_raw->log()[0].a, 42.0);
+  EXPECT_EQ(b_raw->log()[0].from, 0);
+  EXPECT_EQ(b_raw->rounds_seen()[0], 1);
+}
+
+TEST(NetworkTest, DeliveryPreservesSendOrder) {
+  Network net;
+  auto a = std::make_unique<Recorder>(0);
+  auto b = std::make_unique<Recorder>(1);
+  auto c = std::make_unique<Recorder>(2);
+  a->plan(0, 2, 1.0);
+  a->plan(0, 2, 2.0);
+  b->plan(0, 2, 3.0);
+  Recorder* c_raw = c.get();
+  (void)net.add_node(std::move(a));
+  (void)net.add_node(std::move(b));
+  (void)net.add_node(std::move(c));
+
+  net.run_rounds(2);
+  ASSERT_EQ(c_raw->log().size(), 3u);
+  EXPECT_DOUBLE_EQ(c_raw->log()[0].a, 1.0);
+  EXPECT_DOUBLE_EQ(c_raw->log()[1].a, 2.0);
+  EXPECT_DOUBLE_EQ(c_raw->log()[2].a, 3.0);
+}
+
+TEST(NetworkTest, SelfMessagesAllowed) {
+  Network net;
+  auto a = std::make_unique<Recorder>(0);
+  a->plan(0, 0, 9.0);
+  Recorder* a_raw = a.get();
+  (void)net.add_node(std::move(a));
+  net.run_rounds(2);
+  ASSERT_EQ(a_raw->log().size(), 1u);
+  EXPECT_DOUBLE_EQ(a_raw->log()[0].a, 9.0);
+}
+
+TEST(NetworkTest, StatsCountMessagesBytesRounds) {
+  Network net;
+  auto a = std::make_unique<Recorder>(0);
+  auto b = std::make_unique<Recorder>(1);
+  a->plan(0, 1, 1.0);
+  a->plan(0, 1, 2.0);
+  b->plan(1, 0, 3.0);
+  (void)net.add_node(std::move(a));
+  (void)net.add_node(std::move(b));
+
+  net.run_rounds(3);
+  EXPECT_EQ(net.stats().rounds, 3);
+  EXPECT_EQ(net.stats().messages, 3);
+  EXPECT_EQ(net.stats().bytes, 3 * 40);
+}
+
+TEST(NetworkTest, QuiescenceAfterTrafficDrains) {
+  Network net;
+  auto a = std::make_unique<Recorder>(0);
+  auto b = std::make_unique<Recorder>(1);
+  a->plan(0, 1, 1.0);
+  (void)net.add_node(std::move(a));
+  (void)net.add_node(std::move(b));
+
+  EXPECT_TRUE(net.run_until_quiescent(10));
+  EXPECT_EQ(net.pending_messages(), 0);
+  // Both the send round and the delivery round ran.
+  EXPECT_GE(net.stats().rounds, 2);
+}
+
+TEST(NetworkTest, QuiescenceReportsFailureWhenTrafficPersists) {
+  /// A node that echoes every message back — traffic never drains.
+  class Echo final : public Node {
+   public:
+    explicit Echo(Index self) : self_(self) {}
+    void on_round(Index round, std::span<const Message> received,
+                  NetworkContext& ctx) override {
+      if (round == 0 && self_ == 0) {
+        ctx.send(self_, 1, Tag::User, 0.0);
+      }
+      for (const Message& msg : received) {
+        ctx.send(self_, msg.from, Tag::User, msg.a + 1.0);
+      }
+    }
+
+   private:
+    Index self_;
+  };
+
+  Network net;
+  (void)net.add_node(std::make_unique<Echo>(0));
+  (void)net.add_node(std::make_unique<Echo>(1));
+  EXPECT_FALSE(net.run_until_quiescent(5));
+  EXPECT_GT(net.pending_messages(), 0);
+}
+
+TEST(NetworkTest, SendToUnknownNodeThrows) {
+  /// A node that sends out of range.
+  class Bad final : public Node {
+   public:
+    void on_round(Index round, std::span<const Message> /*received*/,
+                  NetworkContext& ctx) override {
+      if (round == 0) {
+        ctx.send(0, 99, Tag::User, 0.0);
+      }
+    }
+  };
+
+  Network net;
+  (void)net.add_node(std::make_unique<Bad>());
+  EXPECT_THROW((void)net.run_round(), ContractViolation);
+}
+
+TEST(NetworkTest, NodeAccessorsValidateIds) {
+  Network net;
+  (void)net.add_node(std::make_unique<Recorder>(0));
+  EXPECT_NO_THROW((void)net.node(0));
+  EXPECT_THROW((void)net.node(1), ContractViolation);
+  EXPECT_THROW((void)net.node(-1), ContractViolation);
+}
+
+TEST(NetworkTest, AddNullNodeThrows) {
+  Network net;
+  EXPECT_THROW((void)net.add_node(nullptr), ContractViolation);
+}
+
+TEST(MessageTest, WireSizeIsFixed) {
+  EXPECT_EQ(message_bytes(Message{}), 40);
+}
+
+}  // namespace
+}  // namespace npd::netsim

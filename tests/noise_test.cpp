@@ -1,0 +1,445 @@
+// Unit and statistical tests for src/noise: the exact semantics of the
+// paper's two noise models, the noiseless baseline, the adversarial
+// extension, and every channel's linearization (mean/variance surrogate).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "noise/channel.hpp"
+#include "rand/rng.hpp"
+#include "util/assert.hpp"
+
+namespace npd::noise {
+namespace {
+
+rand::Rng test_rng(std::uint64_t tag = 0) { return rand::Rng(0xFEED + tag); }
+
+/// A fixed pool: agents 0..9; bits 1 at {0, 1, 2}; query samples agent 0
+/// twice (multi-edge) plus agents 1..5 once.
+struct Fixture {
+  BitVector bits{1, 1, 1, 0, 0, 0, 0, 0, 0, 0};
+  std::vector<Index> sampled{0, 0, 1, 2, 3, 4, 5};
+  // true multiset sum: 2*1 + 1 + 1 = 4
+};
+
+// ------------------------------------------------------------ exact sum
+
+TEST(ExactPoolSumTest, CountsMultiplicity) {
+  Fixture f;
+  EXPECT_EQ(exact_pool_sum(f.sampled, f.bits), 4);
+}
+
+TEST(ExactPoolSumTest, EmptyPoolIsZero) {
+  const BitVector bits{1, 0};
+  EXPECT_EQ(exact_pool_sum({}, bits), 0);
+}
+
+// ------------------------------------------------------------ noiseless
+
+TEST(NoiselessTest, MeasuresExactSum) {
+  Fixture f;
+  auto rng = test_rng();
+  NoiselessChannel channel;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(channel.measure(f.sampled, f.bits, rng), 4.0);
+  }
+}
+
+TEST(NoiselessTest, LinearizationIsIdentity) {
+  NoiselessChannel channel;
+  const Linearization lin = channel.linearization(100, 10, 50);
+  EXPECT_DOUBLE_EQ(lin.gain, 1.0);
+  EXPECT_DOUBLE_EQ(lin.offset, 0.0);
+  EXPECT_DOUBLE_EQ(lin.noise_var, 0.0);
+}
+
+TEST(NoiselessTest, Name) {
+  EXPECT_EQ(NoiselessChannel{}.name(), "noiseless");
+}
+
+// -------------------------------------------------------------- bit flip
+
+TEST(BitFlipTest, ConstructorValidatesRates) {
+  EXPECT_NO_THROW(BitFlipChannel(0.3, 0.3));
+  EXPECT_THROW(BitFlipChannel(-0.1, 0.0), ContractViolation);
+  EXPECT_THROW(BitFlipChannel(0.0, 1.0), ContractViolation);
+  EXPECT_THROW(BitFlipChannel(0.6, 0.5), ContractViolation);  // p + q >= 1
+}
+
+TEST(BitFlipTest, ZeroNoiseEqualsExact) {
+  Fixture f;
+  auto rng = test_rng(1);
+  const BitFlipChannel channel(0.0, 0.0);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(channel.measure(f.sampled, f.bits, rng), 4.0);
+  }
+}
+
+TEST(BitFlipTest, ZChannelNeverOverReports) {
+  // With q = 0, zeros never flip up, so the result is at most the true sum.
+  Fixture f;
+  auto rng = test_rng(2);
+  const BitFlipChannel channel(0.4, 0.0);
+  for (int i = 0; i < 200; ++i) {
+    const double r = channel.measure(f.sampled, f.bits, rng);
+    EXPECT_LE(r, 4.0);
+    EXPECT_GE(r, 0.0);
+  }
+}
+
+TEST(BitFlipTest, AllOnesFlippedAtPEqualOne) {
+  // p -> 1 is outside the contract (p < 1), but p close to 1 makes
+  // one-edges almost always read 0 while q = 0 keeps zero-edges at 0.
+  Fixture f;
+  auto rng = test_rng(3);
+  const BitFlipChannel channel(0.999, 0.0);
+  double total = 0.0;
+  for (int i = 0; i < 300; ++i) {
+    total += channel.measure(f.sampled, f.bits, rng);
+  }
+  EXPECT_LT(total / 300.0, 0.05);
+}
+
+TEST(BitFlipTest, MeanMatchesLinearization) {
+  Fixture f;
+  auto rng = test_rng(4);
+  const BitFlipChannel channel(0.2, 0.1);
+  const int trials = 40000;
+  double sum = 0.0;
+  for (int i = 0; i < trials; ++i) {
+    sum += channel.measure(f.sampled, f.bits, rng);
+  }
+  // Per-edge: 4 one-edges read 1 w.p. 0.8, 3 zero-edges read 1 w.p. 0.1.
+  const double expected = 4 * 0.8 + 3 * 0.1;
+  EXPECT_NEAR(sum / trials, expected, 0.03);
+}
+
+TEST(BitFlipTest, VarianceMatchesBernoulliSum) {
+  Fixture f;
+  auto rng = test_rng(5);
+  const BitFlipChannel channel(0.2, 0.1);
+  const int trials = 40000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < trials; ++i) {
+    const double v = channel.measure(f.sampled, f.bits, rng);
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double mean = sum / trials;
+  const double var = sum_sq / trials - mean * mean;
+  const double expected_var = 4 * 0.8 * 0.2 + 3 * 0.1 * 0.9;
+  EXPECT_NEAR(var, expected_var, 0.06);
+}
+
+TEST(BitFlipTest, IndependentNoisePerMultiEdge) {
+  // Agent 0 is sampled twice; with p = 0.5 the two edges flip
+  // independently so the contribution takes value 1 about half the time.
+  const BitVector bits{1};
+  const std::vector<Index> sampled{0, 0};
+  auto rng = test_rng(6);
+  const BitFlipChannel channel(0.5, 0.0);
+  int count_one = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    if (channel.measure(sampled, bits, rng) == 1.0) {
+      ++count_one;
+    }
+  }
+  // P(result = 1) = 2·0.5·0.5 = 0.5; a perfectly correlated flip would
+  // give 0 instead.
+  EXPECT_NEAR(static_cast<double>(count_one) / trials, 0.5, 0.02);
+}
+
+TEST(BitFlipTest, LinearizationGainAndOffset) {
+  const BitFlipChannel channel(0.2, 0.1);
+  const Linearization lin = channel.linearization(100, 10, 50);
+  EXPECT_DOUBLE_EQ(lin.gain, 0.7);
+  EXPECT_DOUBLE_EQ(lin.offset, 5.0);  // q·Γ = 0.1·50
+  // noise var at typical S = Γk/n = 5 one-edges:
+  // 5·0.2·0.8 + 45·0.1·0.9 = 0.8 + 4.05
+  EXPECT_NEAR(lin.noise_var, 4.85, 1e-12);
+}
+
+TEST(BitFlipTest, ZChannelFlagAndName) {
+  const BitFlipChannel z(0.25, 0.0);
+  EXPECT_TRUE(z.is_z_channel());
+  EXPECT_NE(z.name().find("z-channel"), std::string::npos);
+  const BitFlipChannel gnc(0.25, 0.1);
+  EXPECT_FALSE(gnc.is_z_channel());
+  EXPECT_NE(gnc.name().find("noisy-channel"), std::string::npos);
+}
+
+// --------------------------------------------------------- gaussian query
+
+TEST(GaussianQueryTest, ZeroLambdaIsExact) {
+  Fixture f;
+  auto rng = test_rng(7);
+  const GaussianQueryChannel channel(0.0);
+  EXPECT_DOUBLE_EQ(channel.measure(f.sampled, f.bits, rng), 4.0);
+}
+
+TEST(GaussianQueryTest, MomentsMatch) {
+  Fixture f;
+  auto rng = test_rng(8);
+  const GaussianQueryChannel channel(2.0);
+  const int trials = 50000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < trials; ++i) {
+    const double v = channel.measure(f.sampled, f.bits, rng);
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double mean = sum / trials;
+  const double var = sum_sq / trials - mean * mean;
+  EXPECT_NEAR(mean, 4.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.15);
+}
+
+TEST(GaussianQueryTest, ResultsAreRealValued) {
+  Fixture f;
+  auto rng = test_rng(9);
+  const GaussianQueryChannel channel(1.0);
+  int non_integral = 0;
+  for (int i = 0; i < 50; ++i) {
+    const double v = channel.measure(f.sampled, f.bits, rng);
+    if (v != std::floor(v)) {
+      ++non_integral;
+    }
+  }
+  EXPECT_GT(non_integral, 45);
+}
+
+TEST(GaussianQueryTest, LinearizationCarriesLambdaSquared) {
+  const GaussianQueryChannel channel(3.0);
+  const Linearization lin = channel.linearization(100, 10, 50);
+  EXPECT_DOUBLE_EQ(lin.gain, 1.0);
+  EXPECT_DOUBLE_EQ(lin.offset, 0.0);
+  EXPECT_DOUBLE_EQ(lin.noise_var, 9.0);
+}
+
+TEST(GaussianQueryTest, RejectsNegativeLambda) {
+  EXPECT_THROW(GaussianQueryChannel(-1.0), ContractViolation);
+}
+
+// ------------------------------------------------------------ adversarial
+
+TEST(AdversarialTest, RandomSignStaysWithinBudget) {
+  Fixture f;
+  auto rng = test_rng(10);
+  const AdversarialChannel channel(1.5, AdversarialChannel::Strategy::RandomSign,
+                                   10, 3);
+  for (int i = 0; i < 200; ++i) {
+    const double v = channel.measure(f.sampled, f.bits, rng);
+    EXPECT_GE(v, 4.0 - 1.5);
+    EXPECT_LE(v, 4.0 + 1.5);
+  }
+}
+
+TEST(AdversarialTest, AntiSignalPushesTowardMean) {
+  Fixture f;  // true sum 4; pool of 7 slots, mean = 7·3/10 = 2.1
+  auto rng = test_rng(11);
+  const AdversarialChannel channel(1.0, AdversarialChannel::Strategy::AntiSignal,
+                                   10, 3);
+  const double v = channel.measure(f.sampled, f.bits, rng);
+  EXPECT_DOUBLE_EQ(v, 3.0);  // moved 1.0 (the budget) toward 2.1
+}
+
+TEST(AdversarialTest, AntiSignalNeverOvershootsMean) {
+  // True sum already near the mean: shift is clamped to the distance.
+  const BitVector bits{1, 1, 0, 0};  // k = 2, n = 4
+  const std::vector<Index> sampled{0, 2};  // sum 1, mean = 2·2/4 = 1
+  auto rng = test_rng(12);
+  const AdversarialChannel channel(5.0, AdversarialChannel::Strategy::AntiSignal,
+                                   4, 2);
+  EXPECT_DOUBLE_EQ(channel.measure(sampled, bits, rng), 1.0);
+}
+
+TEST(AdversarialTest, ZeroBudgetIsNoiseless) {
+  Fixture f;
+  auto rng = test_rng(13);
+  const AdversarialChannel channel(0.0, AdversarialChannel::Strategy::RandomSign,
+                                   10, 3);
+  EXPECT_DOUBLE_EQ(channel.measure(f.sampled, f.bits, rng), 4.0);
+}
+
+TEST(AdversarialTest, LinearizationUsesUniformVariance) {
+  const AdversarialChannel channel(3.0, AdversarialChannel::Strategy::RandomSign,
+                                   10, 3);
+  const Linearization lin = channel.linearization(10, 3, 5);
+  EXPECT_DOUBLE_EQ(lin.noise_var, 3.0);  // b²/3 = 9/3
+}
+
+// ------------------------------------------------------ per-sample model
+
+TEST(PerSampleGaussianTest, ZeroLambdaIsExact) {
+  Fixture f;
+  auto rng = test_rng(20);
+  const PerSampleGaussianChannel channel(0.0);
+  EXPECT_DOUBLE_EQ(channel.measure(f.sampled, f.bits, rng), 4.0);
+}
+
+TEST(PerSampleGaussianTest, MomentsMatchQueryLevelModel) {
+  // Section II-B: per-sample N(0, λ²/Γ) noise sums to N(0, λ²) — same
+  // first two moments as GaussianQueryChannel.
+  Fixture f;
+  auto rng = test_rng(21);
+  const PerSampleGaussianChannel channel(2.0);
+  const int trials = 50000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < trials; ++i) {
+    const double v = channel.measure(f.sampled, f.bits, rng);
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double mean = sum / trials;
+  const double var = sum_sq / trials - mean * mean;
+  EXPECT_NEAR(mean, 4.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.15);
+}
+
+TEST(PerSampleGaussianTest, LinearizationMatchesQueryLevelModel) {
+  const PerSampleGaussianChannel per_sample(3.0);
+  const GaussianQueryChannel query_level(3.0);
+  const Linearization a = per_sample.linearization(100, 10, 50);
+  const Linearization b = query_level.linearization(100, 10, 50);
+  EXPECT_DOUBLE_EQ(a.gain, b.gain);
+  EXPECT_DOUBLE_EQ(a.offset, b.offset);
+  EXPECT_DOUBLE_EQ(a.noise_var, b.noise_var);
+}
+
+TEST(PerSampleGaussianTest, RejectsEmptyPoolAndNegativeLambda) {
+  EXPECT_THROW(PerSampleGaussianChannel(-0.5), ContractViolation);
+  const PerSampleGaussianChannel channel(1.0);
+  const BitVector bits{1};
+  auto rng = test_rng(22);
+  EXPECT_THROW((void)channel.measure({}, bits, rng), ContractViolation);
+}
+
+// -------------------------------------------------------------- factories
+
+TEST(FactoryTest, MakersProduceExpectedTypes) {
+  EXPECT_EQ(make_noiseless()->name(), "noiseless");
+  EXPECT_NE(make_z_channel(0.1)->name().find("z-channel"), std::string::npos);
+  EXPECT_NE(make_bitflip_channel(0.1, 0.05)->name().find("noisy-channel"),
+            std::string::npos);
+  EXPECT_NE(make_gaussian_channel(2.0)->name().find("noisy-query"),
+            std::string::npos);
+}
+
+TEST(FactoryTest, ZChannelFactorySetsQZero) {
+  const auto channel = make_z_channel(0.2);
+  const auto* bf = dynamic_cast<const BitFlipChannel*>(channel.get());
+  ASSERT_NE(bf, nullptr);
+  EXPECT_DOUBLE_EQ(bf->q(), 0.0);
+  EXPECT_DOUBLE_EQ(bf->p(), 0.2);
+}
+
+}  // namespace
+}  // namespace npd::noise
+
+// ------------------------------------------------------------- estimation
+
+#include "noise/estimation.hpp"
+#include "pooling/ground_truth.hpp"
+#include "pooling/query_design.hpp"
+
+namespace npd::noise {
+namespace {
+
+/// Measure `m` random pools of a random truth through `channel`.
+std::vector<double> simulate_results(Index n, Index k, Index m,
+                                     const NoiseChannel& channel,
+                                     rand::Rng& rng) {
+  const pooling::GroundTruth truth = pooling::make_ground_truth(n, k, rng);
+  const pooling::QueryDesign design = pooling::paper_design(n);
+  std::vector<double> results;
+  results.reserve(static_cast<std::size_t>(m));
+  for (Index j = 0; j < m; ++j) {
+    const auto pool = pooling::sample_query(design, n, rng);
+    results.push_back(channel.measure(pool, truth.bits, rng));
+  }
+  return results;
+}
+
+TEST(EstimationTest, MomentHelpers) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(results_mean(xs), 2.5);
+  EXPECT_NEAR(results_variance(xs), 5.0 / 3.0, 1e-12);
+  EXPECT_THROW((void)results_mean(std::vector<double>{}), ContractViolation);
+  EXPECT_THROW((void)results_variance(std::vector<double>{1.0}),
+               ContractViolation);
+}
+
+TEST(EstimationTest, KEstimateNoiseless) {
+  auto rng = rand::Rng(0xE571);
+  const NoiselessChannel channel;
+  const Index n = 1000;
+  const Index k = 30;
+  const auto results = simulate_results(n, k, 400, channel, rng);
+  const double k_hat = estimate_k(results, n, n / 2);
+  EXPECT_NEAR(k_hat, static_cast<double>(k), 2.0);
+}
+
+TEST(EstimationTest, KEstimateUnderBitFlips) {
+  auto rng = rand::Rng(0xE572);
+  const BitFlipChannel channel(0.2, 0.05);
+  const Index n = 1000;
+  const Index k = 40;
+  const auto results = simulate_results(n, k, 600, channel, rng);
+  const auto lin = channel.linearization(n, k, n / 2);
+  const double k_hat =
+      estimate_k(results, n, n / 2, lin.gain, lin.offset);
+  EXPECT_NEAR(k_hat, static_cast<double>(k), 4.0);
+}
+
+TEST(EstimationTest, ZChannelPEstimate) {
+  auto rng = rand::Rng(0xE573);
+  const Index n = 1000;
+  const Index k = 50;
+  for (const double p : {0.1, 0.3, 0.5}) {
+    const BitFlipChannel channel(p, 0.0);
+    const auto results = simulate_results(n, k, 800, channel, rng);
+    const double p_hat = estimate_z_channel_p(results, n, n / 2, k);
+    EXPECT_NEAR(p_hat, p, 0.03) << "p=" << p;
+  }
+}
+
+TEST(EstimationTest, LambdaSquaredEstimate) {
+  auto rng = rand::Rng(0xE574);
+  const Index n = 1000;
+  const Index k = 30;
+  const double lambda = 4.0;
+  const GaussianQueryChannel channel(lambda);
+  const auto results = simulate_results(n, k, 3000, channel, rng);
+  const double l2 = estimate_lambda_squared(results, n, n / 2, k);
+  EXPECT_NEAR(l2, lambda * lambda, 4.0);
+}
+
+TEST(EstimationTest, LambdaSquaredClampedAtZeroForNoiseless) {
+  auto rng = rand::Rng(0xE575);
+  const NoiselessChannel channel;
+  const auto results = simulate_results(500, 20, 800, channel, rng);
+  // The exact-pool-sum variance is below the binomial model's by the
+  // replacement correction; the estimator must clamp to zero, not go
+  // negative.
+  EXPECT_GE(estimate_lambda_squared(results, 500, 250, 20), 0.0);
+}
+
+TEST(EstimationTest, EstimatesAreClamped) {
+  const std::vector<double> absurd{1e9, 1e9};
+  EXPECT_LE(estimate_k(absurd, 100, 50), 100.0);
+  const std::vector<double> zeros{0.0, 0.0};
+  EXPECT_LT(estimate_z_channel_p(zeros, 100, 50, 10), 1.0);
+  EXPECT_DOUBLE_EQ(estimate_z_channel_p(zeros, 100, 50, 10),
+                   1.0 - 1e-12);
+}
+
+}  // namespace
+}  // namespace npd::noise

@@ -1,0 +1,352 @@
+// Unit tests for src/pooling: ground truth, query designs, and the
+// structural invariants of the bipartite pooling multigraph.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "pooling/ground_truth.hpp"
+#include "pooling/pooling_graph.hpp"
+#include "pooling/query_design.hpp"
+#include "util/assert.hpp"
+
+namespace npd::pooling {
+namespace {
+
+rand::Rng test_rng(std::uint64_t tag = 0) { return rand::Rng(0xBADC0FFEE + tag); }
+
+// ----------------------------------------------------------- ground truth
+
+TEST(GroundTruthTest, ExactlyKOnes) {
+  auto rng = test_rng();
+  const GroundTruth truth = make_ground_truth(100, 17, rng);
+  EXPECT_EQ(truth.n(), 100);
+  EXPECT_EQ(truth.k(), 17);
+  Index ones = 0;
+  for (const Bit b : truth.bits) {
+    ones += b;
+  }
+  EXPECT_EQ(ones, 17);
+}
+
+TEST(GroundTruthTest, OnesListMatchesBits) {
+  auto rng = test_rng(1);
+  const GroundTruth truth = make_ground_truth(50, 9, rng);
+  EXPECT_TRUE(std::is_sorted(truth.ones.begin(), truth.ones.end()));
+  for (const Index i : truth.ones) {
+    EXPECT_EQ(truth.bits[static_cast<std::size_t>(i)], 1);
+  }
+}
+
+TEST(GroundTruthTest, DegenerateZeroAndFull) {
+  auto rng = test_rng(2);
+  const GroundTruth none = make_ground_truth(10, 0, rng);
+  EXPECT_TRUE(none.ones.empty());
+  const GroundTruth all = make_ground_truth(10, 10, rng);
+  EXPECT_EQ(all.k(), 10);
+}
+
+TEST(GroundTruthTest, RejectsBadK) {
+  auto rng = test_rng(3);
+  EXPECT_THROW((void)make_ground_truth(10, 11, rng), ContractViolation);
+  EXPECT_THROW((void)make_ground_truth(10, -1, rng), ContractViolation);
+  EXPECT_THROW((void)make_ground_truth(0, 0, rng), ContractViolation);
+}
+
+TEST(GroundTruthTest, UniformOverSupport) {
+  // Every agent is a one with probability k/n.
+  auto rng = test_rng(4);
+  const int trials = 5000;
+  std::vector<int> counts(20, 0);
+  for (int t = 0; t < trials; ++t) {
+    const GroundTruth truth = make_ground_truth(20, 5, rng);
+    for (const Index i : truth.ones) {
+      ++counts[static_cast<std::size_t>(i)];
+    }
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / trials, 0.25, 0.035);
+  }
+}
+
+TEST(RegimeTest, SublinearKMatchesPower) {
+  EXPECT_EQ(sublinear_k(10000, 0.25), 10);   // 10000^0.25 = 10
+  EXPECT_EQ(sublinear_k(100000, 0.25), 18);  // ≈ 17.78
+  EXPECT_EQ(sublinear_k(100, 0.5), 10);
+}
+
+TEST(RegimeTest, SublinearKClampedToAtLeastOne) {
+  EXPECT_GE(sublinear_k(2, 0.1), 1);
+}
+
+TEST(RegimeTest, LinearKMatchesFraction) {
+  EXPECT_EQ(linear_k(1000, 0.1), 100);
+  EXPECT_EQ(linear_k(1000, 0.05), 50);
+}
+
+TEST(RegimeTest, RejectsBadParameters) {
+  EXPECT_THROW((void)sublinear_k(100, 0.0), ContractViolation);
+  EXPECT_THROW((void)sublinear_k(100, 1.0), ContractViolation);
+  EXPECT_THROW((void)linear_k(100, 0.0), ContractViolation);
+  EXPECT_THROW((void)linear_k(100, 1.0), ContractViolation);
+}
+
+// ---------------------------------------------------------- query design
+
+TEST(QueryDesignTest, PaperDesignIsHalfWithReplacement) {
+  const QueryDesign d = paper_design(1000);
+  EXPECT_EQ(d.gamma, 500);
+  EXPECT_EQ(d.mode, SamplingMode::WithReplacement);
+}
+
+TEST(QueryDesignTest, FractionalDesignRounds) {
+  const QueryDesign d =
+      fractional_design(1000, 0.3, SamplingMode::WithoutReplacement);
+  EXPECT_EQ(d.gamma, 300);
+  EXPECT_EQ(d.mode, SamplingMode::WithoutReplacement);
+}
+
+TEST(QueryDesignTest, FractionalDesignClampsToAtLeastOne) {
+  const QueryDesign d =
+      fractional_design(10, 0.001, SamplingMode::WithReplacement);
+  EXPECT_EQ(d.gamma, 1);
+}
+
+TEST(QueryDesignTest, SampleQuerySizeIsGamma) {
+  auto rng = test_rng(5);
+  const QueryDesign d = paper_design(100);
+  const auto q = sample_query(d, 100, rng);
+  EXPECT_EQ(static_cast<Index>(q.size()), d.gamma);
+}
+
+TEST(QueryDesignTest, WithoutReplacementHasNoDuplicates) {
+  auto rng = test_rng(6);
+  const QueryDesign d = fractional_design(60, 0.5, SamplingMode::WithoutReplacement);
+  const auto q = sample_query(d, 60, rng);
+  std::set<Index> unique(q.begin(), q.end());
+  EXPECT_EQ(unique.size(), q.size());
+}
+
+TEST(QueryDesignTest, WithReplacementHasDuplicatesWhp) {
+  auto rng = test_rng(7);
+  const QueryDesign d = paper_design(100);  // 50 draws from 100
+  int with_dup = 0;
+  for (int t = 0; t < 50; ++t) {
+    const auto q = sample_query(d, 100, rng);
+    std::set<Index> unique(q.begin(), q.end());
+    if (unique.size() < q.size()) {
+      ++with_dup;
+    }
+  }
+  EXPECT_GT(with_dup, 45);  // collision probability is ≈ 1
+}
+
+TEST(QueryDesignTest, BernoulliPoolSizeConcentrates) {
+  auto rng = test_rng(20);
+  const QueryDesign d = fractional_design(400, 0.5, SamplingMode::Bernoulli);
+  double total = 0.0;
+  for (int t = 0; t < 200; ++t) {
+    const auto q = sample_query(d, 400, rng);
+    std::set<Index> unique(q.begin(), q.end());
+    EXPECT_EQ(unique.size(), q.size()) << "Bernoulli pools must be simple";
+    total += static_cast<double>(q.size());
+  }
+  // E[size] = 200; std of the mean over 200 trials ~ 0.7.
+  EXPECT_NEAR(total / 200.0, 200.0, 4.0);
+}
+
+TEST(QueryDesignTest, BernoulliNeverEmpty) {
+  auto rng = test_rng(21);
+  const QueryDesign d = fractional_design(50, 0.02, SamplingMode::Bernoulli);
+  for (int t = 0; t < 300; ++t) {
+    EXPECT_GE(sample_query(d, 50, rng).size(), 1u);
+  }
+}
+
+TEST(QueryDesignTest, BernoulliAgentsSorted) {
+  auto rng = test_rng(22);
+  const QueryDesign d = fractional_design(100, 0.3, SamplingMode::Bernoulli);
+  const auto q = sample_query(d, 100, rng);
+  EXPECT_TRUE(std::is_sorted(q.begin(), q.end()));
+}
+
+// ---------------------------------------------------------------- graph
+
+TEST(PoolingGraphTest, BuilderCountsQueries) {
+  PoolingGraphBuilder builder(10);
+  EXPECT_EQ(builder.num_queries_so_far(), 0);
+  const std::vector<Index> q{0, 1, 2};
+  EXPECT_EQ(builder.add_query(q), 0);
+  EXPECT_EQ(builder.add_query(q), 1);
+  EXPECT_EQ(builder.num_queries_so_far(), 2);
+}
+
+TEST(PoolingGraphTest, MultisetRoundTrips) {
+  PoolingGraphBuilder builder(10);
+  const std::vector<Index> q{3, 1, 3, 7, 1, 1};
+  (void)builder.add_query(q);
+  const PoolingGraph g = builder.build();
+  const auto multiset = g.query_multiset(0);
+  EXPECT_TRUE(std::equal(multiset.begin(), multiset.end(), q.begin(), q.end()));
+}
+
+TEST(PoolingGraphTest, DistinctAndMultiplicity) {
+  PoolingGraphBuilder builder(10);
+  (void)builder.add_query(std::vector<Index>{3, 1, 3, 7, 1, 1});
+  const PoolingGraph g = builder.build();
+
+  const auto distinct = g.query_distinct(0);
+  const auto counts = g.query_multiplicity(0);
+  ASSERT_EQ(distinct.size(), 3u);
+  EXPECT_EQ(distinct[0], 1);
+  EXPECT_EQ(counts[0], 3);
+  EXPECT_EQ(distinct[1], 3);
+  EXPECT_EQ(counts[1], 2);
+  EXPECT_EQ(distinct[2], 7);
+  EXPECT_EQ(counts[2], 1);
+}
+
+TEST(PoolingGraphTest, DegreesAccumulateAcrossQueries) {
+  PoolingGraphBuilder builder(5);
+  (void)builder.add_query(std::vector<Index>{0, 0, 1});
+  (void)builder.add_query(std::vector<Index>{0, 2});
+  const PoolingGraph g = builder.build();
+
+  EXPECT_EQ(g.delta(0), 3);       // sampled 2 + 1 times
+  EXPECT_EQ(g.delta_star(0), 2);  // in 2 distinct queries
+  EXPECT_EQ(g.delta(1), 1);
+  EXPECT_EQ(g.delta_star(1), 1);
+  EXPECT_EQ(g.delta(3), 0);
+  EXPECT_EQ(g.delta_star(3), 0);
+}
+
+TEST(PoolingGraphTest, AgentQueriesIsTransposeOfQueryDistinct) {
+  auto rng = test_rng(8);
+  const PoolingGraph g = make_pooling_graph(40, 25, paper_design(40), rng);
+
+  for (Index i = 0; i < g.num_agents(); ++i) {
+    for (const Index j : g.agent_queries(i)) {
+      const auto distinct = g.query_distinct(j);
+      EXPECT_TRUE(std::binary_search(distinct.begin(), distinct.end(), i));
+    }
+  }
+  Index total_agent_side = 0;
+  for (Index i = 0; i < g.num_agents(); ++i) {
+    total_agent_side += g.delta_star(i);
+    EXPECT_TRUE(std::is_sorted(g.agent_queries(i).begin(),
+                               g.agent_queries(i).end()));
+  }
+  Index total_query_side = 0;
+  for (Index j = 0; j < g.num_queries(); ++j) {
+    total_query_side += static_cast<Index>(g.query_distinct(j).size());
+  }
+  EXPECT_EQ(total_agent_side, total_query_side);
+}
+
+TEST(PoolingGraphTest, EdgeCountIsMGamma) {
+  auto rng = test_rng(9);
+  const QueryDesign d = paper_design(50);
+  const PoolingGraph g = make_pooling_graph(50, 12, d, rng);
+  EXPECT_EQ(g.num_edges(), 12 * d.gamma);
+
+  Index delta_sum = 0;
+  for (Index i = 0; i < g.num_agents(); ++i) {
+    delta_sum += g.delta(i);
+  }
+  EXPECT_EQ(delta_sum, g.num_edges());
+}
+
+TEST(PoolingGraphTest, DeltaStarNeverExceedsDelta) {
+  auto rng = test_rng(10);
+  const PoolingGraph g = make_pooling_graph(60, 30, paper_design(60), rng);
+  for (Index i = 0; i < g.num_agents(); ++i) {
+    EXPECT_LE(g.delta_star(i), g.delta(i));
+    EXPECT_LE(g.delta_star(i), g.num_queries());
+  }
+}
+
+TEST(PoolingGraphTest, MultiplicityLookup) {
+  PoolingGraphBuilder builder(6);
+  (void)builder.add_query(std::vector<Index>{2, 2, 5});
+  const PoolingGraph g = builder.build();
+  EXPECT_EQ(g.multiplicity(0, 2), 2);
+  EXPECT_EQ(g.multiplicity(0, 5), 1);
+  EXPECT_EQ(g.multiplicity(0, 0), 0);
+}
+
+TEST(PoolingGraphTest, BuilderRejectsBadAgents) {
+  PoolingGraphBuilder builder(4);
+  EXPECT_THROW((void)builder.add_query(std::vector<Index>{4}),
+               ContractViolation);
+  EXPECT_THROW((void)builder.add_query(std::vector<Index>{-1}),
+               ContractViolation);
+  EXPECT_THROW((void)builder.add_query(std::vector<Index>{}),
+               ContractViolation);
+}
+
+TEST(PoolingGraphTest, BuilderIsReusableAfterBuild) {
+  PoolingGraphBuilder builder(5);
+  (void)builder.add_query(std::vector<Index>{0, 1});
+  const PoolingGraph first = builder.build();
+  EXPECT_EQ(first.num_queries(), 1);
+  EXPECT_EQ(builder.num_queries_so_far(), 0);
+  (void)builder.add_query(std::vector<Index>{2, 3});
+  (void)builder.add_query(std::vector<Index>{4, 4});
+  const PoolingGraph second = builder.build();
+  EXPECT_EQ(second.num_queries(), 2);
+  EXPECT_EQ(second.delta(4), 2);
+}
+
+TEST(PoolingGraphTest, IncrementalEqualsBatch) {
+  // Adding queries one by one (the paper's protocol) must produce the same
+  // graph as the batch constructor under the same random stream.
+  auto rng1 = test_rng(11);
+  auto rng2 = test_rng(11);
+  const QueryDesign d = paper_design(30);
+
+  const PoolingGraph batch = make_pooling_graph(30, 8, d, rng1);
+  PoolingGraphBuilder builder(30);
+  for (int j = 0; j < 8; ++j) {
+    (void)builder.add_random_query(d, rng2);
+  }
+  const PoolingGraph inc = builder.build();
+
+  ASSERT_EQ(batch.num_queries(), inc.num_queries());
+  for (Index j = 0; j < batch.num_queries(); ++j) {
+    const auto a = batch.query_multiset(j);
+    const auto b = inc.query_multiset(j);
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()));
+  }
+}
+
+// ----------------------------------------------- constant column weight
+
+TEST(CcwGraphTest, EveryAgentHasExactWeight) {
+  auto rng = test_rng(12);
+  const PoolingGraph g = make_constant_column_weight_graph(50, 20, 5, rng);
+  for (Index i = 0; i < g.num_agents(); ++i) {
+    EXPECT_EQ(g.delta_star(i), 5);
+    EXPECT_GE(g.delta(i), 5);  // padding may add at most a few more
+  }
+}
+
+TEST(CcwGraphTest, NoQueryIsEmpty) {
+  auto rng = test_rng(13);
+  const PoolingGraph g = make_constant_column_weight_graph(10, 40, 2, rng);
+  for (Index j = 0; j < g.num_queries(); ++j) {
+    EXPECT_GE(g.query_multiset(j).size(), 1u);
+  }
+}
+
+TEST(CcwGraphTest, RejectsBadWeight) {
+  auto rng = test_rng(14);
+  EXPECT_THROW((void)make_constant_column_weight_graph(10, 5, 6, rng),
+               ContractViolation);
+  EXPECT_THROW((void)make_constant_column_weight_graph(10, 5, 0, rng),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace npd::pooling

@@ -1,0 +1,198 @@
+// Tests for the parallel-for helper and the ASCII plot renderer.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "util/ascii_plot.hpp"
+#include "util/assert.hpp"
+#include "util/parallel.hpp"
+
+namespace npd {
+namespace {
+
+// ------------------------------------------------------------ parallel_for
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnceSequential) {
+  std::vector<int> hits(100, 0);
+  parallel_for(100, 1, [&](Index i) { ++hits[static_cast<std::size_t>(i)]; });
+  for (const int h : hits) {
+    EXPECT_EQ(h, 1);
+  }
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnceParallel) {
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(1000, 8, [&](Index i) {
+    hits[static_cast<std::size_t>(i)].fetch_add(1);
+  });
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ParallelForTest, ZeroCountIsNoop) {
+  bool called = false;
+  parallel_for(0, 4, [&](Index) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelForTest, MoreThreadsThanWork) {
+  std::vector<std::atomic<int>> hits(3);
+  parallel_for(3, 64, [&](Index i) {
+    hits[static_cast<std::size_t>(i)].fetch_add(1);
+  });
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ParallelForTest, AutoThreadsResolvesPositive) {
+  EXPECT_GE(resolve_threads(0), 1);
+  EXPECT_EQ(resolve_threads(7), 7);
+}
+
+TEST(ParallelForTest, ExceptionIsPropagated) {
+  EXPECT_THROW(
+      parallel_for(100, 4,
+                   [&](Index i) {
+                     if (i == 41) {
+                       throw std::runtime_error("boom");
+                     }
+                   }),
+      std::runtime_error);
+}
+
+TEST(ParallelForTest, ExceptionPropagatedSequentialToo) {
+  EXPECT_THROW(
+      parallel_for(10, 1,
+                   [&](Index i) {
+                     if (i == 5) {
+                       throw std::logic_error("boom");
+                     }
+                   }),
+      std::logic_error);
+}
+
+TEST(ParallelForTest, ResultsIndependentOfThreadCount) {
+  // Deterministic per-index work: writing f(i) to slot i must give the
+  // same vector for any thread count.
+  const auto run = [](Index threads) {
+    std::vector<double> out(500);
+    parallel_for(500, threads, [&](Index i) {
+      out[static_cast<std::size_t>(i)] =
+          static_cast<double>(i) * 1.5 + 1.0;
+    });
+    return out;
+  };
+  EXPECT_EQ(run(1), run(4));
+  EXPECT_EQ(run(4), run(16));
+}
+
+TEST(ParallelForTest, NullBodyRejected) {
+  EXPECT_THROW(parallel_for(1, 1, nullptr), ContractViolation);
+}
+
+// -------------------------------------------------------------- ascii plot
+
+TEST(AsciiPlotTest, RendersMarkersAndLegend) {
+  PlotSeries s{.label = "series-one",
+               .x = {1.0, 2.0, 3.0},
+               .y = {1.0, 2.0, 3.0},
+               .marker = '@'};
+  PlotOptions titled;
+  titled.title = "T";
+  const std::string out = render_plot({s}, titled);
+  EXPECT_NE(out.find('@'), std::string::npos);
+  EXPECT_NE(out.find("series-one"), std::string::npos);
+  EXPECT_NE(out.find("T"), std::string::npos);
+}
+
+TEST(AsciiPlotTest, CornersLandAtExtremes) {
+  PlotSeries s{.label = "d",
+               .x = {0.0, 10.0},
+               .y = {0.0, 10.0},
+               .marker = '#'};
+  PlotOptions opts;
+  opts.width = 20;
+  opts.height = 5;
+  const std::string out = render_plot({s}, opts);
+  // First canvas row (top) must contain the max point's marker at the far
+  // right; bottom row the min point's marker at the far left.
+  std::vector<std::string> lines;
+  std::size_t pos = 0;
+  while (pos < out.size()) {
+    const std::size_t eol = out.find('\n', pos);
+    lines.push_back(out.substr(pos, eol - pos));
+    pos = eol + 1;
+  }
+  EXPECT_EQ(lines[0].back(), '#');                       // top-right
+  EXPECT_EQ(lines[4][lines[4].find('|') + 1], '#');      // bottom-left
+}
+
+TEST(AsciiPlotTest, LogScaleSkipsNonPositive) {
+  PlotSeries s{.label = "mixed",
+               .x = {-1.0, 0.0, 10.0, 100.0},
+               .y = {5.0, 5.0, 5.0, 5.0},
+               .marker = 'x'};
+  PlotOptions opts;
+  opts.x_scale = AxisScale::Log10;
+  const std::string out = render_plot({s}, opts);
+  // Only the two positive-x points plot; output must still render.
+  EXPECT_NE(out.find('x'), std::string::npos);
+  EXPECT_NE(out.find("10"), std::string::npos);
+  EXPECT_NE(out.find("100"), std::string::npos);
+}
+
+TEST(AsciiPlotTest, EmptyInputDegradesGracefully) {
+  const std::string out = render_plot({}, PlotOptions{});
+  EXPECT_NE(out.find("no plottable points"), std::string::npos);
+  PlotSeries s{.label = "only-bad", .x = {-1.0}, .y = {1.0}, .marker = 'x'};
+  PlotOptions opts;
+  opts.x_scale = AxisScale::Log10;
+  EXPECT_NE(render_plot({s}, opts).find("no plottable points"),
+            std::string::npos);
+}
+
+TEST(AsciiPlotTest, FlatSeriesDoesNotDivideByZero) {
+  PlotSeries s{.label = "flat",
+               .x = {1.0, 2.0, 3.0},
+               .y = {7.0, 7.0, 7.0},
+               .marker = 'o'};
+  const std::string out = render_plot({s}, PlotOptions{});
+  EXPECT_NE(out.find('o'), std::string::npos);
+}
+
+TEST(AsciiPlotTest, ArityMismatchRejected) {
+  PlotSeries s{.label = "bad", .x = {1.0, 2.0}, .y = {1.0}, .marker = 'x'};
+  EXPECT_THROW((void)render_plot({s}, PlotOptions{}), ContractViolation);
+}
+
+TEST(AsciiPlotTest, TinyCanvasRejected) {
+  PlotOptions opts;
+  opts.width = 2;
+  EXPECT_THROW((void)render_plot({}, opts), ContractViolation);
+}
+
+TEST(AsciiPlotTest, LaterSeriesWinsSharedCells) {
+  PlotSeries first{.label = "a", .x = {1.0}, .y = {1.0}, .marker = 'A'};
+  PlotSeries second{.label = "b", .x = {1.0}, .y = {1.0}, .marker = 'B'};
+  // Add a far-away anchor so the shared point is interior.
+  first.x.push_back(2.0);
+  first.y.push_back(2.0);
+  second.x.push_back(2.0);
+  second.y.push_back(2.0);
+  const std::string out = render_plot({first, second}, PlotOptions{});
+  // 'A' is fully overdrawn on the canvas and appears only in the legend;
+  // 'B' occupies both shared cells plus its legend line.
+  EXPECT_EQ(std::count(out.begin(), out.end(), 'A'), 1);
+  EXPECT_GE(std::count(out.begin(), out.end(), 'B'), 3);
+}
+
+}  // namespace
+}  // namespace npd
