@@ -16,14 +16,32 @@
 #include "noise/channel.hpp"
 #include "pooling/query_design.hpp"
 #include "rand/rng.hpp"
+#include "util/cli.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace npd;
 
-  std::printf("=== AMP vs greedy on one instance ===\n\n");
+  CliParser cli("amp_vs_greedy",
+                "Head-to-head of Algorithm 1 and AMP on single instances.");
+  const long long& n_arg = cli.add_int("n", 1000, "number of agents");
+  const long long& reps = cli.add_int("reps", 1, "independent instances");
+  const long long& seed = cli.add_int("seed", 424242, "base RNG seed");
+  cli.parse(argc, argv);
 
-  const Index n = 1000;
+  std::printf("=== AMP vs greedy ===\n\n");
+
+  if (n_arg < 2) {
+    std::fprintf(stderr, "error: --n must be at least 2 (got %lld)\n", n_arg);
+    return 1;
+  }
+  if (reps < 1) {
+    std::printf("nothing to do: --reps %lld\n",
+                static_cast<long long>(reps));
+    return 0;
+  }
+
+  const auto n = static_cast<Index>(n_arg);
   const Index k = pooling::sublinear_k(n, 0.25);
   const double p = 0.1;
   const noise::BitFlipChannel channel(p, 0.0);
@@ -34,40 +52,50 @@ int main() {
       core::theory::z_channel_sublinear(n, 0.25, p, 0.1);
   const auto m = static_cast<Index>(0.55 * greedy_bound);
   std::printf("n = %lld, k = %lld, Z-channel p = %.1f, m = %lld "
-              "(greedy bound ~ %.0f)\n\n",
+              "(greedy bound ~ %.0f), reps = %lld\n\n",
               static_cast<long long>(n), static_cast<long long>(k), p,
-              static_cast<long long>(m), std::ceil(greedy_bound));
+              static_cast<long long>(m), std::ceil(greedy_bound),
+              static_cast<long long>(reps));
 
-  rand::Rng rng(424242);
-  const core::Instance instance =
-      core::make_instance(n, k, m, pooling::paper_design(n), channel, rng);
+  amp::AmpResult amp_result;
+  amp::AmpProblem problem;
+  for (long long rep = 0; rep < reps; ++rep) {
+    rand::Rng rng(static_cast<std::uint64_t>(seed + rep));
+    const core::Instance instance =
+        core::make_instance(n, k, m, pooling::paper_design(n), channel, rng);
 
-  // --- greedy ---
-  const auto greedy = core::greedy_reconstruct(instance);
-  std::printf("greedy : exact = %s, overlap = %.2f\n",
-              core::exact_success(greedy.estimate, instance.truth) ? "yes"
-                                                                   : "no",
-              core::overlap(greedy.estimate, instance.truth));
+    // --- greedy ---
+    const auto greedy = core::greedy_reconstruct(instance);
+    std::printf("rep %lld greedy : exact = %s, overlap = %.2f\n",
+                rep + 1,
+                core::exact_success(greedy.estimate, instance.truth) ? "yes"
+                                                                     : "no",
+                core::overlap(greedy.estimate, instance.truth));
 
-  // --- AMP with iteration trace ---
-  const auto lin = channel.linearization(n, k, n / 2);
-  const amp::AmpProblem problem = amp::standardize(instance, lin);
-  const amp::BayesBernoulliDenoiser denoiser(problem.pi);
-  const amp::AmpResult amp_result = amp::run_amp(problem, denoiser);
-  std::printf("amp    : exact = %s, overlap = %.2f, iterations = %lld\n\n",
-              core::exact_success(amp_result.estimate, instance.truth)
-                  ? "yes"
-                  : "no",
-              core::overlap(amp_result.estimate, instance.truth),
-              static_cast<long long>(amp_result.iterations));
+    // --- AMP ---
+    const auto lin = channel.linearization(n, k, n / 2);
+    problem = amp::standardize(instance, lin);
+    const amp::BayesBernoulliDenoiser denoiser(problem.pi);
+    amp_result = amp::run_amp(problem, denoiser);
+    std::printf("rep %lld amp    : exact = %s, overlap = %.2f, "
+                "iterations = %lld\n",
+                rep + 1,
+                core::exact_success(amp_result.estimate, instance.truth)
+                    ? "yes"
+                    : "no",
+                core::overlap(amp_result.estimate, instance.truth),
+                static_cast<long long>(amp_result.iterations));
+  }
 
-  // --- the τ² trace against state evolution ---
+  // --- the τ² trace of the last instance against state evolution ---
   amp::StateEvolutionParams se_params;
   se_params.pi = problem.pi;
   se_params.n_over_m = static_cast<double>(n) / static_cast<double>(m);
   se_params.noise_var = problem.effective_noise_var;
+  const amp::BayesBernoulliDenoiser denoiser(problem.pi);
   const auto se = amp::run_state_evolution(se_params, denoiser);
 
+  std::printf("\n");
   ConsoleTable table({"iter", "empirical tau^2", "state-evolution tau^2"});
   const std::size_t rows =
       std::min(amp_result.tau2_history.size(), se.tau2.size());

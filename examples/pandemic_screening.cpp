@@ -26,15 +26,34 @@
 #include "noise/channel.hpp"
 #include "pooling/query_design.hpp"
 #include "rand/rng.hpp"
+#include "util/cli.hpp"
 #include "util/csv.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace npd;
+
+  CliParser cli("pandemic_screening",
+                "Pooled screening under the noisy query model.");
+  const long long& population_arg =
+      cli.add_int("population", 5000, "population size n");
+  const long long& days =
+      cli.add_int("days", 5, "independent lab days for the query count");
+  cli.parse(argc, argv);
 
   std::printf("=== Pandemic screening (noisy query model) ===\n\n");
 
-  const Index population = 5000;
+  if (population_arg < 2) {
+    std::fprintf(stderr, "error: --population must be at least 2 (got %lld)\n",
+                 population_arg);
+    return 1;
+  }
+  if (days < 1) {
+    std::printf("nothing to do: --days %lld\n", static_cast<long long>(days));
+    return 0;
+  }
+
+  const auto population = static_cast<Index>(population_arg);
   const double theta = 0.3;
   const Index carriers = pooling::sublinear_k(population, theta);
   const double lambda = 1.0;  // pipetting noise stddev per pooled test
@@ -47,15 +66,16 @@ int main() {
 
   // --- How many pooled tests does exact identification need? ---
   std::printf("Measuring the required number of pooled tests "
-              "(5 independent lab days):\n");
+              "(%lld independent lab days):\n",
+              static_cast<long long>(days));
   std::vector<double> required;
-  for (int day = 0; day < 5; ++day) {
+  for (long long day = 0; day < days; ++day) {
     rand::Rng rng(900 + static_cast<std::uint64_t>(day));
     const auto result = harness::required_queries(
         population, carriers, pooling::paper_design(population), *channel,
         rng);
     required.push_back(static_cast<double>(result.m));
-    std::printf("  day %d: %lld tests\n", day + 1,
+    std::printf("  day %lld: %lld tests\n", day + 1,
                 static_cast<long long>(result.m));
   }
   const double theory = core::theory::noisy_query_sublinear(

@@ -30,20 +30,41 @@
 #include "noise/estimation.hpp"
 #include "pooling/query_design.hpp"
 #include "rand/rng.hpp"
+#include "util/cli.hpp"
 #include "util/csv.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace npd;
+
+  CliParser cli("parameter_estimation",
+                "Reconstruction with method-of-moments constant estimation.");
+  const long long& n_arg = cli.add_int("n", 2000, "number of agents");
+  const long long& k_arg = cli.add_int("k", 25, "true number of 1-agents");
+  const long long& m_arg = cli.add_int("m", 1800, "number of queries");
+  cli.parse(argc, argv);
 
   std::printf("=== Oracle-free reconstruction (parameter estimation) ===\n\n");
 
-  const Index n = 2000;
-  const Index true_k = 25;
+  if (n_arg < 2) {
+    std::fprintf(stderr, "error: --n must be at least 2 (got %lld)\n", n_arg);
+    return 1;
+  }
+  if (k_arg < 1 || k_arg > n_arg) {
+    std::fprintf(stderr, "error: --k must lie in [1, n] (got %lld)\n", k_arg);
+    return 1;
+  }
+  if (m_arg < 1) {
+    std::fprintf(stderr, "error: --m must be at least 1 (got %lld)\n", m_arg);
+    return 1;
+  }
+
+  const auto n = static_cast<Index>(n_arg);
+  const auto true_k = static_cast<Index>(k_arg);
   const double true_p = 0.2;
   const noise::BitFlipChannel channel(true_p, 0.0);
   const pooling::QueryDesign design = pooling::paper_design(n);
-  const Index m = 1800;
+  const auto m = static_cast<Index>(m_arg);
 
   rand::Rng rng(20220414);
   const core::Instance instance =

@@ -20,15 +20,32 @@
 #include "noise/channel.hpp"
 #include "pooling/query_design.hpp"
 #include "rand/rng.hpp"
+#include "util/cli.hpp"
 #include "util/csv.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace npd;
+
+  CliParser cli("traffic_monitoring",
+                "Heavy-hitter detection in the linear regime.");
+  const long long& n_arg = cli.add_int("n", 1000, "number of flows");
+  const long long& reps =
+      cli.add_int("reps", 3, "required-counter measurements per zeta");
+  cli.parse(argc, argv);
 
   std::printf("=== Traffic monitoring (linear regime, k = zeta*n) ===\n\n");
 
-  const Index n = 1000;
+  if (n_arg < 2) {
+    std::fprintf(stderr, "error: --n must be at least 2 (got %lld)\n", n_arg);
+    return 1;
+  }
+  if (reps < 1) {
+    std::printf("nothing to do: --reps %lld\n", static_cast<long long>(reps));
+    return 0;
+  }
+
+  const auto n = static_cast<Index>(n_arg);
   const double p = 0.05;  // counter under-count rate
   const double q = 0.01;  // counter over-count rate
   const auto channel = noise::make_bitflip_channel(p, q);
@@ -42,7 +59,7 @@ int main() {
   for (const double zeta : {0.01, 0.02, 0.05, 0.1}) {
     const Index k = pooling::linear_k(n, zeta);
     std::vector<double> ms;
-    for (int rep = 0; rep < 3; ++rep) {
+    for (long long rep = 0; rep < reps; ++rep) {
       rand::Rng rng(5000 + static_cast<std::uint64_t>(zeta * 1000) +
                     static_cast<std::uint64_t>(rep));
       ms.push_back(static_cast<double>(

@@ -19,9 +19,29 @@ Index resolve_threads(Index requested) {
   return hw == 0 ? 1 : static_cast<Index>(hw);
 }
 
+namespace {
+
+/// Chunk of indices each worker claims per atomic increment.  Small
+/// enough that the tail stays balanced across workers, large enough that
+/// a trivial body amortizes the fetch_add plus the std::function call.
+Index resolve_grain(Index requested, Index count, Index workers) {
+  if (requested > 0) {
+    // Cap at count: an oversized grain would otherwise let concurrent
+    // fetch_adds overflow the shared counter past the Index range.
+    return std::min(requested, count);
+  }
+  // Aim for ~8 chunks per worker so late joiners still find work, capped
+  // to keep cheap bodies from degenerating into one chunk per index.
+  const Index balanced = count / (workers * 8);
+  return std::clamp<Index>(balanced, 1, 1024);
+}
+
+}  // namespace
+
 void parallel_for(Index count, Index threads,
-                  const std::function<void(Index)>& body) {
+                  const std::function<void(Index)>& body, Index grain) {
   NPD_CHECK(count >= 0);
+  NPD_CHECK(grain >= 0);
   NPD_CHECK_MSG(body != nullptr, "parallel_for needs a callable body");
   if (count == 0) {
     return;
@@ -35,18 +55,22 @@ void parallel_for(Index count, Index threads,
     return;
   }
 
+  const Index chunk = resolve_grain(grain, count, workers);
   std::atomic<Index> next{0};
   std::exception_ptr first_error;
   std::mutex error_mutex;
 
   auto worker = [&]() {
     for (;;) {
-      const Index i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= count) {
+      const Index begin = next.fetch_add(chunk, std::memory_order_relaxed);
+      if (begin >= count) {
         return;
       }
+      const Index end = std::min<Index>(begin + chunk, count);
       try {
-        body(i);
+        for (Index i = begin; i < end; ++i) {
+          body(i);
+        }
       } catch (...) {
         const std::scoped_lock lock(error_mutex);
         if (!first_error) {

@@ -19,6 +19,14 @@ namespace npd {
 /// Invoke `body(i)` for every `i` in `[0, count)` using up to `threads`
 /// worker threads (including the calling thread's share of work).
 ///
+/// Work is handed out block-cyclically: each worker claims a contiguous
+/// chunk of `grain` indices per atomic increment, so tiny per-index
+/// bodies (e.g. the per-repetition closures in `harness::success_sweep`)
+/// are not dominated by scheduling overhead.  `grain == 0` picks a chunk
+/// size automatically; a positive value is honored up to `count`.  The mapping
+/// index → body invocation is unchanged, so results are bit-identical
+/// for every (threads, grain) combination.
+///
 /// * `threads <= 1` runs inline (no thread is spawned).
 /// * `threads == 0` uses the hardware concurrency.
 /// * `body` must be safe to call concurrently for distinct `i`; writes
@@ -26,7 +34,7 @@ namespace npd {
 /// * If any invocation throws, the first exception is rethrown on the
 ///   caller's thread after all workers have stopped.
 void parallel_for(Index count, Index threads,
-                  const std::function<void(Index)>& body);
+                  const std::function<void(Index)>& body, Index grain = 0);
 
 /// Resolved number of worker threads for a request (0 = auto).
 [[nodiscard]] Index resolve_threads(Index requested);

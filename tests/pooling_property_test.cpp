@@ -11,6 +11,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "core/theory.hpp"
 #include "pooling/pooling_graph.hpp"
@@ -108,8 +109,14 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(GridPoint{100, 200, 1}, GridPoint{300, 150, 2},
                       GridPoint{1000, 400, 3}, GridPoint{2000, 100, 4}),
     [](const ::testing::TestParamInfo<GridPoint>& info) {
-      return "n" + std::to_string(info.param.n) + "_m" +
-             std::to_string(info.param.m);
+      // Built with append rather than an operator+ chain: GCC 12 at -O2
+      // flags the temporary-chain form with a spurious -Wrestrict
+      // (GCC PR 105329).
+      std::string name = "n";
+      name += std::to_string(info.param.n);
+      name += "_m";
+      name += std::to_string(info.param.m);
+      return name;
     });
 
 }  // namespace
