@@ -12,20 +12,18 @@
 //   * sparse model — the per-iteration cost if messages flowed only along
 //     the 2·|edges| graph incidences (the [32]-style sparse variant),
 //     an optimistic lower bound for larger n.
+//
+// Thin wrapper over the batch engine's registered `abl7` scenario: the
+// per-n measurement lives in src/engine/builtin_scenarios.cpp with the
+// same instance seeding (`Rng(seed + n)`), so the numbers are unchanged
+// for any given --seed.
 
-#include <cmath>
 #include <cstdio>
+#include <string>
 
-#include "amp/amp.hpp"
 #include "bench_common.hpp"
-#include "core/instance.hpp"
-#include "core/theory.hpp"
-#include "harness/sweeps.hpp"
-#include "netsim/distributed_amp.hpp"
-#include "netsim/distributed_greedy.hpp"
-#include "noise/channel.hpp"
-#include "pooling/ground_truth.hpp"
-#include "pooling/query_design.hpp"
+#include "engine/builtin_scenarios.hpp"
+#include "engine/engine.hpp"
 
 int main(int argc, char** argv) {
   using namespace npd;
@@ -44,10 +42,21 @@ int main(int argc, char** argv) {
   bench::print_banner("Ablation A7",
                       "rounds/messages/bytes of the distributed protocols");
 
-  const double p = 0.1;
-  const noise::BitFlipChannel channel(p, 0.0);
-  const Index hi = common.paper ? 10000 : static_cast<Index>(max_n);
-  const auto ns = harness::log_grid(100, hi, 2);
+  engine::ScenarioRegistry registry;
+  engine::register_builtin_scenarios(registry);
+  engine::BatchRequest request;
+  request.scenario_names = {"abl7"};
+  request.config.seed = static_cast<std::uint64_t>(common.seed);
+  request.config.reps = static_cast<Index>(common.reps);
+  request.config.threads = static_cast<Index>(common.threads);
+  request.overrides.push_back(
+      {"abl7", "max_n",
+       std::to_string(common.paper ? 10000LL : max_n)});
+  request.overrides.push_back(
+      {"abl7", "amp_sim_max_n", std::to_string(amp_sim_max_n)});
+
+  const engine::RunReport report = engine::run_batch(registry, request);
+  const Json& cells = report.scenarios[0].aggregates.at("cells");
 
   ConsoleTable table({"n", "m", "greedy rounds", "greedy msgs", "amp iters",
                       "amp msgs measured", "amp rounds measured",
@@ -58,61 +67,25 @@ int main(int argc, char** argv) {
        "amp_iterations", "amp_messages_measured", "amp_rounds_measured",
        "amp_messages_sparse_model"});
 
-  for (const Index n : ns) {
-    const Index k = pooling::sublinear_k(n, 0.25);
-    // Queries: slightly above the Theorem 1 bound so both algorithms
-    // operate in their success regime.
-    const auto m = static_cast<Index>(
-        std::ceil(1.5 * core::theory::z_channel_sublinear(n, 0.25, p, 0.1)));
-
-    rand::Rng rng(static_cast<std::uint64_t>(common.seed) +
-                  static_cast<std::uint64_t>(n));
-    const core::Instance instance = core::make_instance(
-        n, k, m, pooling::paper_design(n), channel, rng);
-
-    const auto greedy = netsim::run_distributed_greedy(instance);
-
-    const auto lin = channel.linearization(n, k, n / 2);
-    const amp::AmpProblem problem = amp::standardize(instance, lin);
-    const amp::BayesBernoulliDenoiser denoiser(problem.pi);
-    const auto centralized_amp = amp::run_amp(problem, denoiser);
-
-    // Faithful dense simulation where affordable; sparse-edge model always.
-    double measured_msgs = 0.0;
-    double measured_rounds = 0.0;
-    if (n <= static_cast<Index>(amp_sim_max_n)) {
-      const auto dist_amp = netsim::run_distributed_amp(
-          instance, problem, denoiser, centralized_amp.iterations);
-      measured_msgs = static_cast<double>(dist_amp.iteration_stats.messages +
-                                          dist_amp.topk_stats.messages);
-      measured_rounds = static_cast<double>(dist_amp.iteration_stats.rounds +
-                                            dist_amp.topk_stats.rounds);
-    }
-    Index distinct_incidences = 0;
-    for (Index j = 0; j < instance.m(); ++j) {
-      distinct_incidences +=
-          static_cast<Index>(instance.graph.query_distinct(j).size());
-    }
-    const double sparse_model =
-        static_cast<double>(2 * distinct_incidences) *
-        static_cast<double>(centralized_amp.iterations);
-
-    const double reference =
-        measured_msgs > 0.0 ? measured_msgs : sparse_model;
-    const double ratio =
-        reference / static_cast<double>(greedy.stats.messages);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Json& cell = cells.at(i);
+    const Json& metrics = cell.at("metrics");
+    // The measurement is deterministic per (seed, n): every repetition
+    // reproduces the same numbers, so the mean is the measured value.
+    const auto metric = [&](const char* name) {
+      return metrics.at(name).at("mean").as_double();
+    };
+    const auto n = static_cast<double>(cell.at("n").as_int());
     table.add_row_doubles(
-        {static_cast<double>(n), static_cast<double>(m),
-         static_cast<double>(greedy.stats.rounds),
-         static_cast<double>(greedy.stats.messages),
-         static_cast<double>(centralized_amp.iterations), measured_msgs,
-         measured_rounds, sparse_model, ratio});
-    csv.row({static_cast<double>(n), static_cast<double>(m),
-             static_cast<double>(greedy.stats.rounds),
-             static_cast<double>(greedy.stats.messages),
-             static_cast<double>(greedy.stats.bytes),
-             static_cast<double>(centralized_amp.iterations), measured_msgs,
-             measured_rounds, sparse_model});
+        {n, metric("m"), metric("greedy_rounds"), metric("greedy_messages"),
+         metric("amp_iterations"), metric("amp_messages_measured"),
+         metric("amp_rounds_measured"), metric("amp_messages_sparse_model"),
+         metric("msg_ratio")});
+    csv.row({n, metric("m"), metric("greedy_rounds"),
+             metric("greedy_messages"), metric("greedy_bytes"),
+             metric("amp_iterations"), metric("amp_messages_measured"),
+             metric("amp_rounds_measured"),
+             metric("amp_messages_sparse_model")});
   }
 
   std::fputs(table.render().c_str(), stdout);

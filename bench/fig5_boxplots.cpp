@@ -3,21 +3,19 @@
 // noisy query model (λ ∈ {0, 1, 2, 3}), θ = 0.25.  We print the
 // five-number summaries (min / q1 / median / q3 / max) that define each
 // box and whisker.
+//
+// Thin wrapper over the batch engine's registered `fig5` scenario: the
+// grid loop, worker scheduling and aggregation live in src/engine, and
+// this binary only formats the scenario's aggregates.  The engine
+// replicates this bench's historical per-repetition seed streams, so
+// the numbers are unchanged for any given --seed.
 
 #include <cstdio>
-#include <memory>
+#include <string>
 
 #include "bench_common.hpp"
-#include "harness/sweeps.hpp"
-#include "noise/channel.hpp"
-#include "pooling/ground_truth.hpp"
-#include "pooling/query_design.hpp"
-
-namespace {
-
-constexpr double kTheta = 0.25;
-
-}  // namespace
+#include "engine/builtin_scenarios.hpp"
+#include "engine/engine.hpp"
 
 int main(int argc, char** argv) {
   using namespace npd;
@@ -33,55 +31,41 @@ int main(int argc, char** argv) {
                   "lambda in {0,1,2,3}");
 
   const bool paper = common.paper;
-  std::vector<Index> ns{1000, 10000};
-  if (paper) {
-    ns.push_back(100000);
-  }
-  const Index reps = paper ? 25 : static_cast<Index>(common.reps);
 
-  struct Config {
-    std::string label;
-    harness::ChannelFactory factory;
-    std::uint64_t salt;
-  };
-  std::vector<Config> configs;
-  for (const double p : {0.1, 0.3, 0.5}) {
-    configs.push_back(Config{
-        "z(p=" + std::to_string(p).substr(0, 3) + ")",
-        [p](Index, Index) { return noise::make_z_channel(p); },
-        static_cast<std::uint64_t>(p * 8009.0)});
-  }
-  for (const double lambda : {0.0, 1.0, 2.0, 3.0}) {
-    configs.push_back(Config{
-        "gauss(l=" + std::to_string(static_cast<int>(lambda)) + ")",
-        [lambda](Index, Index) {
-          return lambda > 0.0 ? noise::make_gaussian_channel(lambda)
-                              : noise::make_noiseless();
-        },
-        1000003 + static_cast<std::uint64_t>(lambda * 631.0)});
-  }
+  engine::ScenarioRegistry registry;
+  engine::register_builtin_scenarios(registry);
+  engine::BatchRequest request;
+  request.scenario_names = {"fig5"};
+  request.config.seed = static_cast<std::uint64_t>(common.seed);
+  request.config.reps =
+      paper ? Index{25} : static_cast<Index>(common.reps);
+  request.config.threads = static_cast<Index>(common.threads);
+  request.overrides.push_back(
+      {"fig5", "max_n", paper ? "100000" : "10000"});
+
+  const engine::RunReport report = engine::run_batch(registry, request);
+  const Json& cells = report.scenarios[0].aggregates.at("cells");
 
   ConsoleTable table({"n", "channel", "min", "q1", "median", "q3", "max"});
   bench::OptionalCsv csv(common.csv_path,
                          {"n", "channel_id", "min", "q1", "median", "q3",
                           "max"});
 
-  for (const Index n : ns) {
-    for (std::size_t c = 0; c < configs.size(); ++c) {
-      const auto rows = harness::required_queries_sweep(
-          {n}, reps, [](Index nn) { return pooling::sublinear_k(nn, kTheta); },
-          [](Index nn) { return pooling::paper_design(nn); },
-          configs[c].factory,
-          static_cast<std::uint64_t>(common.seed) + configs[c].salt, {},
-          static_cast<Index>(common.threads));
-      const auto& s = rows[0].summary;
-      table.add_row({std::to_string(n), configs[c].label,
-                     format_double(s.min), format_double(s.q1),
-                     format_double(s.median), format_double(s.q3),
-                     format_double(s.max)});
-      csv.row({static_cast<double>(n), static_cast<double>(c), s.min, s.q1,
-               s.median, s.q3, s.max});
-    }
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Json& cell = cells.at(i);
+    const Json& m = cell.at("metrics").at("m");
+    const auto n = cell.at("n").as_int();
+    table.add_row({std::to_string(n), cell.at("channel").as_string(),
+                   format_double(m.at("min").as_double()),
+                   format_double(m.at("q1").as_double()),
+                   format_double(m.at("median").as_double()),
+                   format_double(m.at("q3").as_double()),
+                   format_double(m.at("max").as_double())});
+    csv.row({static_cast<double>(n),
+             static_cast<double>(cell.at("channel_id").as_int()),
+             m.at("min").as_double(), m.at("q1").as_double(),
+             m.at("median").as_double(), m.at("q3").as_double(),
+             m.at("max").as_double()});
   }
 
   std::fputs(table.render().c_str(), stdout);

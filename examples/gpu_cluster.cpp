@@ -24,15 +24,29 @@
 #include "noise/channel.hpp"
 #include "pooling/query_design.hpp"
 #include "rand/rng.hpp"
+#include "util/cli.hpp"
 #include "util/csv.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace npd;
+
+  CliParser cli("gpu_cluster",
+                "Distributed inference on a GPU cluster (noisy channel "
+                "model).");
+  const long long& n_arg = cli.add_int("n", 1024, "worker agents");
+  const long long& seed = cli.add_int("seed", 31337, "base RNG seed");
+  cli.parse(argc, argv);
 
   std::printf("=== GPU-cluster inference (noisy channel model) ===\n\n");
 
-  const Index n = 1024;  // worker agents
+  if (n_arg < 4) {
+    std::fprintf(stderr, "error: --n must be at least 4 (got %lld)\n",
+                 n_arg);
+    return 1;
+  }
+
+  const auto n = static_cast<Index>(n_arg);  // worker agents
   const Index k = pooling::sublinear_k(n, 0.25);
 
   ConsoleTable table({"channel", "m", "recovered?", "rounds", "messages",
@@ -54,7 +68,8 @@ int main() {
         std::ceil(2.5 * core::theory::channel_sublinear_interpolated(
                             n, 0.25, config.p, config.q, 0.1)));
 
-    rand::Rng rng(31337 + static_cast<std::uint64_t>(config.p * 100) +
+    rand::Rng rng(static_cast<std::uint64_t>(seed) +
+                  static_cast<std::uint64_t>(config.p * 100) +
                   static_cast<std::uint64_t>(config.q * 10000));
     const core::Instance instance =
         core::make_instance(n, k, m, pooling::paper_design(n), channel, rng);

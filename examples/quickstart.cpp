@@ -15,20 +15,39 @@
 #include "noise/channel.hpp"
 #include "pooling/query_design.hpp"
 #include "rand/rng.hpp"
+#include "util/cli.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace npd;
+
+  CliParser cli("quickstart", "The library in ~60 lines.");
+  const long long& n_arg = cli.add_int("n", 200, "number of agents");
+  const long long& k_arg = cli.add_int("k", 5, "number of 1-agents");
+  const long long& seed = cli.add_int("seed", 2022, "RNG seed");
+  const double& p = cli.add_double("p", 0.1, "Z-channel flip probability");
+  cli.parse(argc, argv);
 
   std::printf("=== Noisy Pooled Data: quickstart ===\n\n");
 
+  if (n_arg < 2 || k_arg < 1 || k_arg >= n_arg) {
+    std::fprintf(stderr,
+                 "error: need --n >= 2 and 1 <= --k < --n (got n = %lld, "
+                 "k = %lld)\n",
+                 n_arg, k_arg);
+    return 1;
+  }
+  if (p < 0.0 || p >= 1.0) {
+    std::fprintf(stderr, "error: --p must lie in [0, 1) (got %g)\n", p);
+    return 1;
+  }
+
   // 1. Problem setup: n agents, k of which hold hidden bit 1.
-  const Index n = 200;
-  const Index k = 5;
-  rand::Rng rng(/*seed=*/2022);
+  const auto n = static_cast<Index>(n_arg);
+  const auto k = static_cast<Index>(k_arg);
+  rand::Rng rng(static_cast<std::uint64_t>(seed));
 
   // 2. A noise model: the Z-channel flips each transmitted 1 to 0 with
   //    probability p (false negatives only — think lossy readout).
-  const double p = 0.1;
   const auto channel = noise::make_z_channel(p);
 
   // 3. How many queries?  Theorem 1 gives the asymptotic sufficient count;

@@ -1,0 +1,29 @@
+#pragma once
+
+/// \file builtin_scenarios.hpp
+/// The paper's experiments as registered engine scenarios:
+///
+///   * `fig5`            — required-queries boxplots (Figure 5): the
+///     Z-channel at p ∈ {0.1, 0.3, 0.5} and the noisy query model at
+///     λ ∈ {0..3}, n ∈ {10³, 10⁴(, 10⁵)}.  Job seeds replicate the
+///     `fig5_boxplots` bench derivation exactly, so the engine's
+///     aggregates equal the legacy binary's numbers for the same seed.
+///   * `abl7`            — distributed cost accounting (Ablation A7):
+///     greedy vs (dense-measured and sparse-modelled) distributed AMP.
+///     Seeds replicate `abl7_distributed_cost`: one instance per n,
+///     deterministic per (seed, n), so the scenario schedules exactly
+///     one job per cell regardless of the requested repetitions.
+///   * `fixed_m_greedy`, `fixed_m_amp`, `fixed_m_two_stage` — fixed-m
+///     reconstruction over an m-grid placed relative to the Theorem 1
+///     bound, reporting exact-success rate and overlap (the Figure 6/7
+///     protocol).  These use the engine's canonical
+///     (seed, scenario, cell, rep) stream derivation.
+
+#include "engine/scenario.hpp"
+
+namespace npd::engine {
+
+/// Register every built-in scenario listed above.
+void register_builtin_scenarios(ScenarioRegistry& registry);
+
+}  // namespace npd::engine

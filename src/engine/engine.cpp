@@ -1,0 +1,106 @@
+#include "engine/engine.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "util/assert.hpp"
+#include "util/timer.hpp"
+
+namespace npd::engine {
+
+RunReport run_batch(const ScenarioRegistry& registry,
+                    const BatchRequest& request) {
+  NPD_CHECK_MSG(request.config.reps >= 1, "run_batch: reps must be >= 1");
+  NPD_CHECK_MSG(!request.scenario_names.empty(),
+                "run_batch: no scenarios selected");
+
+  const Timer timer;
+
+  // Resolve scenarios and their parameters up front so every error
+  // surfaces before any job runs.
+  struct Selected {
+    const Scenario* scenario;
+    ScenarioParams params;
+    Index first_job = 0;
+    Index job_count = 0;
+  };
+  std::vector<Selected> selected;
+  selected.reserve(request.scenario_names.size());
+  for (const std::string& name : request.scenario_names) {
+    for (const Selected& s : selected) {
+      if (s.scenario->name() == name) {
+        throw std::invalid_argument("scenario '" + name +
+                                    "' selected more than once");
+      }
+    }
+    const Scenario* scenario = registry.find(name);
+    if (scenario == nullptr) {
+      std::string known;
+      for (const Scenario* s : registry.list()) {
+        known += known.empty() ? "" : ", ";
+        known += s->name();
+      }
+      throw std::invalid_argument("unknown scenario '" + name +
+                                  "' (registered: " + known + ")");
+    }
+    selected.push_back(
+        Selected{scenario, ScenarioParams(scenario->params())});
+  }
+  for (const ParamOverride& override : request.overrides) {
+    bool applied = false;
+    for (Selected& s : selected) {
+      if (s.scenario->name() == override.scenario) {
+        s.params.set(override.name, override.value);
+        applied = true;
+      }
+    }
+    if (!applied) {
+      throw std::invalid_argument("parameter override references scenario '" +
+                                  override.scenario + "', which is not in "
+                                  "this batch");
+    }
+  }
+
+  // One queue for the whole batch: jobs of all scenarios share the
+  // worker pool and are claimed longest-first across scenario borders.
+  JobQueue queue;
+  for (Selected& s : selected) {
+    s.first_job = queue.size();
+    for (Job& job : s.scenario->make_jobs(request.config, s.params)) {
+      (void)queue.push(std::move(job));
+    }
+    s.job_count = queue.size() - s.first_job;
+  }
+  const Index total_jobs = queue.size();
+  const std::vector<JobResult> results = queue.run(request.config.threads);
+
+  RunReport report;
+  report.seed = request.config.seed;
+  report.reps = request.config.reps;
+  report.threads = request.config.threads;
+  report.total_jobs = total_jobs;
+  for (const Selected& s : selected) {
+    const auto begin =
+        results.begin() + static_cast<std::ptrdiff_t>(s.first_job);
+    const std::vector<JobResult> slice(
+        begin, begin + static_cast<std::ptrdiff_t>(s.job_count));
+    ScenarioRunReport scenario_report;
+    scenario_report.name = s.scenario->name();
+    scenario_report.description = s.scenario->description();
+    scenario_report.params = s.params.to_json();
+    scenario_report.jobs = s.job_count;
+    scenario_report.aggregates = s.scenario->aggregate(slice, s.params);
+    for (const JobResult& result : slice) {
+      scenario_report.job_seconds += result.wall_seconds;
+    }
+    report.scenarios.push_back(std::move(scenario_report));
+  }
+  report.wall_seconds = timer.elapsed_seconds();
+  report.jobs_per_second =
+      report.wall_seconds > 0.0
+          ? static_cast<double>(total_jobs) / report.wall_seconds
+          : 0.0;
+  return report;
+}
+
+}  // namespace npd::engine

@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file engine.hpp
+/// The batch engine's front door: select scenarios from a registry, fan
+/// all of their jobs out over one shared `JobQueue` worker pool, and
+/// fold the results into a `RunReport`.
+///
+/// Scheduling is cross-scenario: a batch of `fig5` and `abl7` interleaves
+/// both scenarios' jobs on the same workers (longest first), so a batch
+/// finishes in max-load time rather than sum-of-scenarios time.
+/// Because every job seed is derived before execution, the interleaving
+/// — and the thread count — never changes any result.
+
+#include <string>
+#include <vector>
+
+#include "engine/report.hpp"
+#include "engine/scenario.hpp"
+
+namespace npd::engine {
+
+/// Override of one scenario parameter (`--params fig5.max_n=1000`).
+struct ParamOverride {
+  std::string scenario;
+  std::string name;
+  std::string value;
+};
+
+/// One batch: which scenarios, engine config, parameter overrides.
+struct BatchRequest {
+  /// Registry names to run, in report order.
+  std::vector<std::string> scenario_names;
+  EngineConfig config;
+  std::vector<ParamOverride> overrides;
+};
+
+/// Run the batch.  Throws `std::invalid_argument` on unknown scenario
+/// names, unknown parameters, malformed values, or overrides that
+/// reference a scenario not in the batch.
+[[nodiscard]] RunReport run_batch(const ScenarioRegistry& registry,
+                                  const BatchRequest& request);
+
+}  // namespace npd::engine

@@ -1,0 +1,93 @@
+#pragma once
+
+/// \file job.hpp
+/// The batch engine's unit of work and its scheduler.
+///
+/// A `Job` is one repetition of one scenario grid cell.  Its only source
+/// of randomness is the `seed` it carries — fully derived before any
+/// worker thread exists — so the result of a job is a pure function of
+/// the job itself, and a batch is bit-identical for every thread count.
+///
+/// `JobQueue` is the scheduler: a shared run queue drained by a worker
+/// pool.  It reuses `util/parallel`'s claiming substrate (idle workers
+/// steal the next unclaimed index from a shared atomic cursor), and adds
+/// a longest-processing-time order on top: jobs are claimed in descending
+/// `cost_hint` order so one expensive cell cannot serialize the tail of a
+/// batch.  Scheduling order is a deterministic function of the submitted
+/// jobs; results are always reported in submission order.
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rand/rng.hpp"
+#include "util/types.hpp"
+
+namespace npd::engine {
+
+/// One named measurement produced by a job.  Order is meaningful: the
+/// result pipeline aggregates and serializes metrics in the order the
+/// first job of a cell emitted them.
+struct Metric {
+  std::string name;
+  double value = 0.0;
+};
+
+using Metrics = std::vector<Metric>;
+
+/// One schedulable unit: a single repetition of one scenario grid cell.
+struct Job {
+  /// Grid-cell index within the owning scenario (aggregation key).
+  Index cell = 0;
+  /// Repetition index within the cell.
+  Index rep = 0;
+  /// Fully derived seed; the job must draw all randomness from the Rng
+  /// the scheduler constructs from it.
+  std::uint64_t seed = 0;
+  /// Relative cost estimate for the scheduler's longest-first order
+  /// (any deterministic monotone proxy works; e.g. the cell's n).
+  Index cost_hint = 1;
+  /// The work.  Must not touch shared mutable state.
+  std::function<Metrics(rand::Rng&)> run;
+};
+
+/// Outcome of one job, in submission order.
+struct JobResult {
+  Index cell = 0;
+  Index rep = 0;
+  Metrics metrics;
+  /// Wall time of this job on its worker.  Perf telemetry only — never
+  /// fed into aggregates (it would break cross-thread-count bit
+  /// identity).
+  double wall_seconds = 0.0;
+};
+
+/// Shared run queue + worker pool.
+class JobQueue {
+ public:
+  /// Enqueue a job; returns its submission index.
+  Index push(Job job);
+
+  [[nodiscard]] Index size() const {
+    return static_cast<Index>(jobs_.size());
+  }
+
+  /// Execute every queued job on up to `threads` workers (0 = all cores,
+  /// 1 = inline) and return results in submission order.  Bit-identical
+  /// output for every thread count; the queue is left empty.
+  [[nodiscard]] std::vector<JobResult> run(Index threads);
+
+ private:
+  std::vector<Job> jobs_;
+};
+
+/// The engine's canonical per-job seed derivation: a SplitMix64 chain
+/// over (base_seed, scenario id, cell, rep).  Distinct coordinates give
+/// well-separated streams; the same coordinates always give the same
+/// seed, so any job can be recomputed in isolation.
+[[nodiscard]] std::uint64_t derive_job_seed(std::uint64_t base_seed,
+                                            std::string_view scenario_id,
+                                            Index cell, Index rep);
+
+}  // namespace npd::engine

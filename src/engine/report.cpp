@@ -1,0 +1,50 @@
+#include "engine/report.hpp"
+
+namespace npd::engine {
+
+Json RunReport::to_json(bool include_perf) const {
+  Json root = Json::object();
+  root.set("schema", "npd.run_report/1");
+
+  Json config = Json::object();
+  config.set("seed", static_cast<std::int64_t>(seed)).set("reps", reps);
+  if (include_perf) {
+    // The thread count never affects results; it is an execution detail
+    // recorded only alongside the other non-deterministic stamps.
+    config.set("threads", threads);
+  }
+  Json names = Json::array();
+  for (const ScenarioRunReport& scenario : scenarios) {
+    names.push_back(scenario.name);
+  }
+  config.set("scenarios", std::move(names));
+  root.set("config", std::move(config));
+
+  Json scenario_array = Json::array();
+  for (const ScenarioRunReport& scenario : scenarios) {
+    Json entry = Json::object();
+    entry.set("name", scenario.name)
+        .set("description", scenario.description)
+        .set("params", scenario.params)
+        .set("jobs", scenario.jobs)
+        .set("aggregates", scenario.aggregates);
+    if (include_perf) {
+      Json perf = Json::object();
+      perf.set("job_seconds", scenario.job_seconds);
+      entry.set("perf", std::move(perf));
+    }
+    scenario_array.push_back(std::move(entry));
+  }
+  root.set("scenarios", std::move(scenario_array));
+
+  if (include_perf) {
+    Json perf = Json::object();
+    perf.set("wall_seconds", wall_seconds)
+        .set("total_jobs", total_jobs)
+        .set("jobs_per_second", jobs_per_second);
+    root.set("perf", std::move(perf));
+  }
+  return root;
+}
+
+}  // namespace npd::engine

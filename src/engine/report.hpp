@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file report.hpp
+/// The result pipeline's output: a structured `RunReport` covering one
+/// batch — config echo, per-scenario aggregates, and perf telemetry
+/// (wall clock, jobs/sec) — serialized as JSON by `util/json.hpp`.
+///
+/// The report is split into a **deterministic core** (config +
+/// aggregates, bit-identical for every thread count) and **perf stamps**
+/// (timings, which necessarily vary run to run).  `to_json(false)`
+/// omits the perf stamps entirely; the engine's determinism tests
+/// compare those bytes directly.
+///
+/// Schema (`npd.run_report/1`):
+/// ```json
+/// {
+///   "schema": "npd.run_report/1",
+///   "config": {"seed": 42, "reps": 2, "threads": 4,
+///              "scenarios": ["fig5", "abl7"]},
+///   "scenarios": [
+///     {"name": "fig5", "description": "...",
+///      "params": {"theta": 0.25, "max_n": 10000},
+///      "jobs": 28,
+///      "aggregates": {"cells": [
+///        {"cell": 0, "n": 1000, "channel": "z(p=0.1)",
+///         "metrics": {"m": {"count": 2, "mean": 94.5, "stddev": ...,
+///                           "min": ..., "q1": ..., "median": ...,
+///                           "q3": ..., "max": ..., "p95": ...,
+///                           "p99": ...}}}]},
+///      "perf": {"job_seconds": 1.23}}],
+///   "perf": {"wall_seconds": 2.5, "total_jobs": 33,
+///            "jobs_per_second": 13.2}
+/// }
+/// ```
+
+#include <string>
+#include <vector>
+
+#include "engine/scenario.hpp"
+#include "util/json.hpp"
+#include "util/types.hpp"
+
+namespace npd::engine {
+
+/// One scenario's slice of a batch.
+struct ScenarioRunReport {
+  std::string name;
+  std::string description;
+  /// Resolved parameters (defaults + overrides).
+  Json params;
+  Index jobs = 0;
+  /// Deterministic aggregate section (from `Scenario::aggregate`).
+  Json aggregates;
+  /// Summed per-job wall time across workers (perf only).
+  double job_seconds = 0.0;
+};
+
+/// The full batch outcome.
+struct RunReport {
+  std::uint64_t seed = 0;
+  Index reps = 0;
+  Index threads = 0;
+  std::vector<ScenarioRunReport> scenarios;
+  Index total_jobs = 0;
+  /// End-to-end batch wall time and throughput (perf only).
+  double wall_seconds = 0.0;
+  double jobs_per_second = 0.0;
+
+  /// Serialize.  `include_perf == false` drops every timing stamp,
+  /// leaving the deterministic core only.
+  [[nodiscard]] Json to_json(bool include_perf = true) const;
+};
+
+}  // namespace npd::engine

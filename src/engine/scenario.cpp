@@ -1,0 +1,207 @@
+#include "engine/scenario.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "harness/stats.hpp"
+#include "util/assert.hpp"
+
+namespace npd::engine {
+
+namespace {
+
+long long parse_int(const std::string& name, const std::string& value) {
+  try {
+    std::size_t pos = 0;
+    const long long parsed = std::stoll(value, &pos);
+    if (pos != value.size()) {
+      throw std::invalid_argument("trailing characters");
+    }
+    return parsed;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("parameter '" + name +
+                                "' expects an integer, got '" + value + "'");
+  }
+}
+
+double parse_double(const std::string& name, const std::string& value) {
+  try {
+    std::size_t pos = 0;
+    const double parsed = std::stod(value, &pos);
+    if (pos != value.size()) {
+      throw std::invalid_argument("trailing characters");
+    }
+    return parsed;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("parameter '" + name +
+                                "' expects a number, got '" + value + "'");
+  }
+}
+
+}  // namespace
+
+ScenarioParams::ScenarioParams(std::vector<ParamSpec> specs) {
+  entries_.reserve(specs.size());
+  for (ParamSpec& spec : specs) {
+    Entry entry;
+    switch (spec.kind) {
+      case ParamSpec::Kind::Int:
+        entry.int_value = parse_int(spec.name, spec.default_value);
+        break;
+      case ParamSpec::Kind::Double:
+        entry.double_value = parse_double(spec.name, spec.default_value);
+        break;
+      case ParamSpec::Kind::String:
+        entry.string_value = spec.default_value;
+        break;
+    }
+    entry.spec = std::move(spec);
+    entries_.push_back(std::move(entry));
+  }
+}
+
+void ScenarioParams::set(const std::string& name, const std::string& value) {
+  for (Entry& entry : entries_) {
+    if (entry.spec.name != name) {
+      continue;
+    }
+    switch (entry.spec.kind) {
+      case ParamSpec::Kind::Int:
+        entry.int_value = parse_int(name, value);
+        break;
+      case ParamSpec::Kind::Double:
+        entry.double_value = parse_double(name, value);
+        break;
+      case ParamSpec::Kind::String:
+        entry.string_value = value;
+        break;
+    }
+    return;
+  }
+  throw std::invalid_argument("unknown scenario parameter '" + name + "'");
+}
+
+const ScenarioParams::Entry& ScenarioParams::entry(
+    std::string_view name, ParamSpec::Kind kind) const {
+  for (const Entry& e : entries_) {
+    if (e.spec.name == name) {
+      NPD_CHECK_MSG(e.spec.kind == kind,
+                    "scenario parameter accessed with the wrong type");
+      return e;
+    }
+  }
+  throw std::invalid_argument("unknown scenario parameter '" +
+                              std::string(name) + "'");
+}
+
+long long ScenarioParams::get_int(std::string_view name) const {
+  return entry(name, ParamSpec::Kind::Int).int_value;
+}
+
+double ScenarioParams::get_double(std::string_view name) const {
+  return entry(name, ParamSpec::Kind::Double).double_value;
+}
+
+const std::string& ScenarioParams::get_string(std::string_view name) const {
+  return entry(name, ParamSpec::Kind::String).string_value;
+}
+
+Json ScenarioParams::to_json() const {
+  Json out = Json::object();
+  for (const Entry& e : entries_) {
+    switch (e.spec.kind) {
+      case ParamSpec::Kind::Int:
+        out.set(e.spec.name, e.int_value);
+        break;
+      case ParamSpec::Kind::Double:
+        out.set(e.spec.name, e.double_value);
+        break;
+      case ParamSpec::Kind::String:
+        out.set(e.spec.name, e.string_value);
+        break;
+    }
+  }
+  return out;
+}
+
+void ScenarioRegistry::add(std::unique_ptr<Scenario> scenario) {
+  NPD_CHECK_MSG(scenario != nullptr, "registering a null scenario");
+  NPD_CHECK_MSG(find(scenario->name()) == nullptr,
+                "duplicate scenario name '" + scenario->name() + "'");
+  scenarios_.push_back(std::move(scenario));
+}
+
+const Scenario* ScenarioRegistry::find(std::string_view name) const {
+  for (const auto& scenario : scenarios_) {
+    if (scenario->name() == name) {
+      return scenario.get();
+    }
+  }
+  return nullptr;
+}
+
+std::vector<const Scenario*> ScenarioRegistry::list() const {
+  std::vector<const Scenario*> out;
+  out.reserve(scenarios_.size());
+  for (const auto& scenario : scenarios_) {
+    out.push_back(scenario.get());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Scenario* a, const Scenario* b) {
+              return a->name() < b->name();
+            });
+  return out;
+}
+
+Json aggregate_cells(const std::vector<JobResult>& results,
+                     const std::function<Json(Index cell)>& cell_meta) {
+  // Group per-metric samples by cell, preserving submission (= rep)
+  // order within each cell so floating-point folds are reproducible.
+  struct CellData {
+    std::vector<std::string> metric_order;
+    std::map<std::string, std::vector<double>> samples;
+  };
+  std::map<Index, CellData> cells;
+  for (const JobResult& result : results) {
+    CellData& cell = cells[result.cell];
+    for (const Metric& metric : result.metrics) {
+      auto [it, inserted] = cell.samples.try_emplace(metric.name);
+      if (inserted) {
+        cell.metric_order.push_back(metric.name);
+      }
+      it->second.push_back(metric.value);
+    }
+  }
+
+  Json array = Json::array();
+  for (const auto& [cell_index, data] : cells) {
+    Json cell = cell_meta ? cell_meta(cell_index) : Json::object();
+    NPD_CHECK_MSG(cell.is_object(), "cell_meta must return a JSON object");
+    cell.set("cell", cell_index);
+    Json metrics = Json::object();
+    for (const std::string& name : data.metric_order) {
+      const std::vector<double>& xs = data.samples.at(name);
+      const harness::FiveNumberSummary s = harness::five_number_summary(xs);
+      Json summary = Json::object();
+      summary.set("count", static_cast<std::int64_t>(xs.size()))
+          .set("mean", harness::mean(xs))
+          .set("stddev", harness::stddev(xs))
+          .set("min", s.min)
+          .set("q1", s.q1)
+          .set("median", s.median)
+          .set("q3", s.q3)
+          .set("max", s.max)
+          .set("p95", harness::p95(xs))
+          .set("p99", harness::p99(xs));
+      metrics.set(name, std::move(summary));
+    }
+    cell.set("metrics", std::move(metrics));
+    array.push_back(std::move(cell));
+  }
+  Json out = Json::object();
+  out.set("cells", std::move(array));
+  return out;
+}
+
+}  // namespace npd::engine

@@ -46,6 +46,10 @@ double quantile(std::span<const double> xs, double q) {
 
 double median(std::span<const double> xs) { return quantile(xs, 0.5); }
 
+double p95(std::span<const double> xs) { return quantile(xs, 0.95); }
+
+double p99(std::span<const double> xs) { return quantile(xs, 0.99); }
+
 FiveNumberSummary five_number_summary(std::span<const double> xs) {
   NPD_CHECK_MSG(!xs.empty(), "summary of empty sample");
   FiveNumberSummary s;

@@ -22,6 +22,11 @@ namespace npd::harness {
 
 [[nodiscard]] double median(std::span<const double> xs);
 
+/// Tail percentiles used by the batch engine's run reports: thin
+/// wrappers over the R type-7 `quantile` at q = 0.95 / 0.99.
+[[nodiscard]] double p95(std::span<const double> xs);
+[[nodiscard]] double p99(std::span<const double> xs);
+
 /// Boxplot five-number summary.
 struct FiveNumberSummary {
   double min = 0.0;

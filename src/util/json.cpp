@@ -1,0 +1,222 @@
+#include "util/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "util/assert.hpp"
+
+namespace npd {
+
+Json& Json::set(std::string key, Json value) {
+  NPD_CHECK_MSG(type_ == Type::Object, "Json::set on a non-object");
+  for (auto& member : object_) {
+    if (member.first == key) {
+      member.second = std::move(value);
+      return *this;
+    }
+  }
+  object_.emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+Json& Json::push_back(Json value) {
+  NPD_CHECK_MSG(type_ == Type::Array, "Json::push_back on a non-array");
+  array_.push_back(std::move(value));
+  return *this;
+}
+
+std::size_t Json::size() const {
+  switch (type_) {
+    case Type::Array:
+      return array_.size();
+    case Type::Object:
+      return object_.size();
+    default:
+      return 0;
+  }
+}
+
+const Json* Json::find(std::string_view key) const {
+  if (type_ != Type::Object) {
+    return nullptr;
+  }
+  for (const auto& member : object_) {
+    if (member.first == key) {
+      return &member.second;
+    }
+  }
+  return nullptr;
+}
+
+const Json& Json::at(std::string_view key) const {
+  const Json* value = find(key);
+  NPD_CHECK_MSG(value != nullptr, "Json::at: missing object key");
+  return *value;
+}
+
+const Json& Json::at(std::size_t index) const {
+  NPD_CHECK_MSG(type_ == Type::Array, "Json::at(index) on a non-array");
+  NPD_CHECK_MSG(index < array_.size(), "Json::at: array index out of range");
+  return array_[index];
+}
+
+const std::string& Json::key_at(std::size_t index) const {
+  NPD_CHECK_MSG(type_ == Type::Object, "Json::key_at on a non-object");
+  NPD_CHECK_MSG(index < object_.size(), "Json::key_at: index out of range");
+  return object_[index].first;
+}
+
+bool Json::as_bool() const {
+  NPD_CHECK_MSG(type_ == Type::Bool, "Json::as_bool on a non-bool");
+  return bool_;
+}
+
+std::int64_t Json::as_int() const {
+  NPD_CHECK_MSG(type_ == Type::Int, "Json::as_int on a non-integer");
+  return int_;
+}
+
+double Json::as_double() const {
+  if (type_ == Type::Int) {
+    return static_cast<double>(int_);
+  }
+  NPD_CHECK_MSG(type_ == Type::Double, "Json::as_double on a non-number");
+  return double_;
+}
+
+const std::string& Json::as_string() const {
+  NPD_CHECK_MSG(type_ == Type::String, "Json::as_string on a non-string");
+  return string_;
+}
+
+std::string Json::escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string Json::format_number(double value) {
+  if (!std::isfinite(value)) {
+    return "null";
+  }
+  // std::to_chars emits the shortest string that round-trips to `value`.
+  char buf[64];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  NPD_CHECK_MSG(ec == std::errc(), "double formatting failed");
+  return std::string(buf, ptr);
+}
+
+void Json::write(std::string& out, int indent, int depth) const {
+  const bool pretty = indent >= 0;
+  const auto newline_and_pad = [&](int levels) {
+    if (pretty) {
+      out += '\n';
+      out.append(static_cast<std::size_t>(levels) *
+                     static_cast<std::size_t>(indent),
+                 ' ');
+    }
+  };
+
+  switch (type_) {
+    case Type::Null:
+      out += "null";
+      break;
+    case Type::Bool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Type::Int:
+      out += std::to_string(int_);
+      break;
+    case Type::Double:
+      out += format_number(double_);
+      break;
+    case Type::String:
+      out += '"';
+      out += escape(string_);
+      out += '"';
+      break;
+    case Type::Array: {
+      if (array_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) {
+          out += ',';
+        }
+        newline_and_pad(depth + 1);
+        array_[i].write(out, indent, depth + 1);
+      }
+      newline_and_pad(depth);
+      out += ']';
+      break;
+    }
+    case Type::Object: {
+      if (object_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      for (std::size_t i = 0; i < object_.size(); ++i) {
+        if (i > 0) {
+          out += ',';
+        }
+        newline_and_pad(depth + 1);
+        out += '"';
+        out += escape(object_[i].first);
+        out += "\":";
+        if (pretty) {
+          out += ' ';
+        }
+        object_[i].second.write(out, indent, depth + 1);
+      }
+      newline_and_pad(depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  write(out, indent, 0);
+  return out;
+}
+
+}  // namespace npd

@@ -1,0 +1,143 @@
+#pragma once
+
+/// \file json.hpp
+/// A dependency-free JSON document builder and writer — the machine-
+/// readable counterpart of csv.hpp, used by the batch experiment engine
+/// to serialize `RunReport`s.
+///
+/// Write-only by design (the repo never parses JSON; external tooling
+/// does).  Three properties the engine relies on:
+///   * **insertion-ordered objects** — serialization is a pure function
+///     of construction order, so two reports built from the same data are
+///     byte-identical (the engine's determinism tests compare raw bytes);
+///   * **round-trip numbers** — doubles are printed with the shortest
+///     representation that parses back to the same value
+///     (`std::to_chars`), integers without any exponent;
+///   * **full escaping** — control characters, quotes and backslashes are
+///     escaped per RFC 8259; other bytes pass through untouched (the repo
+///     emits ASCII; UTF-8 would survive verbatim).
+///
+/// Non-finite doubles have no JSON representation and serialize as
+/// `null` (the choice of Python's `json.dumps(..., allow_nan=False)`
+/// ecosystem rather than the nonstandard `NaN` literal).
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace npd {
+
+/// A JSON value: null, bool, integer, double, string, array or object.
+///
+/// ```
+/// Json report = Json::object();
+/// report.set("seed", 42).set("mean", 1.5);
+/// Json cells = Json::array();
+/// cells.push_back(Json::object().set("n", 1000));
+/// report.set("cells", std::move(cells));
+/// std::string text = report.dump(2);
+/// ```
+class Json {
+ public:
+  enum class Type { Null, Bool, Int, Double, String, Array, Object };
+
+  /// Null by default.
+  Json() = default;
+
+  Json(bool value) : type_(Type::Bool), bool_(value) {}  // NOLINT(google-explicit-constructor)
+
+  /// Any integral type except bool serializes as a JSON integer.
+  template <typename T,
+            typename = std::enable_if_t<std::is_integral_v<T> &&
+                                        !std::is_same_v<T, bool>>>
+  Json(T value)  // NOLINT(google-explicit-constructor)
+      : type_(Type::Int), int_(static_cast<std::int64_t>(value)) {}
+
+  Json(double value) : type_(Type::Double), double_(value) {}  // NOLINT(google-explicit-constructor)
+  Json(const char* value) : type_(Type::String), string_(value) {}  // NOLINT(google-explicit-constructor)
+  Json(std::string value)  // NOLINT(google-explicit-constructor)
+      : type_(Type::String), string_(std::move(value)) {}
+
+  [[nodiscard]] static Json object() {
+    Json j;
+    j.type_ = Type::Object;
+    return j;
+  }
+
+  [[nodiscard]] static Json array() {
+    Json j;
+    j.type_ = Type::Array;
+    return j;
+  }
+
+  // ------------------------------------------------------------- builders
+
+  /// Insert (or overwrite) an object member; keeps insertion order.
+  /// Requires an Object.  Returns *this for chaining.
+  Json& set(std::string key, Json value);
+
+  /// Append an array element.  Requires an Array.  Returns *this.
+  Json& push_back(Json value);
+
+  // ------------------------------------------------------------ accessors
+
+  [[nodiscard]] Type type() const { return type_; }
+  [[nodiscard]] bool is_null() const { return type_ == Type::Null; }
+  [[nodiscard]] bool is_object() const { return type_ == Type::Object; }
+  [[nodiscard]] bool is_array() const { return type_ == Type::Array; }
+  [[nodiscard]] bool is_number() const {
+    return type_ == Type::Int || type_ == Type::Double;
+  }
+  [[nodiscard]] bool is_string() const { return type_ == Type::String; }
+
+  /// Elements of an array / members of an object; 0 otherwise.
+  [[nodiscard]] std::size_t size() const;
+
+  /// Object member by key, or nullptr when absent (or not an object).
+  [[nodiscard]] const Json* find(std::string_view key) const;
+
+  /// Object member by key; contract violation when absent.
+  [[nodiscard]] const Json& at(std::string_view key) const;
+
+  /// Array element by index; contract violation when out of range.
+  [[nodiscard]] const Json& at(std::size_t index) const;
+
+  /// Key of the `index`-th object member (insertion order).
+  [[nodiscard]] const std::string& key_at(std::size_t index) const;
+
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] std::int64_t as_int() const;
+  /// Int or Double both convert.
+  [[nodiscard]] double as_double() const;
+  [[nodiscard]] const std::string& as_string() const;
+
+  // ---------------------------------------------------------- serialization
+
+  /// Serialize.  `indent < 0` gives the compact single-line form;
+  /// `indent >= 0` pretty-prints with that many spaces per level.
+  [[nodiscard]] std::string dump(int indent = -1) const;
+
+  /// Escape `text` as the *contents* of a JSON string literal (no outer
+  /// quotes).  Exposed for tests.
+  [[nodiscard]] static std::string escape(std::string_view text);
+
+  /// Shortest round-trip formatting of a double (exposed for tests).
+  /// Non-finite values return "null".
+  [[nodiscard]] static std::string format_number(double value);
+
+ private:
+  void write(std::string& out, int indent, int depth) const;
+
+  Type type_ = Type::Null;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::vector<std::pair<std::string, Json>> object_;
+};
+
+}  // namespace npd

@@ -1,0 +1,311 @@
+// Tests for the batch experiment engine: job-seed derivation, the
+// JobQueue scheduler's determinism, the scenario registry round-trip
+// (register → list → run-by-name with parameter overrides), the run
+// report's deterministic core, and the agreement between the engine's
+// built-in scenarios and the legacy bench derivations they replicate.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "engine/builtin_scenarios.hpp"
+#include "engine/engine.hpp"
+#include "harness/sweeps.hpp"
+#include "noise/channel.hpp"
+#include "pooling/ground_truth.hpp"
+#include "pooling/query_design.hpp"
+#include "util/assert.hpp"
+
+namespace npd::engine {
+namespace {
+
+// A deterministic toy scenario: every job draws one uniform value from
+// its derived stream, scaled by a typed parameter.
+class TestScenario final : public Scenario {
+ public:
+  std::string name() const override { return "test_scenario"; }
+
+  std::string description() const override {
+    return "deterministic toy scenario for the engine tests";
+  }
+
+  std::vector<ParamSpec> params() const override {
+    return {{"cells", ParamSpec::Kind::Int, "2", "grid cells"},
+            {"scale", ParamSpec::Kind::Double, "1.0", "value scale"},
+            {"tag", ParamSpec::Kind::String, "default", "free-form tag"}};
+  }
+
+  std::vector<Job> make_jobs(const EngineConfig& config,
+                             const ScenarioParams& params) const override {
+    const auto cells = static_cast<Index>(params.get_int("cells"));
+    const double scale = params.get_double("scale");
+    std::vector<Job> jobs;
+    for (Index cell = 0; cell < cells; ++cell) {
+      for (Index rep = 0; rep < config.reps; ++rep) {
+        Job job;
+        job.cell = cell;
+        job.rep = rep;
+        job.seed = derive_job_seed(config.seed, "test_scenario", cell, rep);
+        job.cost_hint = cell + 1;
+        job.run = [scale](rand::Rng& rng) -> Metrics {
+          return {{"value", scale * rng.uniform_real()}};
+        };
+        jobs.push_back(std::move(job));
+      }
+    }
+    return jobs;
+  }
+
+  Json aggregate(const std::vector<JobResult>& results,
+                 const ScenarioParams& params) const override {
+    const std::string tag = params.get_string("tag");
+    return aggregate_cells(results, [&tag](Index cell) {
+      Json meta = Json::object();
+      meta.set("id", cell).set("tag", tag);
+      return meta;
+    });
+  }
+};
+
+// ------------------------------------------------------- seed derivation
+
+TEST(JobSeedTest, DeterministicAndCoordinateSensitive) {
+  const std::uint64_t s = derive_job_seed(42, "fig5", 3, 7);
+  EXPECT_EQ(s, derive_job_seed(42, "fig5", 3, 7));
+  std::set<std::uint64_t> seeds{s};
+  seeds.insert(derive_job_seed(43, "fig5", 3, 7));
+  seeds.insert(derive_job_seed(42, "abl7", 3, 7));
+  seeds.insert(derive_job_seed(42, "fig5", 4, 7));
+  seeds.insert(derive_job_seed(42, "fig5", 3, 8));
+  EXPECT_EQ(seeds.size(), 5u);  // every coordinate separates streams
+}
+
+// --------------------------------------------------------------- JobQueue
+
+TEST(JobQueueTest, ResultsInSubmissionOrderForAnyThreadCount) {
+  const auto run = [](Index threads) {
+    JobQueue queue;
+    for (Index i = 0; i < 17; ++i) {
+      Job job;
+      job.cell = i;
+      job.rep = 0;
+      job.seed = derive_job_seed(99, "q", i, 0);
+      // Reverse hints so the schedule order differs from submission.
+      job.cost_hint = 17 - i;
+      job.run = [i](rand::Rng& rng) -> Metrics {
+        return {{"i", static_cast<double>(i)},
+                {"draw", rng.uniform_real()}};
+      };
+      (void)queue.push(std::move(job));
+    }
+    return queue.run(threads);
+  };
+
+  const auto sequential = run(1);
+  const auto parallel = run(4);
+  ASSERT_EQ(sequential.size(), 17u);
+  ASSERT_EQ(parallel.size(), 17u);
+  for (std::size_t i = 0; i < sequential.size(); ++i) {
+    EXPECT_EQ(sequential[i].cell, static_cast<Index>(i));
+    EXPECT_DOUBLE_EQ(sequential[i].metrics[0].value,
+                     static_cast<double>(i));
+    // Bit-identical across thread counts: same seed, same draw.
+    EXPECT_EQ(sequential[i].metrics[1].value, parallel[i].metrics[1].value);
+  }
+}
+
+TEST(JobQueueTest, PushRejectsEmptyBody) {
+  JobQueue queue;
+  EXPECT_THROW((void)queue.push(Job{}), ContractViolation);
+}
+
+// --------------------------------------------------------------- registry
+
+TEST(ScenarioRegistryTest, RegisterListFindRoundTrip) {
+  ScenarioRegistry registry;
+  registry.add(std::make_unique<TestScenario>());
+  register_builtin_scenarios(registry);
+
+  const Scenario* found = registry.find("test_scenario");
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->name(), "test_scenario");
+  EXPECT_EQ(registry.find("no_such_scenario"), nullptr);
+
+  const auto all = registry.list();
+  ASSERT_EQ(all.size(), 6u);  // 5 builtins + the test scenario
+  for (std::size_t i = 1; i < all.size(); ++i) {
+    EXPECT_LT(all[i - 1]->name(), all[i]->name());  // sorted by name
+  }
+}
+
+TEST(ScenarioRegistryTest, DuplicateNamesAreRejected) {
+  ScenarioRegistry registry;
+  registry.add(std::make_unique<TestScenario>());
+  EXPECT_THROW(registry.add(std::make_unique<TestScenario>()),
+               ContractViolation);
+}
+
+TEST(ScenarioParamsTest, TypedDefaultsOverridesAndErrors) {
+  ScenarioParams params(TestScenario().params());
+  EXPECT_EQ(params.get_int("cells"), 2);
+  EXPECT_DOUBLE_EQ(params.get_double("scale"), 1.0);
+  EXPECT_EQ(params.get_string("tag"), "default");
+
+  params.set("cells", "5");
+  params.set("scale", "2.5");
+  params.set("tag", "alt");
+  EXPECT_EQ(params.get_int("cells"), 5);
+  EXPECT_DOUBLE_EQ(params.get_double("scale"), 2.5);
+  EXPECT_EQ(params.get_string("tag"), "alt");
+
+  EXPECT_THROW(params.set("unknown", "1"), std::invalid_argument);
+  EXPECT_THROW(params.set("cells", "not-a-number"), std::invalid_argument);
+  EXPECT_THROW(params.set("cells", "3x"), std::invalid_argument);
+  EXPECT_THROW((void)params.get_int("unknown"), std::invalid_argument);
+
+  const Json json = params.to_json();
+  EXPECT_EQ(json.at("cells").as_int(), 5);
+  EXPECT_DOUBLE_EQ(json.at("scale").as_double(), 2.5);
+  EXPECT_EQ(json.at("tag").as_string(), "alt");
+}
+
+// -------------------------------------------------------------- run_batch
+
+TEST(RunBatchTest, RunsByNameWithOverrides) {
+  ScenarioRegistry registry;
+  registry.add(std::make_unique<TestScenario>());
+
+  BatchRequest request;
+  request.scenario_names = {"test_scenario"};
+  request.config.seed = 11;
+  request.config.reps = 3;
+  request.config.threads = 2;
+  request.overrides.push_back({"test_scenario", "cells", "4"});
+  request.overrides.push_back({"test_scenario", "tag", "overridden"});
+
+  const RunReport report = run_batch(registry, request);
+  ASSERT_EQ(report.scenarios.size(), 1u);
+  EXPECT_EQ(report.scenarios[0].name, "test_scenario");
+  EXPECT_EQ(report.scenarios[0].jobs, 12);  // 4 cells x 3 reps
+  EXPECT_EQ(report.total_jobs, 12);
+  const Json& cells = report.scenarios[0].aggregates.at("cells");
+  ASSERT_EQ(cells.size(), 4u);
+  EXPECT_EQ(cells.at(0).at("tag").as_string(), "overridden");
+  const Json& value = cells.at(0).at("metrics").at("value");
+  EXPECT_EQ(value.at("count").as_int(), 3);
+  // The full stats roster, p95/p99 included, is surfaced per metric.
+  for (const char* stat :
+       {"mean", "stddev", "min", "q1", "median", "q3", "max", "p95",
+        "p99"}) {
+    EXPECT_NE(value.find(stat), nullptr) << stat;
+  }
+}
+
+TEST(RunBatchTest, UnknownNamesAndStrayOverridesThrow) {
+  ScenarioRegistry registry;
+  registry.add(std::make_unique<TestScenario>());
+
+  BatchRequest unknown;
+  unknown.scenario_names = {"nope"};
+  EXPECT_THROW((void)run_batch(registry, unknown), std::invalid_argument);
+
+  BatchRequest stray;
+  stray.scenario_names = {"test_scenario"};
+  stray.overrides.push_back({"fig5", "max_n", "1000"});
+  EXPECT_THROW((void)run_batch(registry, stray), std::invalid_argument);
+}
+
+TEST(RunBatchTest, DeterministicReportBytesAcrossThreadCounts) {
+  const auto run = [](Index threads) {
+    ScenarioRegistry registry;
+    register_builtin_scenarios(registry);
+    BatchRequest request;
+    request.scenario_names = {"fixed_m_greedy"};
+    request.config.seed = 5;
+    request.config.reps = 3;
+    request.config.threads = threads;
+    request.overrides.push_back({"fixed_m_greedy", "n", "150"});
+    request.overrides.push_back({"fixed_m_greedy", "m_points", "2"});
+    return run_batch(registry, request);
+  };
+  const RunReport sequential = run(1);
+  const RunReport parallel = run(4);
+  // The perf-free serialization must be byte-identical...
+  EXPECT_EQ(sequential.to_json(false).dump(2),
+            parallel.to_json(false).dump(2));
+  // ...and the perf stamps must exist in the full report.
+  EXPECT_NE(parallel.to_json(true).find("perf"), nullptr);
+}
+
+// ---------------------------------------- agreement with the legacy paths
+
+TEST(EngineAgreementTest, Fig5CellsMatchLegacySweepDerivation) {
+  ScenarioRegistry registry;
+  register_builtin_scenarios(registry);
+  BatchRequest request;
+  request.scenario_names = {"fig5"};
+  request.config.seed = 42;
+  request.config.reps = 2;
+  request.config.threads = 4;
+  request.overrides.push_back({"fig5", "max_n", "1000"});
+  const RunReport report = run_batch(registry, request);
+  const Json& cells = report.scenarios[0].aggregates.at("cells");
+  ASSERT_EQ(cells.size(), 7u);  // 3 Z-channels + 4 Gaussian levels
+
+  // Cell 0 is the Z-channel at p = 0.1, historical salt
+  // uint64(0.1 * 8009) = 800: recompute through the legacy
+  // required_queries_sweep derivation and compare the aggregates.
+  const auto rows = harness::required_queries_sweep(
+      {1000}, 2, [](Index nn) { return pooling::sublinear_k(nn, 0.25); },
+      [](Index nn) { return pooling::paper_design(nn); },
+      [](Index, Index) { return noise::make_z_channel(0.1); },
+      42 + static_cast<std::uint64_t>(0.1 * 8009.0));
+  const Json& cell = cells.at(0);
+  EXPECT_EQ(cell.at("n").as_int(), 1000);
+  EXPECT_EQ(cell.at("channel").as_string(), "z(p=0.1)");
+  const Json& m = cell.at("metrics").at("m");
+  EXPECT_DOUBLE_EQ(m.at("min").as_double(), rows[0].summary.min);
+  EXPECT_DOUBLE_EQ(m.at("q1").as_double(), rows[0].summary.q1);
+  EXPECT_DOUBLE_EQ(m.at("median").as_double(), rows[0].summary.median);
+  EXPECT_DOUBLE_EQ(m.at("q3").as_double(), rows[0].summary.q3);
+  EXPECT_DOUBLE_EQ(m.at("max").as_double(), rows[0].summary.max);
+  EXPECT_DOUBLE_EQ(m.at("mean").as_double(), rows[0].mean_m);
+}
+
+TEST(EngineAgreementTest, Abl7IsRepCountInvariant) {
+  // abl7's randomness is per-(seed, n) — the legacy binary's contract —
+  // so the scenario collapses to one job per cell and the aggregates
+  // are identical for every requested repetition count.
+  const auto run = [](Index reps) {
+    ScenarioRegistry registry;
+    register_builtin_scenarios(registry);
+    BatchRequest request;
+    request.scenario_names = {"abl7"};
+    request.config.seed = 42;
+    request.config.reps = reps;
+    request.config.threads = 2;
+    request.overrides.push_back({"abl7", "max_n", "100"});
+    request.overrides.push_back({"abl7", "amp_sim_max_n", "100"});
+    return run_batch(registry, request);
+  };
+  const RunReport once = run(1);
+  const RunReport twice = run(2);
+  EXPECT_EQ(once.scenarios[0].jobs, twice.scenarios[0].jobs);
+  EXPECT_EQ(once.scenarios[0].aggregates.dump(2),
+            twice.scenarios[0].aggregates.dump(2));
+}
+
+TEST(RunBatchTest, DuplicateScenarioSelectionThrows) {
+  ScenarioRegistry registry;
+  registry.add(std::make_unique<TestScenario>());
+  BatchRequest request;
+  request.scenario_names = {"test_scenario", "test_scenario"};
+  EXPECT_THROW((void)run_batch(registry, request), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace npd::engine

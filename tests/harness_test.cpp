@@ -46,6 +46,24 @@ TEST(StatsTest, QuantileUnsortedInput) {
   EXPECT_DOUBLE_EQ(median(xs), 5.0);
 }
 
+TEST(StatsTest, TailPercentilesAreQuantileWrappers) {
+  std::vector<double> xs;
+  for (int i = 1; i <= 100; ++i) {
+    xs.push_back(static_cast<double>(i));
+  }
+  // R type 7 on 1..100: h = 99q + 1.
+  EXPECT_DOUBLE_EQ(p95(xs), 95.05);
+  EXPECT_DOUBLE_EQ(p99(xs), 99.01);
+  EXPECT_DOUBLE_EQ(p95(xs), quantile(xs, 0.95));
+  EXPECT_DOUBLE_EQ(p99(xs), quantile(xs, 0.99));
+  // Degenerate single-sample input collapses to that sample.
+  const std::vector<double> one{7.0};
+  EXPECT_DOUBLE_EQ(p95(one), 7.0);
+  EXPECT_DOUBLE_EQ(p99(one), 7.0);
+  EXPECT_THROW((void)p95(std::vector<double>{}), ContractViolation);
+  EXPECT_THROW((void)p99(std::vector<double>{}), ContractViolation);
+}
+
 TEST(StatsTest, FiveNumberSummary) {
   const std::vector<double> xs{1.0, 2.0, 3.0, 4.0, 5.0};
   const FiveNumberSummary s = five_number_summary(xs);

@@ -1,0 +1,147 @@
+// Tests for the dependency-free JSON writer: escaping, number
+// formatting (round-trip doubles, integer form, non-finite handling),
+// insertion-ordered serialization and the read accessors the engine's
+// report consumers use.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "util/assert.hpp"
+#include "util/json.hpp"
+
+namespace npd {
+namespace {
+
+// --------------------------------------------------------------- escaping
+
+TEST(JsonEscapeTest, QuotesAndBackslashes) {
+  EXPECT_EQ(Json::escape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(Json::escape("a\\b"), "a\\\\b");
+}
+
+TEST(JsonEscapeTest, NamedControlCharacters) {
+  EXPECT_EQ(Json::escape("a\nb\tc\rd\be\ff"), "a\\nb\\tc\\rd\\be\\ff");
+}
+
+TEST(JsonEscapeTest, OtherControlCharactersUseUnicodeEscapes) {
+  EXPECT_EQ(Json::escape(std::string("x\x01y", 3)), "x\\u0001y");
+  EXPECT_EQ(Json::escape(std::string("\x1f", 1)), "\\u001f");
+  // NUL must not truncate the string.
+  EXPECT_EQ(Json::escape(std::string("a\0b", 3)), "a\\u0000b");
+}
+
+TEST(JsonEscapeTest, PlainTextAndHighBytesPassThrough) {
+  EXPECT_EQ(Json::escape("plain text 123"), "plain text 123");
+  EXPECT_EQ(Json::escape("λ = 2"), "λ = 2");  // UTF-8 passes through
+}
+
+TEST(JsonEscapeTest, StringValueIsQuotedAndEscaped) {
+  EXPECT_EQ(Json("line1\nline2").dump(), "\"line1\\nline2\"");
+}
+
+// -------------------------------------------------------------- numbers
+
+TEST(JsonNumberTest, IntegersHaveNoExponentOrDecimalPoint) {
+  EXPECT_EQ(Json(0).dump(), "0");
+  EXPECT_EQ(Json(-7).dump(), "-7");
+  EXPECT_EQ(Json(std::int64_t{9223372036854775807LL}).dump(),
+            "9223372036854775807");
+}
+
+TEST(JsonNumberTest, DoublesRoundTrip) {
+  // std::to_chars: shortest representation that parses back exactly.
+  EXPECT_EQ(Json(1.5).dump(), "1.5");
+  EXPECT_EQ(Json(0.1).dump(), "0.1");
+  EXPECT_EQ(Json(94.5).dump(), "94.5");
+  const double third = 1.0 / 3.0;
+  EXPECT_EQ(std::stod(Json(third).dump()), third);
+  const double big = 6.02214076e23;
+  EXPECT_EQ(std::stod(Json(big).dump()), big);
+}
+
+TEST(JsonNumberTest, NonFiniteSerializesAsNull) {
+  EXPECT_EQ(Json(std::numeric_limits<double>::quiet_NaN()).dump(), "null");
+  EXPECT_EQ(Json(std::numeric_limits<double>::infinity()).dump(), "null");
+  EXPECT_EQ(Json(-std::numeric_limits<double>::infinity()).dump(), "null");
+}
+
+TEST(JsonNumberTest, BoolIsNotANumber) {
+  EXPECT_EQ(Json(true).dump(), "true");
+  EXPECT_EQ(Json(false).dump(), "false");
+}
+
+// ------------------------------------------------------------- documents
+
+TEST(JsonDocumentTest, CompactObjectKeepsInsertionOrder) {
+  Json j = Json::object();
+  j.set("z", 1).set("a", 2).set("m", 3);
+  EXPECT_EQ(j.dump(), "{\"z\":1,\"a\":2,\"m\":3}");
+}
+
+TEST(JsonDocumentTest, SetOverwritesInPlace) {
+  Json j = Json::object();
+  j.set("a", 1).set("b", 2).set("a", 9);
+  EXPECT_EQ(j.dump(), "{\"a\":9,\"b\":2}");
+}
+
+TEST(JsonDocumentTest, NestedCompactDump) {
+  Json j = Json::object();
+  Json arr = Json::array();
+  arr.push_back(true).push_back(Json()).push_back("x");
+  j.set("a", 1).set("b", std::move(arr));
+  EXPECT_EQ(j.dump(), "{\"a\":1,\"b\":[true,null,\"x\"]}");
+}
+
+TEST(JsonDocumentTest, PrettyDump) {
+  Json j = Json::object();
+  Json arr = Json::array();
+  arr.push_back(1).push_back(2);
+  j.set("xs", std::move(arr));
+  EXPECT_EQ(j.dump(2), "{\n  \"xs\": [\n    1,\n    2\n  ]\n}");
+}
+
+TEST(JsonDocumentTest, EmptyContainers) {
+  EXPECT_EQ(Json::object().dump(2), "{}");
+  EXPECT_EQ(Json::array().dump(2), "[]");
+  EXPECT_EQ(Json().dump(), "null");
+}
+
+// ------------------------------------------------------------- accessors
+
+TEST(JsonAccessTest, FindAndAt) {
+  Json j = Json::object();
+  j.set("n", 1000).set("rate", 0.5).set("name", "fig5").set("ok", true);
+  ASSERT_NE(j.find("n"), nullptr);
+  EXPECT_EQ(j.find("missing"), nullptr);
+  EXPECT_EQ(j.at("n").as_int(), 1000);
+  EXPECT_DOUBLE_EQ(j.at("rate").as_double(), 0.5);
+  EXPECT_DOUBLE_EQ(j.at("n").as_double(), 1000.0);  // int widens
+  EXPECT_EQ(j.at("name").as_string(), "fig5");
+  EXPECT_TRUE(j.at("ok").as_bool());
+  EXPECT_EQ(j.size(), 4u);
+  EXPECT_EQ(j.key_at(0), "n");
+  EXPECT_EQ(j.key_at(3), "ok");
+}
+
+TEST(JsonAccessTest, ArrayIndexing) {
+  Json arr = Json::array();
+  arr.push_back(10).push_back(20);
+  EXPECT_EQ(arr.size(), 2u);
+  EXPECT_EQ(arr.at(1).as_int(), 20);
+  EXPECT_THROW((void)arr.at(2), ContractViolation);
+}
+
+TEST(JsonAccessTest, TypeMismatchesAreContractViolations) {
+  Json j = Json::object();
+  j.set("s", "text");
+  EXPECT_THROW((void)j.at("s").as_int(), ContractViolation);
+  EXPECT_THROW((void)j.at("s").as_double(), ContractViolation);
+  EXPECT_THROW((void)j.at("missing"), ContractViolation);
+  EXPECT_THROW((void)Json(1).set("k", 2), ContractViolation);
+  EXPECT_THROW((void)Json(1).push_back(2), ContractViolation);
+}
+
+}  // namespace
+}  // namespace npd

@@ -1,0 +1,177 @@
+// npd_run — the unified batch experiment driver.
+//
+// Lists the registered scenarios, runs any subset of them by name on the
+// engine's shared worker pool, and writes one JSON run report
+// (schema npd.run_report/1, see src/engine/report.hpp) per batch.
+//
+//   npd_run --list
+//   npd_run --scenarios fig5,abl7 --reps 2 --threads 4 --seed 42
+//           --params fig5.max_n=1000,abl7.max_n=500 --out report.json
+//
+// Per-scenario aggregates are bit-identical for every --threads value;
+// only the perf stamps (wall clock, jobs/sec) vary.  --no-perf omits
+// them, making the whole report byte-reproducible.
+
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "engine/builtin_scenarios.hpp"
+#include "engine/engine.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace npd;
+
+std::vector<std::string> split(std::string_view text, char sep) {
+  std::vector<std::string> parts;
+  while (!text.empty()) {
+    const std::size_t pos = text.find(sep);
+    std::string_view part = text.substr(0, pos);
+    while (!part.empty() && part.front() == ' ') {
+      part.remove_prefix(1);
+    }
+    while (!part.empty() && part.back() == ' ') {
+      part.remove_suffix(1);
+    }
+    if (!part.empty()) {
+      parts.emplace_back(part);
+    }
+    if (pos == std::string_view::npos) {
+      break;
+    }
+    text.remove_prefix(pos + 1);
+  }
+  return parts;
+}
+
+/// Parse one "scenario.key=value" override.
+engine::ParamOverride parse_override(const std::string& entry) {
+  const std::size_t dot = entry.find('.');
+  const std::size_t eq = entry.find('=');
+  if (dot == std::string::npos || eq == std::string::npos || dot > eq ||
+      dot == 0 || dot + 1 == eq || eq + 1 == entry.size()) {
+    throw std::invalid_argument("malformed --params entry '" + entry +
+                                "' (expected scenario.key=value)");
+  }
+  return engine::ParamOverride{entry.substr(0, dot),
+                               entry.substr(dot + 1, eq - dot - 1),
+                               entry.substr(eq + 1)};
+}
+
+void print_scenario_list(const engine::ScenarioRegistry& registry) {
+  std::printf("Registered scenarios:\n\n");
+  for (const engine::Scenario* scenario : registry.list()) {
+    std::printf("  %-18s %s\n", scenario->name().c_str(),
+                scenario->description().c_str());
+    for (const engine::ParamSpec& spec : scenario->params()) {
+      std::printf("      %s.%s = %s  (%s)\n", scenario->name().c_str(),
+                  spec.name.c_str(), spec.default_value.c_str(),
+                  spec.help.c_str());
+    }
+  }
+  std::printf(
+      "\nRun a subset with --scenarios a,b,c; override parameters with\n"
+      "--params scenario.key=value[,scenario.key=value...].\n");
+}
+
+int run(int argc, char** argv) {
+  CliParser cli("npd_run",
+                "Unified batch experiment driver: runs registered "
+                "scenarios and writes a JSON run report.");
+  const bool& list = cli.add_flag("list", "list scenarios and exit");
+  const std::string& scenarios_arg = cli.add_string(
+      "scenarios", "all", "comma-separated scenario names, or 'all'");
+  const long long& reps =
+      cli.add_int("reps", 1, "repetitions per grid cell");
+  const long long& seed =
+      cli.add_int("seed", 42, "base seed for all derived job streams");
+  const long long& threads = cli.add_int(
+      "threads", 0,
+      "worker threads (0 = all cores; aggregates are identical for any "
+      "value)");
+  const std::string& params_arg = cli.add_string(
+      "params", "",
+      "parameter overrides: scenario.key=value[,scenario.key=value...]");
+  const std::string& out_path = cli.add_string(
+      "out", "npd_run_report.json",
+      "JSON report path (empty string prints the report to stdout)");
+  const bool& no_perf = cli.add_flag(
+      "no-perf",
+      "omit wall-clock/throughput stamps (byte-reproducible report)");
+  cli.parse(argc, argv);
+
+  engine::ScenarioRegistry registry;
+  engine::register_builtin_scenarios(registry);
+
+  if (list) {
+    print_scenario_list(registry);
+    return 0;
+  }
+
+  engine::BatchRequest request;
+  if (scenarios_arg == "all") {
+    for (const engine::Scenario* scenario : registry.list()) {
+      request.scenario_names.push_back(scenario->name());
+    }
+  } else {
+    request.scenario_names = split(scenarios_arg, ',');
+  }
+  request.config.seed = static_cast<std::uint64_t>(seed);
+  request.config.reps = static_cast<Index>(reps);
+  request.config.threads = static_cast<Index>(threads);
+  for (const std::string& entry : split(params_arg, ',')) {
+    request.overrides.push_back(parse_override(entry));
+  }
+
+  const engine::RunReport report = engine::run_batch(registry, request);
+  const std::string json = report.to_json(!no_perf).dump(2);
+
+  if (out_path.empty()) {
+    std::printf("%s\n", json.c_str());
+  } else {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot open '%s' for writing\n",
+                   out_path.c_str());
+      return 1;
+    }
+    out << json << '\n';
+  }
+
+  // With --out "" the JSON owns stdout; the human-readable summary must
+  // not corrupt it (| python3 -m json.tool), so it moves to stderr.
+  FILE* summary = out_path.empty() ? stderr : stdout;
+  ConsoleTable table({"scenario", "jobs", "cells", "job seconds"});
+  for (const engine::ScenarioRunReport& scenario : report.scenarios) {
+    const Json* cells = scenario.aggregates.find("cells");
+    table.add_row({scenario.name, std::to_string(scenario.jobs),
+                   std::to_string(cells != nullptr ? cells->size() : 0),
+                   std::to_string(scenario.job_seconds)});
+  }
+  std::fputs(table.render().c_str(), summary);
+  std::fprintf(summary, "\n%lld jobs in %.2f s (%.1f jobs/sec)\n",
+               static_cast<long long>(report.total_jobs),
+               report.wall_seconds, report.jobs_per_second);
+  if (!out_path.empty()) {
+    std::fprintf(summary, "[report written to %s]\n", out_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "npd_run: %s\n", error.what());
+    return 2;
+  }
+}
