@@ -12,10 +12,12 @@
 ///   --csv PATH    also write the series to a CSV file ("" = skip)
 
 #include <cstdio>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "solve/reconstructor.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
 #include "util/table.hpp"
@@ -64,6 +66,31 @@ inline CommonBindings add_common_options(CliParser& cli,
           "threads", 0,
           "worker threads for repetitions (0 = all cores; results are "
           "identical for any value)")};
+}
+
+/// Solver selection for solver-generic benches: `--solver` picks any
+/// registered reconstruction algorithm, `--solver-params` passes its
+/// options (`key=value[;key=value...]`).  `make()` resolves against the
+/// built-in registry — unknown names/options are hard errors, matching
+/// `npd_run`.
+struct SolverBindings {
+  const std::string& solver;
+  const std::string& solver_params;
+
+  [[nodiscard]] std::unique_ptr<solve::Reconstructor> make() const {
+    return solve::builtin_solvers().make(solver, solver_params);
+  }
+};
+
+inline SolverBindings add_solver_options(CliParser& cli,
+                                         std::string default_solver) {
+  return SolverBindings{
+      .solver = cli.add_string(
+          "solver", std::move(default_solver),
+          "registered solver name (see npd_run --list-solvers)"),
+      .solver_params =
+          cli.add_string("solver-params", "",
+                         "solver options: key=value[;key=value...]")};
 }
 
 /// Banner identifying the figure being reproduced.

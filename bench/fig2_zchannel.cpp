@@ -2,16 +2,22 @@
 // with θ = 0.25 and p ∈ {0.1, 0.3, 0.5}.  The dashed line of the paper is
 // the Theorem 1 bound for p = 0.1 with ε = 0.05; we print it alongside
 // the measured median so shape and envelope can be compared directly.
+//
+// Thin wrapper over the batch engine's registered `fig2` scenario: the
+// grid loop, worker scheduling and aggregation live in src/engine, and
+// this binary only formats the scenario's aggregates.  The engine
+// replicates this bench's historical per-repetition seed streams, so
+// the numbers are unchanged for any given --seed.
 
 #include <cmath>
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "core/theory.hpp"
-#include "harness/sweeps.hpp"
-#include "noise/channel.hpp"
-#include "pooling/ground_truth.hpp"
-#include "pooling/query_design.hpp"
+#include "engine/builtin_scenarios.hpp"
+#include "engine/engine.hpp"
 #include "util/ascii_plot.hpp"
 
 namespace {
@@ -36,10 +42,23 @@ int main(int argc, char** argv) {
                       "required queries, Z-channel, p in {0.1, 0.3, 0.5}");
 
   const bool paper = common.paper;
-  const Index hi = paper ? 100000 : static_cast<Index>(max_n);
-  const Index reps = paper ? 25 : static_cast<Index>(common.reps);
-  const auto ns = harness::log_grid(100, hi, paper ? 3 : 2);
+
+  engine::ScenarioRegistry registry;
+  engine::register_builtin_scenarios(registry);
+  engine::BatchRequest request;
+  request.scenario_names = {"fig2"};
+  request.config.seed = static_cast<std::uint64_t>(common.seed);
+  request.config.reps = paper ? Index{25} : static_cast<Index>(common.reps);
+  request.config.threads = static_cast<Index>(common.threads);
+  request.overrides.push_back(
+      {"fig2", "max_n",
+       paper ? "100000" : std::to_string(static_cast<Index>(max_n))});
+  request.overrides.push_back({"fig2", "ppd", paper ? "3" : "2"});
+
+  const engine::RunReport report = engine::run_batch(registry, request);
+  const Json& cells = report.scenarios[0].aggregates.at("cells");
   const std::vector<double> ps{0.1, 0.3, 0.5};
+  const std::size_t points = cells.size() / ps.size();
 
   ConsoleTable table({"n", "k", "p", "median m", "mean m", "q1", "q3",
                       "theory m (p=0.1)"});
@@ -56,32 +75,30 @@ int main(int argc, char** argv) {
 
   for (std::size_t pi = 0; pi < ps.size(); ++pi) {
     const double p = ps[pi];
-    const auto rows = harness::required_queries_sweep(
-        ns, reps, [](Index n) { return pooling::sublinear_k(n, kTheta); },
-        [](Index n) { return pooling::paper_design(n); },
-        [p](Index, Index) { return noise::make_z_channel(p); },
-        static_cast<std::uint64_t>(common.seed) +
-            static_cast<std::uint64_t>(p * 1000.0),
-        {}, static_cast<Index>(common.threads));
-
     PlotSeries series{.label = "p = " + format_double(p),
                       .x = {},
                       .y = {},
                       .marker = markers[pi % 3]};
-    for (const auto& row : rows) {
+    for (std::size_t ni = 0; ni < points; ++ni) {
+      const Json& cell = cells.at(pi * points + ni);
+      const Json& m = cell.at("metrics").at("m");
+      const auto n = cell.at("n").as_int();
+      const auto k = cell.at("k").as_int();
       const double theory =
-          core::theory::z_channel_sublinear(row.n, kTheta, 0.1, theory_eps);
-      table.add_row_doubles({static_cast<double>(row.n),
-                             static_cast<double>(row.k), p,
-                             row.summary.median, row.mean_m, row.summary.q1,
-                             row.summary.q3, std::ceil(theory)});
-      csv.row({static_cast<double>(row.n), static_cast<double>(row.k), p,
-               row.summary.median, row.mean_m, row.summary.q1, row.summary.q3,
-               row.summary.min, row.summary.max, theory});
-      series.x.push_back(static_cast<double>(row.n));
-      series.y.push_back(row.summary.median);
+          core::theory::z_channel_sublinear(n, kTheta, 0.1, theory_eps);
+      table.add_row_doubles(
+          {static_cast<double>(n), static_cast<double>(k), p,
+           m.at("median").as_double(), m.at("mean").as_double(),
+           m.at("q1").as_double(), m.at("q3").as_double(),
+           std::ceil(theory)});
+      csv.row({static_cast<double>(n), static_cast<double>(k), p,
+               m.at("median").as_double(), m.at("mean").as_double(),
+               m.at("q1").as_double(), m.at("q3").as_double(),
+               m.at("min").as_double(), m.at("max").as_double(), theory});
+      series.x.push_back(static_cast<double>(n));
+      series.y.push_back(m.at("median").as_double());
       if (pi == 0) {
-        theory_series.x.push_back(static_cast<double>(row.n));
+        theory_series.x.push_back(static_cast<double>(n));
         theory_series.y.push_back(theory);
       }
     }

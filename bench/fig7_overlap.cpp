@@ -3,6 +3,11 @@
 // 0.5}.  The paper's observation: at the m where exact success is still
 // ~40%, the overlap is already ~90% — small misclassification rates make
 // the greedy algorithm practical well below its exact-recovery threshold.
+//
+// Solver-generic: --solver selects any registered reconstruction
+// algorithm (default greedy, which reproduces the paper's figure); the
+// sweep runs through the unified solver API, so e.g. --solver amp or
+// --solver two_stage plot the same protocol for the baselines.
 
 #include <cmath>
 #include <cstdio>
@@ -24,15 +29,18 @@ int main(int argc, char** argv) {
   using namespace npd;
 
   CliParser cli("fig7_overlap",
-                "overlap vs m at n=1000, Z-channel, greedy");
+                "overlap vs m at n=1000, Z-channel, any registered solver");
   const auto common = bench::add_common_options(cli, 30, "fig7_overlap.csv");
+  const auto solver_opts = bench::add_solver_options(cli, "greedy");
   const auto& n_opt = cli.add_int("n", 1000, "number of agents");
   const auto& m_step = cli.add_int("m-step", 25, "grid step in m");
   const auto& m_max = cli.add_int("m-max", 600, "largest m");
   cli.parse(argc, argv);
 
   const Timer timer;
-  bench::print_banner("Figure 7", "overlap vs m, greedy, n = 1000");
+  bench::print_banner("Figure 7",
+                      "overlap vs m, " + solver_opts.solver + ", n = 1000");
+  const auto solver = solver_opts.make();
 
   const auto n = static_cast<Index>(n_opt);
   const Index k = pooling::sublinear_k(n, kTheta);
@@ -55,11 +63,10 @@ int main(int argc, char** argv) {
   for (const double p : ps) {
     const auto points = harness::success_sweep(
         n, k, ms, reps, [](Index nn) { return pooling::paper_design(nn); },
-        [p](Index, Index) { return noise::make_z_channel(p); },
-        harness::Algorithm::Greedy,
+        [p](Index, Index) { return noise::make_z_channel(p); }, *solver,
         static_cast<std::uint64_t>(common.seed) +
             static_cast<std::uint64_t>(p * 6007.0),
-        {}, static_cast<Index>(common.threads));
+        static_cast<Index>(common.threads));
 
     for (const auto& point : points) {
       table.add_row_doubles({static_cast<double>(point.m), p,

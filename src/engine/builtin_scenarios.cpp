@@ -7,10 +7,8 @@
 
 #include "amp/amp.hpp"
 #include "core/evaluation.hpp"
-#include "core/greedy.hpp"
 #include "core/instance.hpp"
 #include "core/theory.hpp"
-#include "core/two_stage.hpp"
 #include "harness/required_queries.hpp"
 #include "harness/sweeps.hpp"
 #include "netsim/distributed_amp.hpp"
@@ -18,10 +16,29 @@
 #include "noise/channel.hpp"
 #include "pooling/ground_truth.hpp"
 #include "pooling/query_design.hpp"
+#include "solve/channel_spec.hpp"
+#include "solve/reconstructor.hpp"
 
 namespace npd::engine {
 
 namespace {
+
+/// Bad user parameters must surface as clean `std::invalid_argument`s
+/// naming the scenario and constraint — before any job is scheduled —
+/// not as contract violations from deep library code on a worker thread.
+void require_param(bool condition, const std::string& scenario,
+                   const std::string& constraint) {
+  if (!condition) {
+    throw std::invalid_argument(scenario + ": need " + constraint);
+  }
+}
+
+/// Shared validation for (theta, eps) theory-bound parameters.
+void require_theory_params(const std::string& scenario, double theta,
+                           double eps) {
+  require_param(theta > 0.0 && theta < 1.0, scenario, "theta in (0, 1)");
+  require_param(eps > 0.0, scenario, "eps > 0");
+}
 
 // ------------------------------------------------------------------ fig5
 
@@ -274,19 +291,25 @@ class Abl7Scenario final : public Scenario {
 // --------------------------------------------------------------- fixed_m
 
 /// Fixed-m reconstruction over an m-grid placed relative to the
-/// Theorem 1 Z-channel bound (the Figure 6/7 protocol), one scenario per
-/// algorithm.  Uses the engine's canonical stream derivation.
+/// Theorem 1 Z-channel bound (the Figure 6/7 protocol).  The algorithm
+/// is any registered solver, selected with `solver=<name>` (plus
+/// `solver_params=key=value[;...]`); the historical per-algorithm
+/// scenarios `fixed_m_{greedy,amp,two_stage}` remain registered as
+/// aliases that only pin a different `solver` default (their seed
+/// streams, keyed on the scenario name, are unchanged).  Uses the
+/// engine's canonical stream derivation.
 class FixedMScenario final : public Scenario {
  public:
-  FixedMScenario(std::string name, harness::Algorithm algorithm)
-      : name_(std::move(name)), algorithm_(algorithm) {}
+  FixedMScenario(std::string name, std::string default_solver)
+      : name_(std::move(name)), default_solver_(std::move(default_solver)) {}
 
   std::string name() const override { return name_; }
 
   std::string description() const override {
-    return std::string("fixed-m ") + harness::algorithm_name(algorithm_) +
-           " reconstruction: exact-success rate and overlap over an "
-           "m-grid around the Theorem 1 bound";
+    return "fixed-m reconstruction with any registered solver (default " +
+           default_solver_ +
+           "): exact-success rate and overlap over an m-grid around the "
+           "Theorem 1 bound";
   }
 
   std::vector<ParamSpec> params() const override {
@@ -300,6 +323,10 @@ class FixedMScenario final : public Scenario {
          "lowest m as a fraction of the Theorem 1 bound"},
         {"m_hi_frac", ParamSpec::Kind::Double, "1.5",
          "highest m as a fraction of the Theorem 1 bound"},
+        {"solver", ParamSpec::Kind::String, default_solver_,
+         "registered solver name (see npd_run --list-solvers)"},
+        {"solver_params", ParamSpec::Kind::String, "",
+         "solver options as key=value[;key=value...]"},
     };
   }
 
@@ -308,13 +335,18 @@ class FixedMScenario final : public Scenario {
     const auto n = static_cast<Index>(params.get_int("n"));
     const double theta = params.get_double("theta");
     const double p = params.get_double("p");
+    require_param(n >= 2, name_, "n >= 2");
+    require_param(theta > 0.0 && theta < 1.0, name_, "theta in (0, 1)");
+    require_param(p >= 0.0 && p < 1.0, name_, "p in [0, 1)");
     const Index k = pooling::sublinear_k(n, theta);
     const pooling::QueryDesign design = pooling::paper_design(n);
-    const noise::BitFlipChannel channel(p, 0.0);
-    const noise::Linearization lin =
-        channel.linearization(n, k, design.gamma);
     const std::vector<Index> ms = m_grid(params);
-    const harness::Algorithm algorithm = algorithm_;
+    // Resolving the solver here makes unknown names/options fail before
+    // any job runs; the shared instance is safe for concurrent jobs
+    // (solve is const and stateless).
+    const std::shared_ptr<const solve::Reconstructor> solver =
+        solve::builtin_solvers().make(params.get_string("solver"),
+                                      params.get_string("solver_params"));
 
     std::vector<Job> jobs;
     jobs.reserve(ms.size() * static_cast<std::size_t>(config.reps));
@@ -327,26 +359,18 @@ class FixedMScenario final : public Scenario {
         job.seed =
             derive_job_seed(config.seed, name_, job.cell, rep);
         job.cost_hint = n;
-        job.run = [n, k, m, p, lin, design,
-                   algorithm](rand::Rng& rng) -> Metrics {
+        job.run = [n, k, m, p, design, solver](rand::Rng& rng) -> Metrics {
           const noise::BitFlipChannel job_channel(p, 0.0);
           const core::Instance instance =
               core::make_instance(n, k, m, design, job_channel, rng);
-          BitVector estimate;
-          switch (algorithm) {
-            case harness::Algorithm::Greedy:
-              estimate = core::greedy_reconstruct(instance).estimate;
-              break;
-            case harness::Algorithm::Amp:
-              estimate = amp::amp_reconstruct(instance, lin).estimate;
-              break;
-            case harness::Algorithm::TwoStage:
-              estimate = core::two_stage_reconstruct(instance, lin).estimate;
-              break;
-          }
+          const solve::SolveResult result =
+              solver->solve(instance, job_channel, rng);
           return {{"success",
-                   core::exact_success(estimate, instance.truth) ? 1.0 : 0.0},
-                  {"overlap", core::overlap(estimate, instance.truth)}};
+                   core::exact_success(result.estimate, instance.truth)
+                       ? 1.0
+                       : 0.0},
+                  {"overlap", core::overlap(result.estimate,
+                                            instance.truth)}};
         };
         jobs.push_back(std::move(job));
       }
@@ -392,7 +416,338 @@ class FixedMScenario final : public Scenario {
   }
 
   std::string name_;
-  harness::Algorithm algorithm_;
+  std::string default_solver_;
+};
+
+// ----------------------------------------------------------- solver_sweep
+
+/// The generic reconstruction scenario: any registered solver over an
+/// (n, m, channel) grid.  n runs over a log grid, m sits at a fixed
+/// fraction of the channel's theory bound, and the channel is a textual
+/// spec (solve/channel_spec.hpp).  Alongside success/overlap it records
+/// the solver's convergence info and — for distributed solvers — the
+/// network cost, so one scenario covers the paper's whole
+/// algorithm-comparison story.
+class SolverSweepScenario final : public Scenario {
+ public:
+  std::string name() const override { return "solver_sweep"; }
+
+  std::string description() const override {
+    return "any registered solver over an (n, m, channel) grid: success, "
+           "overlap, convergence, network cost";
+  }
+
+  std::vector<ParamSpec> params() const override {
+    return {
+        {"solver", ParamSpec::Kind::String, "greedy",
+         "registered solver name (see npd_run --list-solvers)"},
+        {"solver_params", ParamSpec::Kind::String, "",
+         "solver options as key=value[;key=value...]"},
+        {"channel", ParamSpec::Kind::String, "z:0.1",
+         "channel spec: noiseless | z:<p> | bitflip:<p>:<q> | "
+         "gauss:<lambda>"},
+        {"n_lo", ParamSpec::Kind::Int, "200", "smallest n of the log grid"},
+        {"n_hi", ParamSpec::Kind::Int, "400", "largest n of the log grid"},
+        {"n_ppd", ParamSpec::Kind::Int, "2",
+         "log-grid points per decade over n"},
+        {"theta", ParamSpec::Kind::Double, "0.25",
+         "sublinear regime exponent (k = n^theta)"},
+        {"m_frac", ParamSpec::Kind::Double, "1.2",
+         "queries as a fraction of the channel's theory bound"},
+        {"eps", ParamSpec::Kind::Double, "0.1",
+         "epsilon in the theory bound"},
+    };
+  }
+
+  std::vector<Job> make_jobs(const EngineConfig& config,
+                             const ScenarioParams& params) const override {
+    const solve::ChannelSpec spec =
+        solve::parse_channel_spec(params.get_string("channel"));
+    const double theta = params.get_double("theta");
+    const double m_frac = params.get_double("m_frac");
+    const double eps = params.get_double("eps");
+    require_param(m_frac > 0.0, "solver_sweep", "m_frac > 0");
+    require_theory_params("solver_sweep", theta, eps);
+    const std::vector<Index> ns = grid(params);
+    const std::shared_ptr<const solve::Reconstructor> solver =
+        solve::builtin_solvers().make(params.get_string("solver"),
+                                      params.get_string("solver_params"));
+
+    std::vector<Job> jobs;
+    jobs.reserve(ns.size() * static_cast<std::size_t>(config.reps));
+    for (std::size_t ni = 0; ni < ns.size(); ++ni) {
+      const Index n = ns[ni];
+      const Index k = pooling::sublinear_k(n, theta);
+      const Index m = m_of(n, theta, m_frac, eps, spec);
+      for (Index rep = 0; rep < config.reps; ++rep) {
+        Job job;
+        job.cell = static_cast<Index>(ni);
+        job.rep = rep;
+        job.seed = derive_job_seed(config.seed, "solver_sweep", job.cell,
+                                   rep);
+        job.cost_hint = n;
+        job.run = [n, k, m, spec, solver](rand::Rng& rng) -> Metrics {
+          const auto channel = spec.make();
+          const core::Instance instance = core::make_instance(
+              n, k, m, pooling::paper_design(n), *channel, rng);
+          const solve::SolveResult result =
+              solver->solve(instance, *channel, rng);
+          Metrics metrics{
+              {"success",
+               core::exact_success(result.estimate, instance.truth) ? 1.0
+                                                                    : 0.0},
+              {"overlap", core::overlap(result.estimate, instance.truth)},
+              {"iterations", static_cast<double>(result.iterations)},
+              {"converged", result.converged ? 1.0 : 0.0}};
+          if (result.net.has_value()) {
+            metrics.push_back(
+                {"net_rounds", static_cast<double>(result.net->rounds)});
+            metrics.push_back(
+                {"net_messages",
+                 static_cast<double>(result.net->messages)});
+            metrics.push_back(
+                {"net_bytes", static_cast<double>(result.net->bytes)});
+          }
+          return metrics;
+        };
+        jobs.push_back(std::move(job));
+      }
+    }
+    return jobs;
+  }
+
+  Json aggregate(const std::vector<JobResult>& results,
+                 const ScenarioParams& params) const override {
+    const solve::ChannelSpec spec =
+        solve::parse_channel_spec(params.get_string("channel"));
+    const double theta = params.get_double("theta");
+    const double m_frac = params.get_double("m_frac");
+    const double eps = params.get_double("eps");
+    const std::vector<Index> ns = grid(params);
+    const std::string solver = params.get_string("solver");
+    return aggregate_cells(results, [&](Index cell) {
+      const Index n = ns[static_cast<std::size_t>(cell)];
+      Json meta = Json::object();
+      meta.set("n", n)
+          .set("k", pooling::sublinear_k(n, theta))
+          .set("m", m_of(n, theta, m_frac, eps, spec))
+          .set("channel", spec.label())
+          .set("solver", solver);
+      return meta;
+    });
+  }
+
+ private:
+  static std::vector<Index> grid(const ScenarioParams& params) {
+    const auto n_lo = static_cast<Index>(params.get_int("n_lo"));
+    const auto n_hi = static_cast<Index>(params.get_int("n_hi"));
+    const auto n_ppd = static_cast<Index>(params.get_int("n_ppd"));
+    require_param(n_lo >= 2 && n_hi >= n_lo, "solver_sweep",
+                  "2 <= n_lo <= n_hi");
+    require_param(n_ppd >= 1, "solver_sweep", "n_ppd >= 1");
+    return harness::log_grid(n_lo, n_hi, n_ppd);
+  }
+
+  static Index m_of(Index n, double theta, double m_frac, double eps,
+                    const solve::ChannelSpec& spec) {
+    const auto m = static_cast<Index>(
+        std::ceil(m_frac * spec.theory_m(n, theta, eps)));
+    return m < 1 ? 1 : m;
+  }
+};
+
+// ------------------------------------------------------------- fig2, fig3
+
+/// Figure 2 required-queries curves.  Per series (Z-channel p), the
+/// per-repetition seed streams are byte-for-byte the legacy
+/// `fig2_zchannel` bench's: the sweep root is `Rng(seed + uint64(p*1000))`
+/// and rep streams derive as `root.derive(point*10'000 + rep)` — the
+/// `harness::required_queries_sweep` derivation.
+class Fig2Scenario final : public Scenario {
+ public:
+  std::string name() const override { return "fig2"; }
+
+  std::string description() const override {
+    return "required queries vs n: Z-channel, p in {.1,.3,.5}, theta=0.25 "
+           "(Figure 2)";
+  }
+
+  std::vector<ParamSpec> params() const override {
+    return {
+        {"theta", ParamSpec::Kind::Double, "0.25",
+         "sublinear regime exponent (k = n^theta)"},
+        {"max_n", ParamSpec::Kind::Int, "10000", "largest n of the log grid"},
+        {"ppd", ParamSpec::Kind::Int, "2",
+         "log-grid points per decade (the bench's --paper uses 3)"},
+    };
+  }
+
+  std::vector<Job> make_jobs(const EngineConfig& config,
+                             const ScenarioParams& params) const override {
+    const double theta = params.get_double("theta");
+    require_param(theta > 0.0 && theta < 1.0, "fig2", "theta in (0, 1)");
+    const std::vector<Index> ns = grid(params);
+    const std::vector<double> ps = z_levels();
+
+    std::vector<Job> jobs;
+    jobs.reserve(ps.size() * ns.size() *
+                 static_cast<std::size_t>(config.reps));
+    for (std::size_t pi = 0; pi < ps.size(); ++pi) {
+      const double p = ps[pi];
+      // Legacy derivation: one sweep per p, rooted at seed + uint64(p*1000).
+      const rand::Rng root(config.seed +
+                           static_cast<std::uint64_t>(p * 1000.0));
+      for (std::size_t ni = 0; ni < ns.size(); ++ni) {
+        const Index n = ns[ni];
+        for (Index rep = 0; rep < config.reps; ++rep) {
+          Job job;
+          job.cell = static_cast<Index>(pi * ns.size() + ni);
+          job.rep = rep;
+          job.seed = root.derive(static_cast<std::uint64_t>(ni) * 10'000 +
+                                 static_cast<std::uint64_t>(rep))
+                         .seed();
+          job.cost_hint = n;
+          job.run = [n, p, theta](rand::Rng& rng) -> Metrics {
+            const Index k = pooling::sublinear_k(n, theta);
+            const auto channel = noise::make_z_channel(p);
+            const auto result = harness::required_queries(
+                n, k, pooling::paper_design(n), *channel, rng);
+            return {{"m", static_cast<double>(result.m)},
+                    {"reached", result.reached ? 1.0 : 0.0}};
+          };
+          jobs.push_back(std::move(job));
+        }
+      }
+    }
+    return jobs;
+  }
+
+  Json aggregate(const std::vector<JobResult>& results,
+                 const ScenarioParams& params) const override {
+    const double theta = params.get_double("theta");
+    const std::vector<Index> ns = grid(params);
+    const std::vector<double> ps = z_levels();
+    return aggregate_cells(results, [&](Index cell) {
+      const auto pi = static_cast<std::size_t>(cell) / ns.size();
+      const auto ni = static_cast<std::size_t>(cell) % ns.size();
+      Json meta = Json::object();
+      meta.set("n", ns[ni])
+          .set("k", pooling::sublinear_k(ns[ni], theta))
+          .set("p", ps[pi]);
+      return meta;
+    });
+  }
+
+ private:
+  static std::vector<double> z_levels() { return {0.1, 0.3, 0.5}; }
+
+  static std::vector<Index> grid(const ScenarioParams& params) {
+    const auto max_n = static_cast<Index>(params.get_int("max_n"));
+    const auto ppd = static_cast<Index>(params.get_int("ppd"));
+    require_param(max_n >= 100, "fig2",
+                  "max_n >= 100 (the grid's smallest point)");
+    require_param(ppd >= 1, "fig2", "ppd >= 1");
+    return harness::log_grid(100, max_n, ppd);
+  }
+};
+
+/// Figure 3 required-queries curves: the noisy query model vs the
+/// noiseless baseline.  Seed streams replicate the legacy
+/// `fig3_noisy_query` bench (sweep roots `seed + uint64(lambda*977)`).
+class Fig3Scenario final : public Scenario {
+ public:
+  std::string name() const override { return "fig3"; }
+
+  std::string description() const override {
+    return "required queries vs n: noisy query model vs noiseless, "
+           "theta=0.25 (Figure 3)";
+  }
+
+  std::vector<ParamSpec> params() const override {
+    return {
+        {"theta", ParamSpec::Kind::Double, "0.25",
+         "sublinear regime exponent (k = n^theta)"},
+        {"max_n", ParamSpec::Kind::Int, "10000", "largest n of the log grid"},
+        {"ppd", ParamSpec::Kind::Int, "2",
+         "log-grid points per decade (the bench's --paper uses 3)"},
+        {"lambda", ParamSpec::Kind::Double, "1",
+         "query noise stddev of the noisy series"},
+    };
+  }
+
+  std::vector<Job> make_jobs(const EngineConfig& config,
+                             const ScenarioParams& params) const override {
+    const double theta = params.get_double("theta");
+    require_param(theta > 0.0 && theta < 1.0, "fig3", "theta in (0, 1)");
+    require_param(params.get_double("lambda") >= 0.0, "fig3",
+                  "lambda >= 0");
+    const std::vector<Index> ns = grid(params);
+    const std::vector<double> lambdas = series(params);
+
+    std::vector<Job> jobs;
+    jobs.reserve(lambdas.size() * ns.size() *
+                 static_cast<std::size_t>(config.reps));
+    for (std::size_t si = 0; si < lambdas.size(); ++si) {
+      const double lam = lambdas[si];
+      const rand::Rng root(config.seed +
+                           static_cast<std::uint64_t>(lam * 977.0));
+      for (std::size_t ni = 0; ni < ns.size(); ++ni) {
+        const Index n = ns[ni];
+        for (Index rep = 0; rep < config.reps; ++rep) {
+          Job job;
+          job.cell = static_cast<Index>(si * ns.size() + ni);
+          job.rep = rep;
+          job.seed = root.derive(static_cast<std::uint64_t>(ni) * 10'000 +
+                                 static_cast<std::uint64_t>(rep))
+                         .seed();
+          job.cost_hint = n;
+          job.run = [n, lam, theta](rand::Rng& rng) -> Metrics {
+            const Index k = pooling::sublinear_k(n, theta);
+            const auto channel = lam > 0.0
+                                     ? noise::make_gaussian_channel(lam)
+                                     : noise::make_noiseless();
+            const auto result = harness::required_queries(
+                n, k, pooling::paper_design(n), *channel, rng);
+            return {{"m", static_cast<double>(result.m)},
+                    {"reached", result.reached ? 1.0 : 0.0}};
+          };
+          jobs.push_back(std::move(job));
+        }
+      }
+    }
+    return jobs;
+  }
+
+  Json aggregate(const std::vector<JobResult>& results,
+                 const ScenarioParams& params) const override {
+    const double theta = params.get_double("theta");
+    const std::vector<Index> ns = grid(params);
+    const std::vector<double> lambdas = series(params);
+    return aggregate_cells(results, [&](Index cell) {
+      const auto si = static_cast<std::size_t>(cell) / ns.size();
+      const auto ni = static_cast<std::size_t>(cell) % ns.size();
+      Json meta = Json::object();
+      meta.set("n", ns[ni])
+          .set("k", pooling::sublinear_k(ns[ni], theta))
+          .set("lambda", lambdas[si]);
+      return meta;
+    });
+  }
+
+ private:
+  /// Legacy series order: noiseless first, then the noisy level.
+  static std::vector<double> series(const ScenarioParams& params) {
+    return {0.0, params.get_double("lambda")};
+  }
+
+  static std::vector<Index> grid(const ScenarioParams& params) {
+    const auto max_n = static_cast<Index>(params.get_int("max_n"));
+    const auto ppd = static_cast<Index>(params.get_int("ppd"));
+    require_param(max_n >= 100, "fig3",
+                  "max_n >= 100 (the grid's smallest point)");
+    require_param(ppd >= 1, "fig3", "ppd >= 1");
+    return harness::log_grid(100, max_n, ppd);
+  }
 };
 
 }  // namespace
@@ -400,12 +755,17 @@ class FixedMScenario final : public Scenario {
 void register_builtin_scenarios(ScenarioRegistry& registry) {
   registry.add(std::make_unique<Fig5Scenario>());
   registry.add(std::make_unique<Abl7Scenario>());
-  registry.add(std::make_unique<FixedMScenario>("fixed_m_greedy",
-                                                harness::Algorithm::Greedy));
-  registry.add(std::make_unique<FixedMScenario>("fixed_m_amp",
-                                                harness::Algorithm::Amp));
-  registry.add(std::make_unique<FixedMScenario>(
-      "fixed_m_two_stage", harness::Algorithm::TwoStage));
+  registry.add(std::make_unique<Fig2Scenario>());
+  registry.add(std::make_unique<Fig3Scenario>());
+  registry.add(std::make_unique<SolverSweepScenario>());
+  // The generic fixed-m scenario plus the historical per-algorithm names
+  // (deprecated aliases: same class, different `solver` default and seed
+  // stream key; prefer `fixed_m` with `solver=<name>`).
+  registry.add(std::make_unique<FixedMScenario>("fixed_m", "greedy"));
+  registry.add(std::make_unique<FixedMScenario>("fixed_m_greedy", "greedy"));
+  registry.add(std::make_unique<FixedMScenario>("fixed_m_amp", "amp"));
+  registry.add(
+      std::make_unique<FixedMScenario>("fixed_m_two_stage", "two_stage"));
 }
 
 }  // namespace npd::engine

@@ -9,122 +9,6 @@
 
 namespace npd::engine {
 
-namespace {
-
-long long parse_int(const std::string& name, const std::string& value) {
-  try {
-    std::size_t pos = 0;
-    const long long parsed = std::stoll(value, &pos);
-    if (pos != value.size()) {
-      throw std::invalid_argument("trailing characters");
-    }
-    return parsed;
-  } catch (const std::exception&) {
-    throw std::invalid_argument("parameter '" + name +
-                                "' expects an integer, got '" + value + "'");
-  }
-}
-
-double parse_double(const std::string& name, const std::string& value) {
-  try {
-    std::size_t pos = 0;
-    const double parsed = std::stod(value, &pos);
-    if (pos != value.size()) {
-      throw std::invalid_argument("trailing characters");
-    }
-    return parsed;
-  } catch (const std::exception&) {
-    throw std::invalid_argument("parameter '" + name +
-                                "' expects a number, got '" + value + "'");
-  }
-}
-
-}  // namespace
-
-ScenarioParams::ScenarioParams(std::vector<ParamSpec> specs) {
-  entries_.reserve(specs.size());
-  for (ParamSpec& spec : specs) {
-    Entry entry;
-    switch (spec.kind) {
-      case ParamSpec::Kind::Int:
-        entry.int_value = parse_int(spec.name, spec.default_value);
-        break;
-      case ParamSpec::Kind::Double:
-        entry.double_value = parse_double(spec.name, spec.default_value);
-        break;
-      case ParamSpec::Kind::String:
-        entry.string_value = spec.default_value;
-        break;
-    }
-    entry.spec = std::move(spec);
-    entries_.push_back(std::move(entry));
-  }
-}
-
-void ScenarioParams::set(const std::string& name, const std::string& value) {
-  for (Entry& entry : entries_) {
-    if (entry.spec.name != name) {
-      continue;
-    }
-    switch (entry.spec.kind) {
-      case ParamSpec::Kind::Int:
-        entry.int_value = parse_int(name, value);
-        break;
-      case ParamSpec::Kind::Double:
-        entry.double_value = parse_double(name, value);
-        break;
-      case ParamSpec::Kind::String:
-        entry.string_value = value;
-        break;
-    }
-    return;
-  }
-  throw std::invalid_argument("unknown scenario parameter '" + name + "'");
-}
-
-const ScenarioParams::Entry& ScenarioParams::entry(
-    std::string_view name, ParamSpec::Kind kind) const {
-  for (const Entry& e : entries_) {
-    if (e.spec.name == name) {
-      NPD_CHECK_MSG(e.spec.kind == kind,
-                    "scenario parameter accessed with the wrong type");
-      return e;
-    }
-  }
-  throw std::invalid_argument("unknown scenario parameter '" +
-                              std::string(name) + "'");
-}
-
-long long ScenarioParams::get_int(std::string_view name) const {
-  return entry(name, ParamSpec::Kind::Int).int_value;
-}
-
-double ScenarioParams::get_double(std::string_view name) const {
-  return entry(name, ParamSpec::Kind::Double).double_value;
-}
-
-const std::string& ScenarioParams::get_string(std::string_view name) const {
-  return entry(name, ParamSpec::Kind::String).string_value;
-}
-
-Json ScenarioParams::to_json() const {
-  Json out = Json::object();
-  for (const Entry& e : entries_) {
-    switch (e.spec.kind) {
-      case ParamSpec::Kind::Int:
-        out.set(e.spec.name, e.int_value);
-        break;
-      case ParamSpec::Kind::Double:
-        out.set(e.spec.name, e.double_value);
-        break;
-      case ParamSpec::Kind::String:
-        out.set(e.spec.name, e.string_value);
-        break;
-    }
-  }
-  return out;
-}
-
 void ScenarioRegistry::add(std::unique_ptr<Scenario> scenario) {
   NPD_CHECK_MSG(scenario != nullptr, "registering a null scenario");
   NPD_CHECK_MSG(find(scenario->name()) == nullptr,

@@ -26,51 +26,16 @@
 
 #include "engine/job.hpp"
 #include "util/json.hpp"
+#include "util/params.hpp"
 #include "util/types.hpp"
 
 namespace npd::engine {
 
-/// Declaration of one typed scenario parameter.
-struct ParamSpec {
-  enum class Kind { Int, Double, String };
-
-  std::string name;
-  Kind kind = Kind::Int;
-  /// Textual default, parsed according to `kind`.
-  std::string default_value;
-  std::string help;
-};
-
-/// Resolved parameter values for one scenario run: the declared defaults
-/// plus any `--params` overrides.  Unknown names and malformed values are
-/// hard errors (`std::invalid_argument`), mirroring the CLI parser.
-class ScenarioParams {
- public:
-  explicit ScenarioParams(std::vector<ParamSpec> specs);
-
-  /// Override a declared parameter from its textual form.
-  void set(const std::string& name, const std::string& value);
-
-  [[nodiscard]] long long get_int(std::string_view name) const;
-  [[nodiscard]] double get_double(std::string_view name) const;
-  [[nodiscard]] const std::string& get_string(std::string_view name) const;
-
-  /// The resolved values as a JSON object (for the run report).
-  [[nodiscard]] Json to_json() const;
-
- private:
-  struct Entry {
-    ParamSpec spec;
-    long long int_value = 0;
-    double double_value = 0.0;
-    std::string string_value;
-  };
-
-  [[nodiscard]] const Entry& entry(std::string_view name,
-                                   ParamSpec::Kind kind) const;
-
-  std::vector<Entry> entries_;
-};
+/// Typed parameter machinery, shared with the solver registry (see
+/// util/params.hpp — the definitions moved there so `solve` can reuse
+/// them without depending on the engine).
+using npd::ParamSpec;
+using ScenarioParams = npd::ParamSet;
 
 /// Engine-wide run configuration shared by every scenario in a batch.
 struct EngineConfig {

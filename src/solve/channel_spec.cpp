@@ -1,0 +1,113 @@
+#include "solve/channel_spec.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "core/theory.hpp"
+#include "util/json.hpp"
+#include "util/parse.hpp"
+
+namespace npd::solve {
+
+namespace {
+
+std::vector<std::string> split_fields(std::string_view spec) {
+  std::vector<std::string> fields;
+  while (true) {
+    const std::size_t colon = spec.find(':');
+    fields.emplace_back(spec.substr(0, colon));
+    if (colon == std::string_view::npos) {
+      return fields;
+    }
+    spec.remove_prefix(colon + 1);
+  }
+}
+
+[[noreturn]] void fail(std::string_view spec) {
+  throw std::invalid_argument(
+      "malformed channel spec '" + std::string(spec) +
+      "' (expected noiseless | z:<p> | bitflip:<p>:<q> | gauss:<lambda>)");
+}
+
+/// Shortest round-trip formatting, so distinct parameters always give
+/// distinct canonical labels (e.g. z:1e-07 vs z:0).
+std::string format_param(double value) { return Json::format_number(value); }
+
+}  // namespace
+
+std::string ChannelSpec::label() const {
+  switch (family) {
+    case Family::Noiseless:
+      return "noiseless";
+    case Family::BitFlip:
+      return q == 0.0 ? "z:" + format_param(p)
+                      : "bitflip:" + format_param(p) + ":" + format_param(q);
+    case Family::Gaussian:
+      return "gauss:" + format_param(lambda);
+  }
+  return "?";
+}
+
+std::unique_ptr<noise::NoiseChannel> ChannelSpec::make() const {
+  switch (family) {
+    case Family::Noiseless:
+      return noise::make_noiseless();
+    case Family::BitFlip:
+      return noise::make_bitflip_channel(p, q);
+    case Family::Gaussian:
+      return lambda > 0.0 ? noise::make_gaussian_channel(lambda)
+                          : noise::make_noiseless();
+  }
+  return nullptr;
+}
+
+double ChannelSpec::theory_m(Index n, double theta, double eps) const {
+  if (family == Family::BitFlip) {
+    // The interpolated bound covers the whole p/q plane: at q = 0 it
+    // reduces to Theorem 1's Z-channel Θ(k log n) bound, and for q > 0
+    // it scales like the GNC Θ(n log n) requirement — so m_frac is a
+    // meaningful fraction of the channel's own bound for every spec.
+    return core::theory::channel_sublinear_interpolated(n, theta, p, q,
+                                                        eps);
+  }
+  return core::theory::noisy_query_sublinear(n, theta, eps);
+}
+
+ChannelSpec parse_channel_spec(std::string_view spec) {
+  const std::vector<std::string> fields = split_fields(spec);
+  ChannelSpec parsed;
+  const std::string subject = "channel spec '" + std::string(spec) + "'";
+  const auto reject = [&subject](const std::string& why) {
+    throw std::invalid_argument(subject + ": " + why);
+  };
+  if (fields[0] == "noiseless" && fields.size() == 1) {
+    parsed.family = ChannelSpec::Family::Noiseless;
+  } else if (fields[0] == "z" && fields.size() == 2) {
+    parsed.family = ChannelSpec::Family::BitFlip;
+    parsed.p = parse_double_value(subject, fields[1]);
+  } else if (fields[0] == "bitflip" && fields.size() == 3) {
+    parsed.family = ChannelSpec::Family::BitFlip;
+    parsed.p = parse_double_value(subject, fields[1]);
+    parsed.q = parse_double_value(subject, fields[2]);
+  } else if (fields[0] == "gauss" && fields.size() == 2) {
+    parsed.family = ChannelSpec::Family::Gaussian;
+    parsed.lambda = parse_double_value(subject, fields[1]);
+  } else {
+    fail(spec);
+  }
+  // Range checks up front (the paper's model assumptions), so bad specs
+  // are clean invalid_argument errors rather than contract violations
+  // deep inside the channel/theory code after jobs were scheduled.
+  if (parsed.family == ChannelSpec::Family::BitFlip) {
+    if (parsed.p < 0.0 || parsed.p >= 1.0 || parsed.q < 0.0 ||
+        parsed.q >= 1.0 || parsed.p + parsed.q >= 1.0) {
+      reject("need p, q in [0, 1) with p + q < 1");
+    }
+  } else if (parsed.family == ChannelSpec::Family::Gaussian &&
+             parsed.lambda < 0.0) {
+    reject("need lambda >= 0");
+  }
+  return parsed;
+}
+
+}  // namespace npd::solve

@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file channel_spec.hpp
+/// Textual channel specifications, so scenarios and CLIs can select a
+/// noise channel with one string parameter (commas are taken by
+/// `--params` entry splitting, so fields separate with ':'):
+///
+///   "noiseless"          the exact-sum baseline
+///   "z:0.1"              Z-channel, false-negative probability p = 0.1
+///   "bitflip:0.1:0.05"   general bit-flip channel, p = 0.1, q = 0.05
+///   "gauss:1.0"          noisy query model, N(0, λ²) with λ = 1.0
+///
+/// Malformed specs are hard errors (`std::invalid_argument`), matching
+/// the registry's treatment of unknown solver/scenario names.
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "noise/channel.hpp"
+#include "util/types.hpp"
+
+namespace npd::solve {
+
+/// A parsed channel spec: a factory-independent description that can
+/// build the channel and knows the matching Theorem 1/2 query bound.
+struct ChannelSpec {
+  enum class Family { Noiseless, BitFlip, Gaussian };
+
+  Family family = Family::Noiseless;
+  double p = 0.0;       ///< false-negative probability (bit-flip family)
+  double q = 0.0;       ///< false-positive probability (bit-flip family)
+  double lambda = 0.0;  ///< query noise stddev (Gaussian family)
+
+  /// The spec in canonical textual form (for labels and reports).
+  [[nodiscard]] std::string label() const;
+
+  /// Build the channel.
+  [[nodiscard]] std::unique_ptr<noise::NoiseChannel> make() const;
+
+  /// The matching sublinear-regime query bound: the interpolated
+  /// bit-flip bound (equal to Theorem 1's Z-channel bound at q = 0,
+  /// GNC-scaled for q > 0) for the bit-flip family, Theorem 2's
+  /// noisy-query bound otherwise.
+  [[nodiscard]] double theory_m(Index n, double theta, double eps) const;
+};
+
+/// Parse a spec string (see file comment for the grammar).
+[[nodiscard]] ChannelSpec parse_channel_spec(std::string_view spec);
+
+}  // namespace npd::solve

@@ -1,0 +1,66 @@
+#include "solve/reconstructor.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace npd::solve {
+
+void SolverRegistry::add(std::unique_ptr<SolverFactory> factory) {
+  NPD_CHECK_MSG(factory != nullptr, "registering a null solver factory");
+  NPD_CHECK_MSG(find(factory->name()) == nullptr,
+                "duplicate solver name '" + factory->name() + "'");
+  factories_.push_back(std::move(factory));
+}
+
+const SolverFactory* SolverRegistry::find(std::string_view name) const {
+  for (const auto& factory : factories_) {
+    if (factory->name() == name) {
+      return factory.get();
+    }
+  }
+  return nullptr;
+}
+
+std::vector<const SolverFactory*> SolverRegistry::list() const {
+  std::vector<const SolverFactory*> out;
+  out.reserve(factories_.size());
+  for (const auto& factory : factories_) {
+    out.push_back(factory.get());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SolverFactory* a, const SolverFactory* b) {
+              return a->name() < b->name();
+            });
+  return out;
+}
+
+std::unique_ptr<Reconstructor> SolverRegistry::make(
+    std::string_view name, std::string_view packed_options) const {
+  const SolverFactory* factory = find(name);
+  if (factory == nullptr) {
+    std::string known;
+    for (const SolverFactory* f : list()) {
+      known += known.empty() ? "" : ", ";
+      known += f->name();
+    }
+    throw std::invalid_argument("unknown solver '" + std::string(name) +
+                                "' (registered: " + known + ")");
+  }
+  ParamSet params(factory->params());
+  params.set_packed(packed_options);
+  return factory->make(params);
+}
+
+const SolverRegistry& builtin_solvers() {
+  static const SolverRegistry registry = [] {
+    SolverRegistry r;
+    register_builtin_solvers(r);
+    return r;
+  }();
+  return registry;
+}
+
+}  // namespace npd::solve

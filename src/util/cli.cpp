@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "util/assert.hpp"
+#include "util/parse.hpp"
 
 namespace npd {
 
@@ -49,7 +50,6 @@ const std::string& CliParser::add_string(std::string name, std::string def,
   opt->help = std::move(help);
   opt->kind = Kind::String;
   opt->string_value = std::move(def);
-  opt->default_repr = options_.empty() ? "" : "";
   opt->default_repr = opt->string_value;
   options_.push_back(std::move(opt));
   return options_.back()->string_value;
@@ -77,37 +77,21 @@ CliParser::Option* CliParser::find(std::string_view name) {
 }
 
 void CliParser::set_from_string(Option& opt, std::string_view value) {
-  const std::string str(value);
+  // All typed parsing goes through util/parse.hpp — one wording for
+  // malformed values across CLI flags, scenario params and solver options.
+  const std::string subject = "--" + opt.name;
   switch (opt.kind) {
-    case Kind::Int: {
-      std::size_t pos = 0;
-      opt.int_value = std::stoll(str, &pos);
-      if (pos != str.size()) {
-        throw std::invalid_argument("--" + opt.name +
-                                    ": not an integer: " + str);
-      }
+    case Kind::Int:
+      opt.int_value = parse_int_value(subject, value);
       break;
-    }
-    case Kind::Double: {
-      std::size_t pos = 0;
-      opt.double_value = std::stod(str, &pos);
-      if (pos != str.size()) {
-        throw std::invalid_argument("--" + opt.name + ": not a number: " + str);
-      }
+    case Kind::Double:
+      opt.double_value = parse_double_value(subject, value);
       break;
-    }
     case Kind::String:
-      opt.string_value = str;
+      opt.string_value = std::string(value);
       break;
     case Kind::Flag:
-      if (str == "true" || str == "1") {
-        opt.flag_value = true;
-      } else if (str == "false" || str == "0") {
-        opt.flag_value = false;
-      } else {
-        throw std::invalid_argument("--" + opt.name +
-                                    ": expected true/false, got: " + str);
-      }
+      opt.flag_value = parse_bool_value(subject, value);
       break;
   }
 }

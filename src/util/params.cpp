@@ -1,0 +1,124 @@
+#include "util/params.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "util/assert.hpp"
+#include "util/parse.hpp"
+
+namespace npd {
+
+namespace {
+
+std::string subject_of(const std::string& name) {
+  return "parameter '" + name + "'";
+}
+
+}  // namespace
+
+ParamSet::ParamSet(std::vector<ParamSpec> specs) {
+  entries_.reserve(specs.size());
+  for (ParamSpec& spec : specs) {
+    Entry entry;
+    switch (spec.kind) {
+      case ParamSpec::Kind::Int:
+        entry.int_value = parse_int_value(subject_of(spec.name),
+                                          spec.default_value);
+        break;
+      case ParamSpec::Kind::Double:
+        entry.double_value = parse_double_value(subject_of(spec.name),
+                                                spec.default_value);
+        break;
+      case ParamSpec::Kind::String:
+        entry.string_value = spec.default_value;
+        break;
+    }
+    entry.spec = std::move(spec);
+    entries_.push_back(std::move(entry));
+  }
+}
+
+void ParamSet::set(const std::string& name, const std::string& value) {
+  for (Entry& entry : entries_) {
+    if (entry.spec.name != name) {
+      continue;
+    }
+    switch (entry.spec.kind) {
+      case ParamSpec::Kind::Int:
+        entry.int_value = parse_int_value(subject_of(name), value);
+        break;
+      case ParamSpec::Kind::Double:
+        entry.double_value = parse_double_value(subject_of(name), value);
+        break;
+      case ParamSpec::Kind::String:
+        entry.string_value = value;
+        break;
+    }
+    return;
+  }
+  throw std::invalid_argument("unknown parameter '" + name + "'");
+}
+
+void ParamSet::set_packed(std::string_view packed) {
+  while (!packed.empty()) {
+    const std::size_t sep = packed.find(';');
+    std::string_view pair = packed.substr(0, sep);
+    if (!pair.empty()) {
+      const std::size_t eq = pair.find('=');
+      if (eq == std::string_view::npos || eq == 0) {
+        throw std::invalid_argument("malformed option '" + std::string(pair) +
+                                    "' (expected key=value[;key=value...])");
+      }
+      set(std::string(pair.substr(0, eq)), std::string(pair.substr(eq + 1)));
+    }
+    if (sep == std::string_view::npos) {
+      break;
+    }
+    packed.remove_prefix(sep + 1);
+  }
+}
+
+const ParamSet::Entry& ParamSet::entry(std::string_view name,
+                                       ParamSpec::Kind kind) const {
+  for (const Entry& e : entries_) {
+    if (e.spec.name == name) {
+      NPD_CHECK_MSG(e.spec.kind == kind,
+                    "parameter accessed with the wrong type");
+      return e;
+    }
+  }
+  throw std::invalid_argument("unknown parameter '" + std::string(name) +
+                              "'");
+}
+
+long long ParamSet::get_int(std::string_view name) const {
+  return entry(name, ParamSpec::Kind::Int).int_value;
+}
+
+double ParamSet::get_double(std::string_view name) const {
+  return entry(name, ParamSpec::Kind::Double).double_value;
+}
+
+const std::string& ParamSet::get_string(std::string_view name) const {
+  return entry(name, ParamSpec::Kind::String).string_value;
+}
+
+Json ParamSet::to_json() const {
+  Json out = Json::object();
+  for (const Entry& e : entries_) {
+    switch (e.spec.kind) {
+      case ParamSpec::Kind::Int:
+        out.set(e.spec.name, e.int_value);
+        break;
+      case ParamSpec::Kind::Double:
+        out.set(e.spec.name, e.double_value);
+        break;
+      case ParamSpec::Kind::String:
+        out.set(e.spec.name, e.string_value);
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace npd

@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file params.hpp
+/// Declarative typed parameter sets: a `ParamSpec` declares one named,
+/// typed, defaulted value; a `ParamSet` resolves a list of specs into
+/// values overridable from their textual form.
+///
+/// This is the option machinery shared by the batch engine's scenarios
+/// (`engine::ScenarioParams` is an alias of `ParamSet`) and the solver
+/// registry's per-solver options (`solve/reconstructor.hpp`): one spec
+/// format means `npd_run --list` / `--list-solvers` render defaults and
+/// help text uniformly, and `--params scenario.key=value` overrides and
+/// `solver_params` strings share the same parsing and the same hard
+/// errors (unknown names and malformed values throw
+/// `std::invalid_argument`).
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace npd {
+
+/// Declaration of one typed parameter.
+struct ParamSpec {
+  enum class Kind { Int, Double, String };
+
+  std::string name;
+  Kind kind = Kind::Int;
+  /// Textual default, parsed according to `kind`.
+  std::string default_value;
+  std::string help;
+};
+
+/// Resolved parameter values: the declared defaults plus any textual
+/// overrides.  Unknown names and malformed values are hard errors
+/// (`std::invalid_argument`), mirroring the CLI parser.
+class ParamSet {
+ public:
+  explicit ParamSet(std::vector<ParamSpec> specs);
+
+  /// Override a declared parameter from its textual form.
+  void set(const std::string& name, const std::string& value);
+
+  /// Apply a packed override list "key=value[;key=value...]" (the format
+  /// of the scenarios' `solver_params` parameter; ';' separates pairs
+  /// because ',' already separates `--params` entries).  Empty input is
+  /// a no-op.
+  void set_packed(std::string_view packed);
+
+  [[nodiscard]] long long get_int(std::string_view name) const;
+  [[nodiscard]] double get_double(std::string_view name) const;
+  [[nodiscard]] const std::string& get_string(std::string_view name) const;
+
+  /// The resolved values as a JSON object (for the run report).
+  [[nodiscard]] Json to_json() const;
+
+ private:
+  struct Entry {
+    ParamSpec spec;
+    long long int_value = 0;
+    double double_value = 0.0;
+    std::string string_value;
+  };
+
+  [[nodiscard]] const Entry& entry(std::string_view name,
+                                   ParamSpec::Kind kind) const;
+
+  std::vector<Entry> entries_;
+};
+
+}  // namespace npd

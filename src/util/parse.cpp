@@ -1,0 +1,56 @@
+#include "util/parse.hpp"
+
+#include <stdexcept>
+
+namespace npd {
+
+namespace {
+
+[[noreturn]] void fail(std::string_view subject, std::string_view expected,
+                       std::string_view text) {
+  throw std::invalid_argument(std::string(subject) + ": expected " +
+                              std::string(expected) + ", got '" +
+                              std::string(text) + "'");
+}
+
+}  // namespace
+
+long long parse_int_value(std::string_view subject, std::string_view text) {
+  const std::string str(text);
+  try {
+    std::size_t pos = 0;
+    const long long parsed = std::stoll(str, &pos);
+    if (pos != str.size()) {
+      throw std::invalid_argument("trailing characters");
+    }
+    return parsed;
+  } catch (const std::exception&) {
+    fail(subject, "an integer", text);
+  }
+}
+
+double parse_double_value(std::string_view subject, std::string_view text) {
+  const std::string str(text);
+  try {
+    std::size_t pos = 0;
+    const double parsed = std::stod(str, &pos);
+    if (pos != str.size()) {
+      throw std::invalid_argument("trailing characters");
+    }
+    return parsed;
+  } catch (const std::exception&) {
+    fail(subject, "a number", text);
+  }
+}
+
+bool parse_bool_value(std::string_view subject, std::string_view text) {
+  if (text == "true" || text == "1") {
+    return true;
+  }
+  if (text == "false" || text == "0") {
+    return false;
+  }
+  fail(subject, "true/false", text);
+}
+
+}  // namespace npd

@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file parse.hpp
+/// The one textual-value parser of the repo: every layer that turns
+/// user-supplied strings into typed values — the command-line parser
+/// (`util/cli.hpp`), scenario parameters (`util/params.hpp`, ex
+/// `engine::ScenarioParams`) and solver options (`solve/reconstructor.hpp`)
+/// — routes through these functions, so malformed input produces one
+/// consistent `std::invalid_argument` wording everywhere.
+///
+/// `subject` names the value being parsed in the error text, e.g.
+/// "--reps" for a CLI flag or "parameter 'max_n'" for a scenario
+/// parameter:
+///
+///   parse_int_value("--reps", "3x")
+///     -> std::invalid_argument("--reps: expected an integer, got '3x'")
+
+#include <string>
+#include <string_view>
+
+namespace npd {
+
+/// Parse a whole string as a (possibly signed) integer.  Trailing
+/// characters, overflow and empty input are hard errors.
+[[nodiscard]] long long parse_int_value(std::string_view subject,
+                                        std::string_view text);
+
+/// Parse a whole string as a floating-point number.
+[[nodiscard]] double parse_double_value(std::string_view subject,
+                                        std::string_view text);
+
+/// Parse "true"/"1" or "false"/"0".
+[[nodiscard]] bool parse_bool_value(std::string_view subject,
+                                    std::string_view text);
+
+}  // namespace npd

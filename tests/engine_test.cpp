@@ -136,7 +136,7 @@ TEST(ScenarioRegistryTest, RegisterListFindRoundTrip) {
   EXPECT_EQ(registry.find("no_such_scenario"), nullptr);
 
   const auto all = registry.list();
-  ASSERT_EQ(all.size(), 6u);  // 5 builtins + the test scenario
+  ASSERT_EQ(all.size(), 10u);  // 9 builtins + the test scenario
   for (std::size_t i = 1; i < all.size(); ++i) {
     EXPECT_LT(all[i - 1]->name(), all[i]->name());  // sorted by name
   }
@@ -297,6 +297,176 @@ TEST(EngineAgreementTest, Abl7IsRepCountInvariant) {
   EXPECT_EQ(once.scenarios[0].jobs, twice.scenarios[0].jobs);
   EXPECT_EQ(once.scenarios[0].aggregates.dump(2),
             twice.scenarios[0].aggregates.dump(2));
+}
+
+TEST(EngineAgreementTest, Fig2CellsMatchLegacySweepDerivation) {
+  ScenarioRegistry registry;
+  register_builtin_scenarios(registry);
+  BatchRequest request;
+  request.scenario_names = {"fig2"};
+  request.config.seed = 42;
+  request.config.reps = 2;
+  request.config.threads = 2;
+  request.overrides.push_back({"fig2", "max_n", "1000"});
+  const RunReport report = run_batch(registry, request);
+  const Json& cells = report.scenarios[0].aggregates.at("cells");
+  // log_grid(100, 1000, 2) has 3 points; 3 Z-channel levels.
+  ASSERT_EQ(cells.size(), 9u);
+
+  // Cell 0 is p = 0.1 at n = 100: the legacy bench ran
+  // required_queries_sweep rooted at seed + uint64(p * 1000); recompute
+  // through that path and compare the aggregates bit for bit.
+  const auto rows = harness::required_queries_sweep(
+      {100, 316, 1000}, 2,
+      [](Index nn) { return pooling::sublinear_k(nn, 0.25); },
+      [](Index nn) { return pooling::paper_design(nn); },
+      [](Index, Index) { return noise::make_z_channel(0.1); },
+      42 + static_cast<std::uint64_t>(0.1 * 1000.0));
+  for (std::size_t ni = 0; ni < rows.size(); ++ni) {
+    const Json& cell = cells.at(ni);
+    EXPECT_EQ(cell.at("n").as_int(), rows[ni].n);
+    EXPECT_EQ(cell.at("k").as_int(), rows[ni].k);
+    EXPECT_DOUBLE_EQ(cell.at("p").as_double(), 0.1);
+    const Json& m = cell.at("metrics").at("m");
+    EXPECT_EQ(m.at("median").as_double(), rows[ni].summary.median);
+    EXPECT_EQ(m.at("q1").as_double(), rows[ni].summary.q1);
+    EXPECT_EQ(m.at("q3").as_double(), rows[ni].summary.q3);
+    EXPECT_EQ(m.at("mean").as_double(), rows[ni].mean_m);
+  }
+}
+
+TEST(EngineAgreementTest, Fig3CellsMatchLegacySweepDerivation) {
+  ScenarioRegistry registry;
+  register_builtin_scenarios(registry);
+  BatchRequest request;
+  request.scenario_names = {"fig3"};
+  request.config.seed = 42;
+  request.config.reps = 2;
+  request.config.threads = 2;
+  request.overrides.push_back({"fig3", "max_n", "316"});
+  const RunReport report = run_batch(registry, request);
+  const Json& cells = report.scenarios[0].aggregates.at("cells");
+  // log_grid(100, 316, 2) has 2 points; series = {noiseless, lambda=1}.
+  ASSERT_EQ(cells.size(), 4u);
+
+  // Cells 2..3 are the noisy series (lambda = 1): the legacy bench ran
+  // required_queries_sweep rooted at seed + uint64(lambda * 977);
+  // recompute through that path and compare the aggregates bit for bit.
+  const auto rows = harness::required_queries_sweep(
+      {100, 316}, 2,
+      [](Index nn) { return pooling::sublinear_k(nn, 0.25); },
+      [](Index nn) { return pooling::paper_design(nn); },
+      [](Index, Index) { return noise::make_gaussian_channel(1.0); },
+      42 + static_cast<std::uint64_t>(1.0 * 977.0));
+  for (std::size_t ni = 0; ni < rows.size(); ++ni) {
+    const Json& cell = cells.at(rows.size() + ni);
+    EXPECT_EQ(cell.at("n").as_int(), rows[ni].n);
+    EXPECT_DOUBLE_EQ(cell.at("lambda").as_double(), 1.0);
+    const Json& m = cell.at("metrics").at("m");
+    EXPECT_EQ(m.at("median").as_double(), rows[ni].summary.median);
+    EXPECT_EQ(m.at("q1").as_double(), rows[ni].summary.q1);
+    EXPECT_EQ(m.at("q3").as_double(), rows[ni].summary.q3);
+    EXPECT_EQ(m.at("mean").as_double(), rows[ni].mean_m);
+  }
+}
+
+TEST(RunBatchTest, SolverSweepSelectsSolverByParameter) {
+  const auto run = [](const std::string& solver) {
+    ScenarioRegistry registry;
+    register_builtin_scenarios(registry);
+    BatchRequest request;
+    request.scenario_names = {"solver_sweep"};
+    request.config.seed = 7;
+    request.config.reps = 2;
+    request.overrides.push_back({"solver_sweep", "solver", solver});
+    request.overrides.push_back({"solver_sweep", "n_lo", "120"});
+    request.overrides.push_back({"solver_sweep", "n_hi", "120"});
+    return run_batch(registry, request);
+  };
+
+  // The estimate path is exercised end-to-end for a centralized and a
+  // distributed solver; the distributed one adds network-cost metrics.
+  const RunReport greedy = run("greedy");
+  const Json& greedy_cell =
+      greedy.scenarios[0].aggregates.at("cells").at(0);
+  EXPECT_EQ(greedy_cell.at("solver").as_string(), "greedy");
+  EXPECT_EQ(greedy_cell.at("metrics").find("net_messages"), nullptr);
+
+  const RunReport dist = run("dist_greedy");
+  const Json& dist_cell = dist.scenarios[0].aggregates.at("cells").at(0);
+  ASSERT_NE(dist_cell.at("metrics").find("net_messages"), nullptr);
+  EXPECT_GT(dist_cell.at("metrics")
+                .at("net_messages")
+                .at("mean")
+                .as_double(),
+            0.0);
+  // dist_greedy is bit-identical to greedy, so success/overlap agree.
+  EXPECT_EQ(greedy_cell.at("metrics").at("overlap").dump(2),
+            dist_cell.at("metrics").at("overlap").dump(2));
+
+  EXPECT_THROW((void)run("no_such_solver"), std::invalid_argument);
+}
+
+TEST(RunBatchTest, BadScenarioParametersAreInvalidArguments) {
+  const auto run = [](const char* scenario, const char* name,
+                      const char* value) {
+    ScenarioRegistry registry;
+    register_builtin_scenarios(registry);
+    BatchRequest request;
+    request.scenario_names = {scenario};
+    request.overrides.push_back({scenario, name, value});
+    return run_batch(registry, request);
+  };
+  // User input must surface as invalid_argument before any job runs,
+  // never as a ContractViolation from deep library code.
+  EXPECT_THROW((void)run("solver_sweep", "n_hi", "50"),
+               std::invalid_argument);
+  EXPECT_THROW((void)run("solver_sweep", "theta", "2"),
+               std::invalid_argument);
+  EXPECT_THROW((void)run("solver_sweep", "n_ppd", "0"),
+               std::invalid_argument);
+  EXPECT_THROW((void)run("solver_sweep", "channel", "z:1.5"),
+               std::invalid_argument);
+  EXPECT_THROW((void)run("fig2", "max_n", "50"), std::invalid_argument);
+  EXPECT_THROW((void)run("fig3", "ppd", "0"), std::invalid_argument);
+  EXPECT_THROW((void)run("fig3", "lambda", "-1"), std::invalid_argument);
+  EXPECT_THROW((void)run("fixed_m", "theta", "0"), std::invalid_argument);
+  EXPECT_THROW((void)run("fixed_m", "p", "1"), std::invalid_argument);
+}
+
+TEST(RunBatchTest, FixedMSolverParameterIsPlumbedThrough) {
+  const auto run = [](const char* scenario,
+                      const std::vector<ParamOverride>& extra) {
+    ScenarioRegistry registry;
+    register_builtin_scenarios(registry);
+    BatchRequest request;
+    request.scenario_names = {scenario};
+    request.config.seed = 3;
+    request.config.reps = 2;
+    request.overrides.push_back({scenario, "n", "150"});
+    request.overrides.push_back({scenario, "m_points", "2"});
+    for (const ParamOverride& o : extra) {
+      request.overrides.push_back(o);
+    }
+    return run_batch(registry, request);
+  };
+
+  // Selecting the solver purely via the parameter: fixed_m with
+  // solver=greedy (the default) and with solver=dist_greedy agree on all
+  // aggregates (the distributed execution is bit-identical), while bad
+  // solver names/options are hard errors raised before any job runs.
+  const RunReport by_default = run("fixed_m", {});
+  const RunReport by_param =
+      run("fixed_m", {{"fixed_m", "solver", "dist_greedy"}});
+  EXPECT_EQ(by_default.scenarios[0].aggregates.dump(2),
+            by_param.scenarios[0].aggregates.dump(2));
+
+  EXPECT_THROW(
+      (void)run("fixed_m", {{"fixed_m", "solver", "no_such_solver"}}),
+      std::invalid_argument);
+  EXPECT_THROW((void)run("fixed_m", {{"fixed_m", "solver_params",
+                                      "no_such_option=1"}}),
+               std::invalid_argument);
 }
 
 TEST(RunBatchTest, DuplicateScenarioSelectionThrows) {

@@ -21,6 +21,7 @@
 
 #include "engine/builtin_scenarios.hpp"
 #include "engine/engine.hpp"
+#include "solve/reconstructor.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
@@ -65,27 +66,51 @@ engine::ParamOverride parse_override(const std::string& entry) {
                                entry.substr(eq + 1)};
 }
 
+void print_param_specs(const std::string& owner,
+                       const std::vector<ParamSpec>& specs) {
+  for (const ParamSpec& spec : specs) {
+    std::printf("      %s.%s = %s  (%s)\n", owner.c_str(),
+                spec.name.c_str(), spec.default_value.c_str(),
+                spec.help.c_str());
+  }
+}
+
 void print_scenario_list(const engine::ScenarioRegistry& registry) {
   std::printf("Registered scenarios:\n\n");
   for (const engine::Scenario* scenario : registry.list()) {
     std::printf("  %-18s %s\n", scenario->name().c_str(),
                 scenario->description().c_str());
-    for (const engine::ParamSpec& spec : scenario->params()) {
-      std::printf("      %s.%s = %s  (%s)\n", scenario->name().c_str(),
-                  spec.name.c_str(), spec.default_value.c_str(),
-                  spec.help.c_str());
-    }
+    print_param_specs(scenario->name(), scenario->params());
   }
   std::printf(
       "\nRun a subset with --scenarios a,b,c; override parameters with\n"
-      "--params scenario.key=value[,scenario.key=value...].\n");
+      "--params scenario.key=value[,scenario.key=value...].\n"
+      "Solver-generic scenarios select their algorithm with\n"
+      "--params <scenario>.solver=<name> (see --list-solvers).\n");
+}
+
+void print_solver_list() {
+  std::printf("Registered solvers:\n\n");
+  for (const solve::SolverFactory* factory : solve::builtin_solvers().list()) {
+    std::printf("  %-20s %s\n", factory->name().c_str(),
+                factory->description().c_str());
+    print_param_specs(factory->name(), factory->params());
+  }
+  std::printf(
+      "\nSelect one per scenario with --params <scenario>.solver=<name>;\n"
+      "pass its options with\n"
+      "--params <scenario>.solver_params=key=value[;key=value...].\n");
 }
 
 int run(int argc, char** argv) {
   CliParser cli("npd_run",
                 "Unified batch experiment driver: runs registered "
                 "scenarios and writes a JSON run report.");
-  const bool& list = cli.add_flag("list", "list scenarios and exit");
+  const bool& list = cli.add_flag(
+      "list", "list scenarios (with parameter defaults and help) and exit");
+  const bool& list_solvers = cli.add_flag(
+      "list-solvers",
+      "list registered solvers (with option defaults and help) and exit");
   const std::string& scenarios_arg = cli.add_string(
       "scenarios", "all", "comma-separated scenario names, or 'all'");
   const long long& reps =
@@ -101,7 +126,8 @@ int run(int argc, char** argv) {
       "parameter overrides: scenario.key=value[,scenario.key=value...]");
   const std::string& out_path = cli.add_string(
       "out", "npd_run_report.json",
-      "JSON report path (empty string prints the report to stdout)");
+      "JSON report path ('-' or empty string streams the report to "
+      "stdout)");
   const bool& no_perf = cli.add_flag(
       "no-perf",
       "omit wall-clock/throughput stamps (byte-reproducible report)");
@@ -112,6 +138,10 @@ int run(int argc, char** argv) {
 
   if (list) {
     print_scenario_list(registry);
+    return 0;
+  }
+  if (list_solvers) {
+    print_solver_list();
     return 0;
   }
 
@@ -133,7 +163,10 @@ int run(int argc, char** argv) {
   const engine::RunReport report = engine::run_batch(registry, request);
   const std::string json = report.to_json(!no_perf).dump(2);
 
-  if (out_path.empty()) {
+  // "-" is the conventional stdout spelling; the historical "" spelling
+  // keeps working.
+  const bool to_stdout = out_path.empty() || out_path == "-";
+  if (to_stdout) {
     std::printf("%s\n", json.c_str());
   } else {
     std::ofstream out(out_path);
@@ -145,9 +178,10 @@ int run(int argc, char** argv) {
     out << json << '\n';
   }
 
-  // With --out "" the JSON owns stdout; the human-readable summary must
-  // not corrupt it (| python3 -m json.tool), so it moves to stderr.
-  FILE* summary = out_path.empty() ? stderr : stdout;
+  // When the JSON owns stdout (--out - or --out ""), the human-readable
+  // summary must not corrupt it (| python3 -m json.tool), so it moves to
+  // stderr.
+  FILE* summary = to_stdout ? stderr : stdout;
   ConsoleTable table({"scenario", "jobs", "cells", "job seconds"});
   for (const engine::ScenarioRunReport& scenario : report.scenarios) {
     const Json* cells = scenario.aggregates.find("cells");
@@ -159,7 +193,7 @@ int run(int argc, char** argv) {
   std::fprintf(summary, "\n%lld jobs in %.2f s (%.1f jobs/sec)\n",
                static_cast<long long>(report.total_jobs),
                report.wall_seconds, report.jobs_per_second);
-  if (!out_path.empty()) {
+  if (!to_stdout) {
     std::fprintf(summary, "[report written to %s]\n", out_path.c_str());
   }
   return 0;
