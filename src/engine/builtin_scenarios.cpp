@@ -1,5 +1,6 @@
 #include "engine/builtin_scenarios.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <memory>
 #include <stdexcept>
@@ -18,6 +19,7 @@
 #include "pooling/query_design.hpp"
 #include "solve/channel_spec.hpp"
 #include "solve/reconstructor.hpp"
+#include "util/parse.hpp"
 
 namespace npd::engine {
 
@@ -556,6 +558,255 @@ class SolverSweepScenario final : public Scenario {
   }
 };
 
+// ------------------------------------------------------------------ fig4
+
+/// Figure 4 required-queries curves for the general noisy channel with
+/// symmetric error rates p = q ∈ {10⁻¹ … 10⁻⁵} — the regime-transition
+/// figure.  Per (q, n) the seed streams are byte-for-byte the legacy
+/// `fig4_general_channel` bench's: the sweep root is
+/// `Rng(seed + uint64(-log10(q)·131) + n)` over the single-point grid
+/// {n}, so rep streams derive as `root.derive(rep)`.
+class Fig4Scenario final : public Scenario {
+ public:
+  std::string name() const override { return "fig4"; }
+
+  std::string description() const override {
+    return "required queries vs n: general channel p=q in {1e-1..1e-5}, "
+           "channel-aware centering (Figure 4)";
+  }
+
+  std::vector<ParamSpec> params() const override {
+    return {
+        {"theta", ParamSpec::Kind::Double, "0.25",
+         "sublinear regime exponent (k = n^theta)"},
+        {"max_n", ParamSpec::Kind::Int, "10000", "largest n of the log grid"},
+        {"ppd", ParamSpec::Kind::Int, "2",
+         "log-grid points per decade (the bench's --paper uses 3)"},
+        {"eps", ParamSpec::Kind::Double, "0.05",
+         "epsilon in the interpolated theory bound"},
+    };
+  }
+
+  std::vector<Job> make_jobs(const EngineConfig& config,
+                             const ScenarioParams& params) const override {
+    const double theta = params.get_double("theta");
+    const double eps = params.get_double("eps");
+    require_theory_params("fig4", theta, eps);
+    const std::vector<Index> ns = grid(params);
+    const std::vector<double> qs = q_levels();
+
+    std::vector<Job> jobs;
+    jobs.reserve(qs.size() * ns.size() *
+                 static_cast<std::size_t>(config.reps));
+    for (std::size_t qi = 0; qi < qs.size(); ++qi) {
+      const double q = qs[qi];
+      for (std::size_t ni = 0; ni < ns.size(); ++ni) {
+        const Index n = ns[ni];
+        // Legacy derivation: one single-point sweep per (q, n), rooted
+        // at seed + uint64(-log10(q)*131) + n.
+        const rand::Rng root(
+            config.seed +
+            static_cast<std::uint64_t>(-std::log10(q) * 131.0) +
+            static_cast<std::uint64_t>(n));
+        const double theory = core::theory::channel_sublinear_interpolated(
+            n, theta, q, q, eps);
+        for (Index rep = 0; rep < config.reps; ++rep) {
+          Job job;
+          job.cell = static_cast<Index>(qi * ns.size() + ni);
+          job.rep = rep;
+          job.seed = root.derive(static_cast<std::uint64_t>(rep)).seed();
+          job.cost_hint = n;
+          job.run = [n, q, theta, theory](rand::Rng& rng) -> Metrics {
+            const Index k = pooling::sublinear_k(n, theta);
+            const auto channel = noise::make_bitflip_channel(q, q);
+            // Fail-safe cap (20x the bound) and channel-aware centering,
+            // exactly as the legacy bench (see bench/fig4_general_channel
+            // for the rationale).
+            harness::RequiredQueriesOptions options;
+            options.max_queries = std::max<Index>(
+                5000, static_cast<Index>(20.0 * theory));
+            options.centering =
+                core::Centering{.offset_per_slot = q, .gain = 1.0 - 2.0 * q};
+            const auto result = harness::required_queries(
+                n, k, pooling::paper_design(n), *channel, rng, options);
+            return {{"m", static_cast<double>(result.m)},
+                    {"reached", result.reached ? 1.0 : 0.0}};
+          };
+          jobs.push_back(std::move(job));
+        }
+      }
+    }
+    return jobs;
+  }
+
+  Json aggregate(const std::vector<JobResult>& results,
+                 const ScenarioParams& params) const override {
+    const double theta = params.get_double("theta");
+    const double eps = params.get_double("eps");
+    const std::vector<Index> ns = grid(params);
+    const std::vector<double> qs = q_levels();
+    return aggregate_cells(results, [&](Index cell) {
+      const auto qi = static_cast<std::size_t>(cell) / ns.size();
+      const auto ni = static_cast<std::size_t>(cell) % ns.size();
+      const Index n = ns[ni];
+      Json meta = Json::object();
+      meta.set("n", n)
+          .set("k", pooling::sublinear_k(n, theta))
+          .set("q", qs[qi])
+          .set("theory_interpolated",
+               core::theory::channel_sublinear_interpolated(n, theta, qs[qi],
+                                                            qs[qi], eps));
+      return meta;
+    });
+  }
+
+ private:
+  static std::vector<double> q_levels() {
+    return {1e-1, 1e-2, 1e-3, 1e-4, 1e-5};
+  }
+
+  static std::vector<Index> grid(const ScenarioParams& params) {
+    const auto max_n = static_cast<Index>(params.get_int("max_n"));
+    const auto ppd = static_cast<Index>(params.get_int("ppd"));
+    require_param(max_n >= 100, "fig4",
+                  "max_n >= 100 (the grid's smallest point)");
+    require_param(ppd >= 1, "fig4", "ppd >= 1");
+    return harness::log_grid(100, max_n, ppd);
+  }
+};
+
+// ------------------------------------------------------------------ fig6
+
+/// Figure 6 success-rate curves: exact reconstruction vs m at fixed n
+/// for the Z-channel at p ∈ {0.1, 0.3, 0.5}, one series per solver
+/// (default greedy vs AMP, any registered roster via `solvers`).  Per p,
+/// the per-(m, rep) seed streams are byte-for-byte the legacy
+/// `fig6_success_amp` bench's `success_sweep` derivation: root
+/// `Rng(seed + uint64(p·4051))`, stream `root.derive(mi·100000 + rep)` —
+/// shared by every solver series, exactly like the legacy bench reusing
+/// one base seed for the greedy and AMP sweeps.
+class Fig6Scenario final : public Scenario {
+ public:
+  std::string name() const override { return "fig6"; }
+
+  std::string description() const override {
+    return "success rate vs m at fixed n: Z-channel p in {.1,.3,.5}, one "
+           "series per solver (Figure 6)";
+  }
+
+  std::vector<ParamSpec> params() const override {
+    return {
+        {"n", ParamSpec::Kind::Int, "1000", "number of agents"},
+        {"theta", ParamSpec::Kind::Double, "0.25",
+         "sublinear regime exponent (k = n^theta)"},
+        {"m_step", ParamSpec::Kind::Int, "50", "grid step in m"},
+        {"m_max", ParamSpec::Kind::Int, "600", "largest m"},
+        {"solvers", ParamSpec::Kind::String, "greedy;amp",
+         "registered solver names, ';'-separated (one series each)"},
+    };
+  }
+
+  std::vector<Job> make_jobs(const EngineConfig& config,
+                             const ScenarioParams& params) const override {
+    const auto n = static_cast<Index>(params.get_int("n"));
+    const double theta = params.get_double("theta");
+    require_param(n >= 2, "fig6", "n >= 2");
+    require_param(theta > 0.0 && theta < 1.0, "fig6", "theta in (0, 1)");
+    const std::vector<Index> ms = m_grid(params);
+    const std::vector<double> ps = z_levels();
+    const Index k = pooling::sublinear_k(n, theta);
+    const pooling::QueryDesign design = pooling::paper_design(n);
+    // Resolve every series' solver before any job is scheduled.
+    std::vector<std::shared_ptr<const solve::Reconstructor>> solvers;
+    const std::vector<std::string> names = solver_names(params);
+    solvers.reserve(names.size());
+    for (const std::string& solver_name : names) {
+      solvers.push_back(solve::builtin_solvers().make(solver_name, ""));
+    }
+
+    std::vector<Job> jobs;
+    jobs.reserve(ps.size() * names.size() * ms.size() *
+                 static_cast<std::size_t>(config.reps));
+    for (std::size_t pi = 0; pi < ps.size(); ++pi) {
+      const double p = ps[pi];
+      // Legacy derivation: one sweep root per p, shared by all series.
+      const rand::Rng root(config.seed +
+                           static_cast<std::uint64_t>(p * 4051.0));
+      for (std::size_t si = 0; si < names.size(); ++si) {
+        const std::shared_ptr<const solve::Reconstructor> solver =
+            solvers[si];
+        for (std::size_t mi = 0; mi < ms.size(); ++mi) {
+          const Index m = ms[mi];
+          for (Index rep = 0; rep < config.reps; ++rep) {
+            Job job;
+            job.cell = static_cast<Index>(
+                (pi * names.size() + si) * ms.size() + mi);
+            job.rep = rep;
+            job.seed =
+                root.derive(static_cast<std::uint64_t>(mi) * 100'000 +
+                            static_cast<std::uint64_t>(rep))
+                    .seed();
+            job.cost_hint = n;
+            job.run = [n, k, m, p, design,
+                       solver](rand::Rng& rng) -> Metrics {
+              const auto channel = noise::make_z_channel(p);
+              const core::Instance instance =
+                  core::make_instance(n, k, m, design, *channel, rng);
+              const solve::SolveResult result =
+                  solver->solve(instance, *channel, rng);
+              return {{"success",
+                       core::exact_success(result.estimate, instance.truth)
+                           ? 1.0
+                           : 0.0},
+                      {"overlap",
+                       core::overlap(result.estimate, instance.truth)}};
+            };
+            jobs.push_back(std::move(job));
+          }
+        }
+      }
+    }
+    return jobs;
+  }
+
+  Json aggregate(const std::vector<JobResult>& results,
+                 const ScenarioParams& params) const override {
+    const std::vector<Index> ms = m_grid(params);
+    const std::vector<double> ps = z_levels();
+    const std::vector<std::string> names = solver_names(params);
+    return aggregate_cells(results, [&](Index cell) {
+      const auto mi = static_cast<std::size_t>(cell) % ms.size();
+      const auto si =
+          (static_cast<std::size_t>(cell) / ms.size()) % names.size();
+      const auto pi =
+          static_cast<std::size_t>(cell) / ms.size() / names.size();
+      Json meta = Json::object();
+      meta.set("m", ms[mi]).set("p", ps[pi]).set("solver", names[si]);
+      return meta;
+    });
+  }
+
+ private:
+  static std::vector<double> z_levels() { return {0.1, 0.3, 0.5}; }
+
+  static std::vector<std::string> solver_names(
+      const ScenarioParams& params) {
+    std::vector<std::string> names =
+        split_list(params.get_string("solvers"), ';');
+    require_param(!names.empty(), "fig6",
+                  "at least one solver in 'solvers'");
+    return names;
+  }
+
+  static std::vector<Index> m_grid(const ScenarioParams& params) {
+    const auto m_step = static_cast<Index>(params.get_int("m_step"));
+    const auto m_max = static_cast<Index>(params.get_int("m_max"));
+    require_param(m_step >= 1 && m_max >= m_step, "fig6",
+                  "1 <= m_step <= m_max");
+    return harness::linear_grid(m_step, m_max, m_step);
+  }
+};
+
 // ------------------------------------------------------------- fig2, fig3
 
 /// Figure 2 required-queries curves.  Per series (Z-channel p), the
@@ -757,6 +1008,8 @@ void register_builtin_scenarios(ScenarioRegistry& registry) {
   registry.add(std::make_unique<Abl7Scenario>());
   registry.add(std::make_unique<Fig2Scenario>());
   registry.add(std::make_unique<Fig3Scenario>());
+  registry.add(std::make_unique<Fig4Scenario>());
+  registry.add(std::make_unique<Fig6Scenario>());
   registry.add(std::make_unique<SolverSweepScenario>());
   // The generic fixed-m scenario plus the historical per-algorithm names
   // (deprecated aliases: same class, different `solver` default and seed

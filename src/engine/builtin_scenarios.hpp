@@ -18,6 +18,12 @@
 ///     bound, reporting exact-success rate and overlap (the Figure 6/7
 ///     protocol).  These use the engine's canonical
 ///     (seed, scenario, cell, rep) stream derivation.
+///   * `fig2`, `fig3`, `fig4` — required-queries curves (Z-channel,
+///     noisy-query, general p=q channel), each replicating its legacy
+///     bench's sweep seed derivation byte for byte.
+///   * `fig6`            — success rate vs m at fixed n, one series per
+///     registered solver (default greedy vs AMP), replicating the legacy
+///     `fig6_success_amp` bench's `success_sweep` derivation.
 
 #include "engine/scenario.hpp"
 

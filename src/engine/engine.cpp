@@ -4,30 +4,64 @@
 #include <utility>
 
 #include "util/assert.hpp"
+#include "util/parse.hpp"
 #include "util/timer.hpp"
 
 namespace npd::engine {
 
-RunReport run_batch(const ScenarioRegistry& registry,
-                    const BatchRequest& request) {
-  NPD_CHECK_MSG(request.config.reps >= 1, "run_batch: reps must be >= 1");
-  NPD_CHECK_MSG(!request.scenario_names.empty(),
-                "run_batch: no scenarios selected");
+std::string BatchPlan::fingerprint() const {
+  Json id = Json::object();
+  id.set("schema", "npd.batch_fingerprint/1")
+      .set("seed", format_hex64(seed))
+      .set("reps", reps);
+  Json scenario_array = Json::array();
+  for (const PlannedScenario& s : scenarios) {
+    Json entry = Json::object();
+    entry.set("name", s.scenario->name())
+        .set("params", s.params.to_json())
+        .set("jobs", s.job_count);
+    scenario_array.push_back(std::move(entry));
+  }
+  id.set("scenarios", std::move(scenario_array));
+  return id.dump();
+}
 
-  const Timer timer;
+std::string BatchPlan::job_key(Index job) const {
+  NPD_CHECK_MSG(job >= 0 && job < static_cast<Index>(jobs.size()),
+                "BatchPlan::job_key: job index out of range");
+  const Job& j = jobs[static_cast<std::size_t>(job)];
+  const PlannedScenario& s =
+      scenarios[static_cast<std::size_t>(scenario_of(job))];
+  return s.scenario->name() + "/cell=" + std::to_string(j.cell) +
+         "/rep=" + std::to_string(j.rep) + "/seed=" + format_hex64(j.seed);
+}
+
+Index BatchPlan::scenario_of(Index job) const {
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    const PlannedScenario& s = scenarios[i];
+    if (job >= s.first_job && job < s.first_job + s.job_count) {
+      return static_cast<Index>(i);
+    }
+  }
+  NPD_CHECK_MSG(false, "BatchPlan::scenario_of: job index out of range");
+  return -1;  // unreachable
+}
+
+BatchPlan plan_batch(const ScenarioRegistry& registry,
+                     const BatchRequest& request) {
+  NPD_CHECK_MSG(request.config.reps >= 1, "plan_batch: reps must be >= 1");
+  NPD_CHECK_MSG(!request.scenario_names.empty(),
+                "plan_batch: no scenarios selected");
+
+  BatchPlan plan;
+  plan.seed = request.config.seed;
+  plan.reps = request.config.reps;
 
   // Resolve scenarios and their parameters up front so every error
   // surfaces before any job runs.
-  struct Selected {
-    const Scenario* scenario;
-    ScenarioParams params;
-    Index first_job = 0;
-    Index job_count = 0;
-  };
-  std::vector<Selected> selected;
-  selected.reserve(request.scenario_names.size());
+  plan.scenarios.reserve(request.scenario_names.size());
   for (const std::string& name : request.scenario_names) {
-    for (const Selected& s : selected) {
+    for (const PlannedScenario& s : plan.scenarios) {
       if (s.scenario->name() == name) {
         throw std::invalid_argument("scenario '" + name +
                                     "' selected more than once");
@@ -43,12 +77,12 @@ RunReport run_batch(const ScenarioRegistry& registry,
       throw std::invalid_argument("unknown scenario '" + name +
                                   "' (registered: " + known + ")");
     }
-    selected.push_back(
-        Selected{scenario, ScenarioParams(scenario->params())});
+    plan.scenarios.push_back(
+        PlannedScenario{scenario, ScenarioParams(scenario->params()), 0, 0});
   }
   for (const ParamOverride& override : request.overrides) {
     bool applied = false;
-    for (Selected& s : selected) {
+    for (PlannedScenario& s : plan.scenarios) {
       if (s.scenario->name() == override.scenario) {
         s.params.set(override.name, override.value);
         applied = true;
@@ -61,25 +95,29 @@ RunReport run_batch(const ScenarioRegistry& registry,
     }
   }
 
-  // One queue for the whole batch: jobs of all scenarios share the
-  // worker pool and are claimed longest-first across scenario borders.
-  JobQueue queue;
-  for (Selected& s : selected) {
-    s.first_job = queue.size();
+  // Expand every scenario's jobs into one shared submission order.
+  for (PlannedScenario& s : plan.scenarios) {
+    s.first_job = static_cast<Index>(plan.jobs.size());
     for (Job& job : s.scenario->make_jobs(request.config, s.params)) {
-      (void)queue.push(std::move(job));
+      plan.jobs.push_back(std::move(job));
     }
-    s.job_count = queue.size() - s.first_job;
+    s.job_count = static_cast<Index>(plan.jobs.size()) - s.first_job;
   }
-  const Index total_jobs = queue.size();
-  const std::vector<JobResult> results = queue.run(request.config.threads);
+  return plan;
+}
+
+RunReport build_report(const BatchPlan& plan,
+                       const std::vector<JobResult>& results,
+                       Index threads) {
+  NPD_CHECK_MSG(results.size() == plan.jobs.size(),
+                "build_report: result count does not match the plan");
 
   RunReport report;
-  report.seed = request.config.seed;
-  report.reps = request.config.reps;
-  report.threads = request.config.threads;
-  report.total_jobs = total_jobs;
-  for (const Selected& s : selected) {
+  report.seed = plan.seed;
+  report.reps = plan.reps;
+  report.threads = threads;
+  report.total_jobs = static_cast<Index>(plan.jobs.size());
+  for (const PlannedScenario& s : plan.scenarios) {
     const auto begin =
         results.begin() + static_cast<std::ptrdiff_t>(s.first_job);
     const std::vector<JobResult> slice(
@@ -95,11 +133,27 @@ RunReport run_batch(const ScenarioRegistry& registry,
     }
     report.scenarios.push_back(std::move(scenario_report));
   }
-  report.wall_seconds = timer.elapsed_seconds();
-  report.jobs_per_second =
-      report.wall_seconds > 0.0
-          ? static_cast<double>(total_jobs) / report.wall_seconds
-          : 0.0;
+  return report;
+}
+
+RunReport run_batch(const ScenarioRegistry& registry,
+                    const BatchRequest& request) {
+  const Timer timer;
+
+  BatchPlan plan = plan_batch(registry, request);
+
+  // One queue for the whole batch: jobs of all scenarios share the
+  // worker pool and are claimed longest-first across scenario borders.
+  // Jobs *move* in (their closures can be heavy); the plan keeps its
+  // shape — build_report reads only sizes and scenario metadata.
+  JobQueue queue;
+  for (Job& job : plan.jobs) {
+    (void)queue.push(std::move(job));
+  }
+  const std::vector<JobResult> results = queue.run(request.config.threads);
+
+  RunReport report = build_report(plan, results, request.config.threads);
+  stamp_perf(report, timer.elapsed_seconds());
   return report;
 }
 

@@ -10,6 +10,21 @@
 /// finishes in max-load time rather than sum-of-scenarios time.
 /// Because every job seed is derived before execution, the interleaving
 /// — and the thread count — never changes any result.
+///
+/// Batch execution is split into three composable phases so that the
+/// shard subsystem (`src/shard`) can run each phase on a different
+/// process or host:
+///
+///   1. `plan_batch`    — resolve scenarios + parameters and expand every
+///      job, without executing anything.  Planning is a pure function of
+///      the request, so every host that plans the same request derives
+///      the identical job list (the basis of deterministic sharding).
+///   2. execute         — any subset of `BatchPlan::jobs` through a
+///      `JobQueue` (or reload finished jobs from a result cache).
+///   3. `build_report`  — fold the complete result vector back into the
+///      deterministic core of a `RunReport`.  `run_batch` is exactly
+///      phases 1–3 in one process; a sharded run executes phase 2 in
+///      pieces and re-enters phase 3 via `tools/npd_merge`.
 
 #include <string>
 #include <vector>
@@ -34,9 +49,67 @@ struct BatchRequest {
   std::vector<ParamOverride> overrides;
 };
 
-/// Run the batch.  Throws `std::invalid_argument` on unknown scenario
-/// names, unknown parameters, malformed values, or overrides that
-/// reference a scenario not in the batch.
+/// One scenario resolved into its slice of the batch's job list.
+struct PlannedScenario {
+  /// Borrowed from the registry passed to `plan_batch`; the registry
+  /// must outlive the plan.
+  const Scenario* scenario = nullptr;
+  ScenarioParams params;
+  /// The scenario's jobs occupy `[first_job, first_job + job_count)` of
+  /// `BatchPlan::jobs`, in submission order.
+  Index first_job = 0;
+  Index job_count = 0;
+};
+
+/// A fully resolved batch: every scenario's parameters and every job,
+/// expanded but not executed.  A pure function of the `BatchRequest`
+/// (given the same registry contents), so two hosts planning the same
+/// request hold bit-identical plans.
+struct BatchPlan {
+  std::uint64_t seed = 0;
+  Index reps = 0;
+  std::vector<PlannedScenario> scenarios;
+  /// All jobs of all scenarios, in submission order.
+  std::vector<Job> jobs;
+
+  /// Canonical identity of the planned batch: a compact JSON string of
+  /// (seed, reps, scenario names + resolved parameters, job count).
+  /// Shard reports embed its hash so `npd_merge` refuses to mix shards
+  /// of different batches.  (Cache entries use the narrower per-job key
+  /// — scenario name + resolved parameters + job coordinates, see
+  /// `shard::job_cache_key` — so widened reruns can reuse results;
+  /// neither identity hashes the *code*, so a cache must be discarded
+  /// after changing a scenario/solver implementation.)
+  [[nodiscard]] std::string fingerprint() const;
+
+  /// Canonical identity of one job: scenario name, cell, rep and the
+  /// derived seed, as `"<scenario>/cell=<c>/rep=<r>/seed=<hex>"`.  With
+  /// the scenario's resolved parameters (already part of
+  /// `fingerprint()`), this determines the job's metrics completely —
+  /// the content address of the result cache.
+  [[nodiscard]] std::string job_key(Index job) const;
+
+  /// Index into `scenarios` of the scenario owning `job`.
+  [[nodiscard]] Index scenario_of(Index job) const;
+};
+
+/// Phase 1: resolve and expand the batch.  Throws `std::invalid_argument`
+/// on unknown scenario names, unknown parameters, malformed values, or
+/// overrides that reference a scenario not in the batch — before any job
+/// could run.
+[[nodiscard]] BatchPlan plan_batch(const ScenarioRegistry& registry,
+                                   const BatchRequest& request);
+
+/// Phase 3: fold the complete per-job results (submission order, one
+/// entry per plan job) into a report.  Fills the deterministic core and
+/// the per-scenario `job_seconds` perf stamp; the caller stamps batch
+/// wall time and throughput.  The plan's registry must still be alive.
+[[nodiscard]] RunReport build_report(const BatchPlan& plan,
+                                     const std::vector<JobResult>& results,
+                                     Index threads);
+
+/// Phases 1–3 in one process: plan, execute every job on up to
+/// `request.config.threads` workers, aggregate, stamp perf.
 [[nodiscard]] RunReport run_batch(const ScenarioRegistry& registry,
                                   const BatchRequest& request);
 

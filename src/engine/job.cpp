@@ -18,19 +18,23 @@ Index JobQueue::push(Job job) {
   return static_cast<Index>(jobs_.size()) - 1;
 }
 
-std::vector<JobResult> JobQueue::run(Index threads) {
-  const std::vector<Job> jobs = std::move(jobs_);
-  jobs_.clear();
-
-  // Longest-processing-time order: claim expensive jobs first so a slow
-  // cell never trails behind a drained queue.  Stable sort keeps the
-  // schedule deterministic for equal hints.
+std::vector<Index> lpt_order(const std::vector<Job>& jobs) {
   std::vector<Index> order(jobs.size());
   std::iota(order.begin(), order.end(), Index{0});
   std::stable_sort(order.begin(), order.end(), [&](Index a, Index b) {
     return jobs[static_cast<std::size_t>(a)].cost_hint >
            jobs[static_cast<std::size_t>(b)].cost_hint;
   });
+  return order;
+}
+
+std::vector<JobResult> JobQueue::run(Index threads) {
+  const std::vector<Job> jobs = std::move(jobs_);
+  jobs_.clear();
+
+  // Longest-processing-time order: claim expensive jobs first so a slow
+  // cell never trails behind a drained queue.
+  const std::vector<Index> order = lpt_order(jobs);
 
   std::vector<JobResult> results(jobs.size());
   // Grain 1: each atomic claim hands out exactly one job — jobs are
@@ -59,12 +63,8 @@ std::uint64_t derive_job_seed(std::uint64_t base_seed,
   // FNV-1a over the scenario id, then a SplitMix64 chain mixing in each
   // coordinate.  Constants are arbitrary odd tags keeping the three
   // chain links distinct.
-  std::uint64_t h = 0xcbf29ce484222325ULL;
-  for (const char c : scenario_id) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 0x100000001b3ULL;
-  }
-  std::uint64_t s = rand::splitmix64(base_seed ^ rand::splitmix64(h));
+  std::uint64_t s = rand::splitmix64(
+      base_seed ^ rand::splitmix64(rand::fnv1a64(scenario_id)));
   s = rand::splitmix64(
       s ^ rand::splitmix64(static_cast<std::uint64_t>(cell) + 0x51ULL));
   s = rand::splitmix64(

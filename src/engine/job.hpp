@@ -63,6 +63,14 @@ struct JobResult {
   double wall_seconds = 0.0;
 };
 
+/// Deterministic longest-processing-time visit order over `jobs`:
+/// indices by descending `cost_hint`, stable, so equal hints keep
+/// submission order.  This single definition backs both `JobQueue::run`'s
+/// claiming order and the shard planner's assignment
+/// (`shard::ShardPlan::build`), which keeps a shard's local schedule a
+/// contiguous-in-priority slice of the single-process schedule.
+[[nodiscard]] std::vector<Index> lpt_order(const std::vector<Job>& jobs);
+
 /// Shared run queue + worker pool.
 class JobQueue {
  public:

@@ -2,6 +2,14 @@
 
 namespace npd::engine {
 
+void stamp_perf(RunReport& report, double wall_seconds) {
+  report.wall_seconds = wall_seconds;
+  report.jobs_per_second =
+      wall_seconds > 0.0
+          ? static_cast<double>(report.total_jobs) / wall_seconds
+          : 0.0;
+}
+
 Json RunReport::to_json(bool include_perf) const {
   Json root = Json::object();
   root.set("schema", "npd.run_report/1");

@@ -71,4 +71,9 @@ struct RunReport {
   [[nodiscard]] Json to_json(bool include_perf = true) const;
 };
 
+/// Fill the batch-level perf stamps from an elapsed wall time (shared by
+/// `run_batch`, `npd_run` and `npd_merge`; perf only — never touches the
+/// deterministic core).
+void stamp_perf(RunReport& report, double wall_seconds);
+
 }  // namespace npd::engine

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <random>
+#include <string_view>
 
 #include "util/assert.hpp"
 #include "util/types.hpp"
@@ -27,6 +28,20 @@ namespace npd::rand {
   x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
   x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
   return x ^ (x >> 31);
+}
+
+/// FNV-1a 64-bit over `text` from `basis` (default: the standard offset
+/// basis).  The one string hash of the repo: the engine's seed
+/// derivation hashes scenario ids with it, and the shard result cache
+/// builds content addresses from it.
+[[nodiscard]] constexpr std::uint64_t fnv1a64(
+    std::string_view text, std::uint64_t basis = 0xcbf29ce484222325ULL) {
+  std::uint64_t h = basis;
+  for (const char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
 }
 
 /// The library-wide random engine: a seeded `std::mt19937_64` (the paper's

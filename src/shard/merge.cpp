@@ -1,0 +1,151 @@
+#include "shard/merge.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "shard/result_cache.hpp"
+#include "util/parse.hpp"
+
+namespace npd::shard {
+
+namespace {
+
+[[noreturn]] void reject(const std::string& what) {
+  throw std::invalid_argument("merge: " + what);
+}
+
+/// Textual form of one resolved parameter value, such that
+/// `ParamSet::set` parses it back to the identical typed value
+/// (doubles go through the exact shortest form, see util/json.hpp).
+std::string param_override_text(const Json& value) {
+  switch (value.type()) {
+    case Json::Type::Int:
+      return std::to_string(value.as_int());
+    case Json::Type::Double:
+      return Json::format_number(value.as_double());
+    case Json::Type::String:
+      return value.as_string();
+    default:
+      reject("unsupported parameter value type in the config echo");
+  }
+}
+
+/// Rebuild the producing `BatchRequest` from a report's config echo:
+/// every resolved parameter becomes an explicit override (defaults may
+/// drift across versions; the echo pins the values that actually ran).
+engine::BatchRequest rebuild_request(const ShardRunReport& report) {
+  engine::BatchRequest request;
+  request.scenario_names = report.scenario_names;
+  request.config.seed = report.seed;
+  request.config.reps = report.reps;
+  request.config.threads = 0;
+  for (std::size_t s = 0; s < report.scenario_names.size(); ++s) {
+    const Json& params = report.scenario_params[s];
+    if (!params.is_object()) {
+      reject("scenario parameter echo must be an object");
+    }
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      const std::string& key = params.key_at(i);
+      request.overrides.push_back(engine::ParamOverride{
+          report.scenario_names[s], key,
+          param_override_text(params.at(key))});
+    }
+  }
+  return request;
+}
+
+}  // namespace
+
+engine::RunReport merge_shard_reports(
+    const engine::ScenarioRegistry& registry,
+    const std::vector<ShardRunReport>& reports) {
+  if (reports.empty()) {
+    reject("no shard reports given");
+  }
+
+  // Every report must describe the same batch.  The fingerprint hash
+  // covers (seed, reps, scenarios, resolved params, job counts); the
+  // explicit config comparison gives precise errors and guards the
+  // (cosmically unlikely) hash collision.
+  const ShardRunReport& first = reports[0];
+  for (const ShardRunReport& report : reports) {
+    if (report.fingerprint != first.fingerprint) {
+      reject("shard reports carry different batch fingerprints ('" +
+             report.fingerprint + "' vs '" + first.fingerprint + "')");
+    }
+    if (report.seed != first.seed || report.reps != first.reps ||
+        report.scenario_names != first.scenario_names ||
+        report.total_jobs != first.total_jobs) {
+      reject("shard reports disagree on the batch config");
+    }
+    for (std::size_t s = 0; s < report.scenario_params.size(); ++s) {
+      if (report.scenario_params[s].dump() !=
+          first.scenario_params[s].dump()) {
+        reject("shard reports disagree on scenario parameters");
+      }
+    }
+  }
+
+  // Re-plan on the live registry and verify it reproduces the batch the
+  // shards actually ran (catches scenario-code drift between the run
+  // and the merge).
+  const engine::BatchPlan plan = plan_batch(registry, rebuild_request(first));
+  if (content_hash(plan.fingerprint()) != first.fingerprint) {
+    reject("the registry plans a different batch than the shard reports "
+           "were produced from (scenario code or defaults drifted)");
+  }
+  if (static_cast<Index>(plan.jobs.size()) != first.total_jobs) {
+    reject("replanned job count does not match the shard reports");
+  }
+
+  // Place every result at its global submission index.
+  std::vector<engine::JobResult> results(plan.jobs.size());
+  std::vector<bool> seen(plan.jobs.size(), false);
+  for (const ShardRunReport& report : reports) {
+    for (const ShardJobResult& result : report.results) {
+      const auto index = static_cast<std::size_t>(result.job);
+      if (result.job < 0 || index >= plan.jobs.size()) {
+        reject("result job index " + std::to_string(result.job) +
+               " is out of range");
+      }
+      if (seen[index]) {
+        reject("job " + std::to_string(result.job) +
+               " appears in more than one shard report");
+      }
+      const engine::Job& planned = plan.jobs[index];
+      if (result.cell != planned.cell || result.rep != planned.rep ||
+          result.seed != planned.seed) {
+        reject("job " + std::to_string(result.job) +
+               " does not match the replanned job (cell/rep/seed echo "
+               "mismatch — scenario seed derivation drifted?)");
+      }
+      seen[index] = true;
+      results[index] = engine::JobResult{planned.cell, planned.rep,
+                                         result.metrics,
+                                         result.wall_seconds};
+    }
+  }
+  Index missing = 0;
+  Index first_missing = -1;
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    if (!seen[i]) {
+      ++missing;
+      if (first_missing < 0) {
+        first_missing = static_cast<Index>(i);
+      }
+    }
+  }
+  if (missing > 0) {
+    reject(std::to_string(missing) + " of " +
+           std::to_string(plan.jobs.size()) +
+           " jobs are not covered by the given shard reports (first "
+           "missing: job " +
+           std::to_string(first_missing) + ", e.g. key '" +
+           plan.job_key(first_missing) + "')");
+  }
+
+  return build_report(plan, results, /*threads=*/0);
+}
+
+}  // namespace npd::shard

@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file merge.hpp
+/// Fold any complete set of partial shard reports back into one full
+/// `RunReport` — **bit-identical** to the report the single-process
+/// `npd_run` writes for the same request.
+///
+/// The merger re-plans the batch from the config echo of the shard
+/// reports (planning is deterministic, so it derives the same job list
+/// as every producer), verifies the reports' batch fingerprint against
+/// the replanned one, places every carried result at its global
+/// submission index — cross-checking cell, rep and seed against the
+/// replanned job — and re-runs the deterministic aggregation over the
+/// complete result vector.  Because aggregation folds metric samples in
+/// submission order and JSON numbers reload bit-exactly, the merged
+/// deterministic core equals the single-process bytes for any shard
+/// count and for cache-resumed reruns.
+
+#include <vector>
+
+#include "engine/engine.hpp"
+#include "shard/shard_report.hpp"
+
+namespace npd::shard {
+
+/// Merge `reports` over `registry`.  Throws `std::invalid_argument` when
+/// the reports disagree on the batch (fingerprint/config mismatch), when
+/// a job is missing or duplicated, when a result contradicts the
+/// replanned job (scenario-code drift), or when the registry cannot
+/// reproduce the echoed configuration.  The returned report's batch-wall
+/// perf stamps are zero; the caller stamps them.
+[[nodiscard]] engine::RunReport merge_shard_reports(
+    const engine::ScenarioRegistry& registry,
+    const std::vector<ShardRunReport>& reports);
+
+}  // namespace npd::shard

@@ -1,0 +1,77 @@
+#include "shard/metrics_io.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace npd::shard {
+
+namespace {
+
+/// Non-finite doubles have no JSON number form (the writer emits
+/// `null`, which would make the value irrecoverable), so raw metric
+/// values carry them as sentinel strings.  The aggregates of the merged
+/// report still match the single-process run: every non-finite value
+/// reaches `harness::stats` as the same non-finite double, and the
+/// aggregate writer serializes non-finite results as `null` either way.
+Json metric_value_to_json(double value) {
+  if (std::isnan(value)) {
+    return Json("nan");
+  }
+  if (std::isinf(value)) {
+    return Json(value > 0.0 ? "inf" : "-inf");
+  }
+  return Json(value);
+}
+
+double metric_value_from_json(const Json& value) {
+  if (value.is_number()) {
+    return value.as_double();
+  }
+  if (value.is_string()) {
+    const std::string& text = value.as_string();
+    if (text == "nan") {
+      return std::numeric_limits<double>::quiet_NaN();
+    }
+    if (text == "inf") {
+      return std::numeric_limits<double>::infinity();
+    }
+    if (text == "-inf") {
+      return -std::numeric_limits<double>::infinity();
+    }
+  }
+  throw std::invalid_argument(
+      "metrics_from_json: expected a number or 'nan'/'inf'/'-inf'");
+}
+
+}  // namespace
+
+Json metrics_to_json(const engine::Metrics& metrics) {
+  Json array = Json::array();
+  for (const engine::Metric& metric : metrics) {
+    Json pair = Json::array();
+    pair.push_back(metric.name).push_back(metric_value_to_json(metric.value));
+    array.push_back(std::move(pair));
+  }
+  return array;
+}
+
+engine::Metrics metrics_from_json(const Json& json) {
+  if (!json.is_array()) {
+    throw std::invalid_argument("metrics_from_json: expected an array");
+  }
+  engine::Metrics metrics;
+  metrics.reserve(json.size());
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    const Json& pair = json.at(i);
+    if (!pair.is_array() || pair.size() != 2 || !pair.at(0).is_string()) {
+      throw std::invalid_argument(
+          "metrics_from_json: expected [name, value] pairs");
+    }
+    metrics.push_back(engine::Metric{pair.at(0).as_string(),
+                                     metric_value_from_json(pair.at(1))});
+  }
+  return metrics;
+}
+
+}  // namespace npd::shard

@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file metrics_io.hpp
+/// JSON round trip of the engine's raw per-job `Metrics`, shared by the
+/// result cache and the shard reports.
+///
+/// Metrics serialize as an array of `[name, value]` pairs rather than an
+/// object: a job's metric list is ordered and may in principle repeat a
+/// name, and the downstream aggregation (`engine::aggregate_cells`)
+/// folds samples in exactly the order the job emitted them — so the
+/// serialization must be faithful to the sequence, not just the mapping.
+/// Values reload bit-exactly (see util/json.hpp), which is what makes a
+/// merged report byte-identical to the single-process run.  Non-finite
+/// values — which JSON numbers cannot carry — serialize as the sentinel
+/// strings `"nan"` / `"inf"` / `"-inf"` and reload as the matching
+/// non-finite double, so a job emitting them stays cacheable and
+/// mergeable.
+
+#include "engine/job.hpp"
+#include "util/json.hpp"
+
+namespace npd::shard {
+
+/// `[["m", 94.0], ["reached", 1.0]]`
+[[nodiscard]] Json metrics_to_json(const engine::Metrics& metrics);
+
+/// Inverse of `metrics_to_json`.  Throws `std::invalid_argument` on a
+/// document that is not an array of `[string, number]` pairs.
+[[nodiscard]] engine::Metrics metrics_from_json(const Json& json);
+
+}  // namespace npd::shard

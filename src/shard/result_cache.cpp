@@ -1,0 +1,102 @@
+#include "shard/result_cache.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+#include "rand/rng.hpp"
+#include "shard/metrics_io.hpp"
+#include "util/file.hpp"
+#include "util/json.hpp"
+#include "util/parse.hpp"
+
+namespace npd::shard {
+
+namespace {
+
+constexpr std::string_view kEntrySchema = "npd.cache_entry/1";
+
+}  // namespace
+
+std::string content_hash(std::string_view text) {
+  // Two independent FNV-1a passes (the second from a perturbed offset
+  // basis) give a 128-bit name; `load` still verifies the full key, so
+  // even a collision only costs a miss.
+  return format_hex64(rand::fnv1a64(text)) +
+         format_hex64(rand::fnv1a64(
+             text, 0xcbf29ce484222325ULL ^ 0x9e3779b97f4a7c15ULL));
+}
+
+ResultCache::ResultCache(std::filesystem::path directory)
+    : directory_(std::move(directory)) {
+  std::filesystem::create_directories(directory_);
+}
+
+std::filesystem::path ResultCache::entry_path(
+    std::string_view canonical_key) const {
+  return directory_ / (content_hash(canonical_key) + ".json");
+}
+
+std::optional<engine::Metrics> ResultCache::load(
+    std::string_view canonical_key) const {
+  const std::optional<std::string> text =
+      try_read_file(entry_path(canonical_key));
+  if (!text.has_value()) {
+    return std::nullopt;
+  }
+  try {
+    const Json entry = Json::parse(*text);
+    const Json* schema = entry.find("schema");
+    const Json* key = entry.find("key");
+    const Json* metrics = entry.find("metrics");
+    if (schema == nullptr || !schema->is_string() ||
+        schema->as_string() != kEntrySchema || key == nullptr ||
+        !key->is_string() || key->as_string() != canonical_key ||
+        metrics == nullptr) {
+      return std::nullopt;  // foreign blob or hash collision
+    }
+    return metrics_from_json(*metrics);
+  } catch (const std::exception&) {
+    return std::nullopt;  // malformed blob: treat as a miss
+  }
+}
+
+void ResultCache::store(std::string_view canonical_key,
+                        const engine::Metrics& metrics) const {
+  Json entry = Json::object();
+  entry.set("schema", std::string(kEntrySchema))
+      .set("key", std::string(canonical_key))
+      .set("metrics", metrics_to_json(metrics));
+  const std::string text = entry.dump(2) + "\n";
+
+  // Unique temp name per process + store call, renamed into place:
+  // readers never observe a partial entry, and concurrent writers of the
+  // same key (which write identical bytes) cannot corrupt each other.
+  static std::atomic<std::uint64_t> counter{0};
+  const std::filesystem::path final_path = entry_path(canonical_key);
+  const std::filesystem::path temp_path =
+      final_path.string() + ".tmp." + std::to_string(::getpid()) + "." +
+      std::to_string(counter.fetch_add(1));
+  {
+    std::ofstream out(temp_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error("ResultCache: cannot write '" +
+                               temp_path.string() + "'");
+    }
+    out << text;
+    // Flush before checking: a full disk can fail only at flush time,
+    // and the destructor would swallow that error — renaming a
+    // truncated blob into the final name.
+    out.flush();
+    if (!out.good()) {
+      throw std::runtime_error("ResultCache: short write to '" +
+                               temp_path.string() + "'");
+    }
+  }
+  std::filesystem::rename(temp_path, final_path);
+}
+
+}  // namespace npd::shard

@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file result_cache.hpp
+/// Content-addressed on-disk store of finished job results.
+///
+/// Every entry is one dependency-free JSON blob named by the hash of its
+/// **canonical key** — the job's identity string (scenario name +
+/// resolved scenario parameters + cell + rep + derived seed, see
+/// `job_cache_key` in runner.hpp).  Because the key pins everything the
+/// metrics depend on, a hit can be replayed verbatim: re-runs and
+/// resumed/crashed sweeps skip completed jobs and still produce
+/// bit-identical reports.  Changing the seed, a scenario parameter or a
+/// solver option changes the key, so stale results can never leak into a
+/// different configuration.
+///
+/// Robustness properties:
+///   * writes go to a temp file first and are `rename`d into place, so a
+///     killed run never leaves a half-written entry under a final name;
+///   * `load` verifies the stored canonical key against the requested
+///     one (hash collisions degrade to a miss, never to a wrong result)
+///     and treats unreadable/malformed blobs as misses;
+///   * entries are self-describing (`schema npd.cache_entry/1`) and
+///     safely shareable between concurrent shard processes — all writers
+///     of one name write identical bytes.
+
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "engine/job.hpp"
+
+namespace npd::shard {
+
+/// 128-bit content hash as 32 lowercase hex characters (two independent
+/// FNV-1a 64 passes).  Used for cache file names and for the batch
+/// fingerprint echo in shard reports.
+[[nodiscard]] std::string content_hash(std::string_view text);
+
+/// A directory of content-addressed result blobs.
+class ResultCache {
+ public:
+  /// Opens (and creates, including parents) the cache directory.
+  explicit ResultCache(std::filesystem::path directory);
+
+  [[nodiscard]] const std::filesystem::path& directory() const {
+    return directory_;
+  }
+
+  /// The entry file a canonical key maps to (exposed for tests/tooling).
+  [[nodiscard]] std::filesystem::path entry_path(
+      std::string_view canonical_key) const;
+
+  /// Look up a finished job.  Returns the stored metrics, or nullopt on
+  /// miss (absent, malformed, or a hash collision with a different key).
+  [[nodiscard]] std::optional<engine::Metrics> load(
+      std::string_view canonical_key) const;
+
+  /// Persist a finished job (write-to-temp + rename).  Overwrites any
+  /// existing entry of the same key.  Throws `std::runtime_error` when
+  /// the blob cannot be written.
+  void store(std::string_view canonical_key,
+             const engine::Metrics& metrics) const;
+
+ private:
+  std::filesystem::path directory_;
+};
+
+}  // namespace npd::shard

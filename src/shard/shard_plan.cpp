@@ -1,0 +1,93 @@
+#include "shard/shard_plan.hpp"
+
+#include <stdexcept>
+
+#include "util/assert.hpp"
+
+namespace npd::shard {
+
+ShardPlan ShardPlan::build(const engine::BatchPlan& plan,
+                           Index shard_count) {
+  if (shard_count < 1) {
+    throw std::invalid_argument("ShardPlan: shard count must be >= 1");
+  }
+  const std::vector<engine::Job>& jobs = plan.jobs;
+
+  // The engine's own LPT order (the JobQueue claiming order), so a
+  // shard's local schedule is a contiguous-in-priority slice of the
+  // single-process schedule.
+  const std::vector<Index> order = engine::lpt_order(jobs);
+
+  ShardPlan result;
+  result.assignment_.assign(jobs.size(), Index{0});
+  result.loads_.assign(static_cast<std::size_t>(shard_count), Index{0});
+  for (const Index job : order) {
+    // Least-loaded shard, lowest index on ties: a linear scan is
+    // deterministic and cheap (shard counts are small).
+    Index target = 0;
+    for (Index s = 1; s < shard_count; ++s) {
+      if (result.loads_[static_cast<std::size_t>(s)] <
+          result.loads_[static_cast<std::size_t>(target)]) {
+        target = s;
+      }
+    }
+    result.assignment_[static_cast<std::size_t>(job)] = target;
+    result.loads_[static_cast<std::size_t>(target)] +=
+        jobs[static_cast<std::size_t>(job)].cost_hint;
+  }
+  return result;
+}
+
+Index ShardPlan::shard_of(Index job) const {
+  NPD_CHECK_MSG(job >= 0 && job < job_count(),
+                "ShardPlan::shard_of: job index out of range");
+  return assignment_[static_cast<std::size_t>(job)];
+}
+
+std::vector<Index> ShardPlan::jobs_of(Index shard) const {
+  NPD_CHECK_MSG(shard >= 0 && shard < shard_count(),
+                "ShardPlan::jobs_of: shard index out of range");
+  std::vector<Index> jobs;
+  for (std::size_t job = 0; job < assignment_.size(); ++job) {
+    if (assignment_[job] == shard) {
+      jobs.push_back(static_cast<Index>(job));
+    }
+  }
+  return jobs;
+}
+
+Index ShardPlan::load_of(Index shard) const {
+  NPD_CHECK_MSG(shard >= 0 && shard < shard_count(),
+                "ShardPlan::load_of: shard index out of range");
+  return loads_[static_cast<std::size_t>(shard)];
+}
+
+Json ShardPlan::to_json() const {
+  Index total_load = 0;
+  for (const Index load : loads_) {
+    total_load += load;
+  }
+  std::vector<Index> counts(loads_.size(), Index{0});
+  for (const Index owner : assignment_) {
+    ++counts[static_cast<std::size_t>(owner)];
+  }
+  Json shards = Json::array();
+  for (Index s = 0; s < shard_count(); ++s) {
+    Json entry = Json::object();
+    entry.set("shard", s)
+        .set("jobs", counts[static_cast<std::size_t>(s)])
+        .set("load", load_of(s))
+        .set("load_share",
+             total_load > 0 ? static_cast<double>(load_of(s)) /
+                                  static_cast<double>(total_load)
+                            : 0.0);
+    shards.push_back(std::move(entry));
+  }
+  Json out = Json::object();
+  out.set("jobs", job_count())
+      .set("total_load", total_load)
+      .set("shards", std::move(shards));
+  return out;
+}
+
+}  // namespace npd::shard

@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file shard_plan.hpp
+/// Deterministic partition of a batch's job list into `N` shards.
+///
+/// The partition is LPT (longest-processing-time) balanced: job indices
+/// are visited in descending `cost_hint` order (ties broken by
+/// submission index) and each is assigned to the currently least-loaded
+/// shard (ties broken by lowest shard index).  Every input is a
+/// deterministic function of the planned job list — which itself derives
+/// purely from the job keys `(seed, scenario, cell, rep)` and their cost
+/// hints — so every host that plans the same `BatchRequest` computes the
+/// identical assignment without any coordination: `npd_run --shard i/N`
+/// on N machines covers every job exactly once.
+
+#include <vector>
+
+#include "engine/engine.hpp"
+#include "util/json.hpp"
+#include "util/types.hpp"
+
+namespace npd::shard {
+
+/// The assignment of every job of a batch to one of `shard_count()`
+/// shards.
+class ShardPlan {
+ public:
+  /// Partition `plan`'s jobs into `shard_count >= 1` shards.  Shards may
+  /// end up empty when there are fewer jobs than shards.  Throws
+  /// `std::invalid_argument` on `shard_count < 1`.
+  [[nodiscard]] static ShardPlan build(const engine::BatchPlan& plan,
+                                       Index shard_count);
+
+  [[nodiscard]] Index shard_count() const {
+    return static_cast<Index>(loads_.size());
+  }
+
+  [[nodiscard]] Index job_count() const {
+    return static_cast<Index>(assignment_.size());
+  }
+
+  /// Shard owning job `job` (submission index into the batch plan).
+  [[nodiscard]] Index shard_of(Index job) const;
+
+  /// All jobs of `shard`, ascending (= submission order).
+  [[nodiscard]] std::vector<Index> jobs_of(Index shard) const;
+
+  /// Total `cost_hint` assigned to `shard` (the LPT balance measure).
+  [[nodiscard]] Index load_of(Index shard) const;
+
+  /// Balance summary for `npd_run --dry-run`: per shard, the job count,
+  /// the cost-hint load, and the load share of the total.
+  [[nodiscard]] Json to_json() const;
+
+ private:
+  std::vector<Index> assignment_;  ///< job index -> shard index
+  std::vector<Index> loads_;       ///< shard index -> total cost hint
+};
+
+}  // namespace npd::shard

@@ -1,0 +1,209 @@
+#include "shard/shard_report.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "shard/metrics_io.hpp"
+#include "shard/result_cache.hpp"
+#include "util/assert.hpp"
+#include "util/parse.hpp"
+
+namespace npd::shard {
+
+namespace {
+
+constexpr std::string_view kSchema = "npd.run_report_shard/1";
+
+[[noreturn]] void malformed(const std::string& what) {
+  throw std::invalid_argument("shard report: " + what);
+}
+
+const Json& member(const Json& object, std::string_view key) {
+  const Json* value = object.find(key);
+  if (value == nullptr) {
+    malformed("missing member '" + std::string(key) + "'");
+  }
+  return *value;
+}
+
+/// Typed member reads: wrong JSON types in a (possibly hand-edited or
+/// corrupted) document are shape violations — `std::invalid_argument`
+/// naming the member — never `ContractViolation`s from the accessors.
+std::int64_t member_int(const Json& object, std::string_view key) {
+  const Json& value = member(object, key);
+  if (value.type() != Json::Type::Int) {
+    malformed("member '" + std::string(key) + "' must be an integer");
+  }
+  return value.as_int();
+}
+
+const std::string& member_string(const Json& object, std::string_view key) {
+  const Json& value = member(object, key);
+  if (!value.is_string()) {
+    malformed("member '" + std::string(key) + "' must be a string");
+  }
+  return value.as_string();
+}
+
+}  // namespace
+
+ShardRunReport make_shard_report(const engine::BatchPlan& plan,
+                                 const ShardPlan& shards, Index shard_index,
+                                 const std::vector<engine::JobResult>& results) {
+  const std::vector<Index> jobs = shards.jobs_of(shard_index);
+  NPD_CHECK_MSG(results.size() == jobs.size(),
+                "make_shard_report: results do not align with the shard's "
+                "job list");
+
+  ShardRunReport report;
+  report.seed = plan.seed;
+  report.reps = plan.reps;
+  for (const engine::PlannedScenario& s : plan.scenarios) {
+    report.scenario_names.push_back(s.scenario->name());
+    report.scenario_params.push_back(s.params.to_json());
+  }
+  report.fingerprint = content_hash(plan.fingerprint());
+  report.shard_index = shard_index;
+  report.shard_count = shards.shard_count();
+  report.total_jobs = static_cast<Index>(plan.jobs.size());
+  report.results.reserve(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const Index job = jobs[i];
+    const engine::Job& planned = plan.jobs[static_cast<std::size_t>(job)];
+    const engine::JobResult& result = results[i];
+    NPD_CHECK_MSG(result.cell == planned.cell && result.rep == planned.rep,
+                  "make_shard_report: result does not match the planned job");
+    report.results.push_back(ShardJobResult{job, planned.cell, planned.rep,
+                                            planned.seed, result.metrics,
+                                            result.wall_seconds});
+  }
+  return report;
+}
+
+Json shard_report_to_json(const ShardRunReport& report, bool include_perf) {
+  Json root = Json::object();
+  root.set("schema", std::string(kSchema));
+  root.set("fingerprint", report.fingerprint);
+
+  Json config = Json::object();
+  config.set("seed", static_cast<std::int64_t>(report.seed))
+      .set("reps", report.reps);
+  Json names = Json::array();
+  Json params = Json::object();
+  for (std::size_t i = 0; i < report.scenario_names.size(); ++i) {
+    names.push_back(report.scenario_names[i]);
+    params.set(report.scenario_names[i], report.scenario_params[i]);
+  }
+  config.set("scenarios", std::move(names)).set("params", std::move(params));
+  root.set("config", std::move(config));
+
+  Json shard = Json::object();
+  shard.set("index", report.shard_index)
+      .set("count", report.shard_count)
+      .set("jobs", static_cast<std::int64_t>(report.results.size()))
+      .set("total_jobs", report.total_jobs);
+  root.set("shard", std::move(shard));
+
+  Json results = Json::array();
+  double job_seconds = 0.0;
+  for (const ShardJobResult& result : report.results) {
+    Json entry = Json::object();
+    entry.set("job", result.job)
+        .set("cell", result.cell)
+        .set("rep", result.rep)
+        .set("seed", format_hex64(result.seed))
+        .set("metrics", metrics_to_json(result.metrics));
+    if (include_perf) {
+      entry.set("wall_seconds", result.wall_seconds);
+    }
+    job_seconds += result.wall_seconds;
+    results.push_back(std::move(entry));
+  }
+  root.set("results", std::move(results));
+
+  if (include_perf) {
+    Json perf = Json::object();
+    perf.set("job_seconds", job_seconds);
+    root.set("perf", std::move(perf));
+  }
+  return root;
+}
+
+ShardRunReport shard_report_from_json(const Json& json) {
+  if (!json.is_object()) {
+    malformed("expected an object");
+  }
+  const Json& schema = member(json, "schema");
+  if (!schema.is_string() || schema.as_string() != kSchema) {
+    malformed("unsupported schema (expected '" + std::string(kSchema) +
+              "')");
+  }
+
+  ShardRunReport report;
+  report.fingerprint = member_string(json, "fingerprint");
+
+  const Json& config = member(json, "config");
+  report.seed = static_cast<std::uint64_t>(member_int(config, "seed"));
+  report.reps = member_int(config, "reps");
+  if (report.reps < 1) {
+    malformed("'config.reps' must be >= 1");
+  }
+  const Json& names = member(config, "scenarios");
+  if (!names.is_array() || names.size() == 0) {
+    malformed("'config.scenarios' must be a non-empty array");
+  }
+  const Json& params = member(config, "params");
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (!names.at(i).is_string()) {
+      malformed("'config.scenarios' entries must be strings");
+    }
+    const std::string& name = names.at(i).as_string();
+    report.scenario_names.push_back(name);
+    report.scenario_params.push_back(member(params, name));
+  }
+
+  const Json& shard = member(json, "shard");
+  report.shard_index = member_int(shard, "index");
+  report.shard_count = member_int(shard, "count");
+  report.total_jobs = member_int(shard, "total_jobs");
+  if (report.shard_count < 1 || report.shard_index < 0 ||
+      report.shard_index >= report.shard_count) {
+    malformed("shard index/count out of range");
+  }
+
+  const Json& results = member(json, "results");
+  if (!results.is_array()) {
+    malformed("'results' must be an array");
+  }
+  if (member_int(shard, "jobs") !=
+      static_cast<std::int64_t>(results.size())) {
+    malformed("'shard.jobs' does not match the result count");
+  }
+  report.results.reserve(results.size());
+  Index previous_job = -1;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const Json& entry = results.at(i);
+    ShardJobResult result;
+    result.job = member_int(entry, "job");
+    result.cell = member_int(entry, "cell");
+    result.rep = member_int(entry, "rep");
+    result.seed = parse_hex64_value("shard report result seed",
+                                    member_string(entry, "seed"));
+    result.metrics = metrics_from_json(member(entry, "metrics"));
+    if (const Json* wall = entry.find("wall_seconds")) {
+      if (!wall->is_number()) {
+        malformed("'wall_seconds' must be a number");
+      }
+      result.wall_seconds = wall->as_double();
+    }
+    if (result.job <= previous_job || result.job >= report.total_jobs) {
+      malformed("result job indices must be ascending and within "
+                "[0, total_jobs)");
+    }
+    previous_job = result.job;
+    report.results.push_back(std::move(result));
+  }
+  return report;
+}
+
+}  // namespace npd::shard

@@ -1,0 +1,95 @@
+#pragma once
+
+/// \file shard_report.hpp
+/// The partial run report one `npd_run --shard i/N` process writes
+/// (schema `npd.run_report_shard/1`) and its reader.
+///
+/// A shard report carries everything `npd_merge` needs to rebuild the
+/// full batch without talking to the other shards:
+///   * a **config echo** (seed, reps, scenario names and their fully
+///     resolved parameters) from which the merger re-plans the batch on
+///     the registry — planning is deterministic, so the replanned job
+///     list equals the producer's;
+///   * the **batch fingerprint hash**, so shards of different batches or
+///     of drifted scenario code refuse to merge;
+///   * the **raw per-job results** (global job index, cell, rep, seed
+///     echo, ordered metrics) — raw rather than pre-aggregated, because
+///     the deterministic aggregation (`harness::stats` folds in
+///     submission order) must run once over the complete result set to
+///     be bit-identical to the single-process run.
+///
+/// ```json
+/// {
+///   "schema": "npd.run_report_shard/1",
+///   "fingerprint": "<32-hex hash of the batch fingerprint>",
+///   "config": {"seed": 42, "reps": 2, "scenarios": ["fig5"],
+///              "params": {"fig5": {"theta": 0.25, "max_n": 10000}}},
+///   "shard": {"index": 0, "count": 3, "jobs": 5, "total_jobs": 14},
+///   "results": [
+///     {"job": 0, "cell": 0, "rep": 0, "seed": "1f2e3d4c5b6a7988",
+///      "metrics": [["m", 94.0], ["reached", 1.0]],
+///      "wall_seconds": 0.12}],
+///   "perf": {"job_seconds": 0.61}
+/// }
+/// ```
+///
+/// With `include_perf == false` the per-result `wall_seconds` and the
+/// `perf` object are omitted, making the shard report itself
+/// byte-reproducible (the cache-resume tests compare those bytes).
+
+#include <string>
+#include <vector>
+
+#include "engine/engine.hpp"
+#include "shard/shard_plan.hpp"
+#include "util/json.hpp"
+
+namespace npd::shard {
+
+/// One finished job as carried by a shard report.
+struct ShardJobResult {
+  /// Submission index into the full batch plan.
+  Index job = 0;
+  Index cell = 0;
+  Index rep = 0;
+  /// Seed echo; the merger cross-checks it against the replanned job to
+  /// catch derivation drift.
+  std::uint64_t seed = 0;
+  engine::Metrics metrics;
+  /// Perf telemetry only (0 when the report was written without perf).
+  double wall_seconds = 0.0;
+};
+
+/// One shard's slice of a batch run.
+struct ShardRunReport {
+  std::uint64_t seed = 0;
+  Index reps = 0;
+  std::vector<std::string> scenario_names;
+  /// Resolved parameters per scenario, parallel to `scenario_names`.
+  std::vector<Json> scenario_params;
+  /// `content_hash` of the producing plan's `BatchPlan::fingerprint()`.
+  std::string fingerprint;
+  Index shard_index = 0;  ///< 0-based
+  Index shard_count = 1;
+  Index total_jobs = 0;   ///< of the whole plan, all shards
+  /// This shard's results, ascending by `job`.
+  std::vector<ShardJobResult> results;
+};
+
+/// Assemble the report for `shard_index`, pairing `shards.jobs_of(i)`
+/// with `results` (aligned element for element, as produced by
+/// `run_jobs`).
+[[nodiscard]] ShardRunReport make_shard_report(
+    const engine::BatchPlan& plan, const ShardPlan& shards,
+    Index shard_index, const std::vector<engine::JobResult>& results);
+
+/// Serialize (schema `npd.run_report_shard/1`).  `include_perf == false`
+/// drops every timing stamp.
+[[nodiscard]] Json shard_report_to_json(const ShardRunReport& report,
+                                        bool include_perf);
+
+/// Parse + validate a shard report document.  Throws
+/// `std::invalid_argument` on schema or shape violations.
+[[nodiscard]] ShardRunReport shard_report_from_json(const Json& json);
+
+}  // namespace npd::shard

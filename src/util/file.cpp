@@ -1,0 +1,23 @@
+#include "util/file.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+namespace npd {
+
+std::optional<std::string> try_read_file(
+    const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (!in.good() && !in.eof()) {
+    return std::nullopt;
+  }
+  return std::move(buffer).str();
+}
+
+}  // namespace npd

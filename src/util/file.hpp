@@ -1,0 +1,21 @@
+#pragma once
+
+/// \file file.hpp
+/// Whole-file reads shared by the shard result cache and the tool
+/// drivers.  One slurp implementation means the truncation handling (a
+/// mid-read I/O error must not surface as a shorter-but-plausible
+/// document) cannot drift between callers.
+
+#include <filesystem>
+#include <optional>
+#include <string>
+
+namespace npd {
+
+/// Read an entire file.  Returns nullopt when the file cannot be opened
+/// or the read fails partway; callers choose their own failure policy
+/// (the cache treats it as a miss, the tools raise an error).
+[[nodiscard]] std::optional<std::string> try_read_file(
+    const std::filesystem::path& path);
+
+}  // namespace npd

@@ -3,10 +3,359 @@
 #include <charconv>
 #include <cmath>
 #include <cstdio>
+#include <stdexcept>
+#include <system_error>
 
 #include "util/assert.hpp"
 
 namespace npd {
+
+namespace {
+
+/// Recursive-descent parser over a string_view cursor.  Kept private to
+/// the translation unit; `Json::parse` is the entry point.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Json parse_document() {
+    Json value = parse_value();
+    skip_whitespace();
+    if (pos_ != text_.size()) {
+      fail("trailing characters after the document");
+    }
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::invalid_argument("Json::parse: " + what + " at offset " +
+                                std::to_string(pos_));
+  }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) {
+      fail("unexpected end of input");
+    }
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) {
+      return false;
+    }
+    pos_ += literal.size();
+    return true;
+  }
+
+  Json parse_value() {
+    skip_whitespace();
+    switch (peek()) {
+      case '{':
+        return parse_object();
+      case '[':
+        return parse_array();
+      case '"':
+        return Json(parse_string());
+      case 't':
+        if (!consume_literal("true")) {
+          fail("invalid literal");
+        }
+        return Json(true);
+      case 'f':
+        if (!consume_literal("false")) {
+          fail("invalid literal");
+        }
+        return Json(false);
+      case 'n':
+        if (!consume_literal("null")) {
+          fail("invalid literal");
+        }
+        return Json();
+      default:
+        return parse_number();
+    }
+  }
+
+  /// Containers recurse; a fixed cap turns pathologically deep (or
+  /// corrupted) documents into a clean error instead of a stack
+  /// overflow, which the cache's treat-malformed-as-miss contract
+  /// could not catch.
+  struct DepthGuard {
+    explicit DepthGuard(Parser& parser) : parser_(parser) {
+      if (++parser_.depth_ > kMaxDepth) {
+        parser_.fail("nesting deeper than " + std::to_string(kMaxDepth) +
+                     " levels");
+      }
+    }
+    ~DepthGuard() { --parser_.depth_; }
+    DepthGuard(const DepthGuard&) = delete;
+    DepthGuard& operator=(const DepthGuard&) = delete;
+    Parser& parser_;
+  };
+
+  Json parse_object() {
+    const DepthGuard guard(*this);
+    expect('{');
+    Json object = Json::object();
+    skip_whitespace();
+    if (peek() == '}') {
+      ++pos_;
+      return object;
+    }
+    while (true) {
+      skip_whitespace();
+      std::string key = parse_string();
+      skip_whitespace();
+      expect(':');
+      object.set(std::move(key), parse_value());
+      skip_whitespace();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return object;
+    }
+  }
+
+  Json parse_array() {
+    const DepthGuard guard(*this);
+    expect('[');
+    Json array = Json::array();
+    skip_whitespace();
+    if (peek() == ']') {
+      ++pos_;
+      return array;
+    }
+    while (true) {
+      array.push_back(parse_value());
+      skip_whitespace();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return array;
+    }
+  }
+
+  /// Append `code_point` to `out` as UTF-8.
+  static void append_utf8(std::string& out, std::uint32_t code_point) {
+    if (code_point < 0x80) {
+      out += static_cast<char>(code_point);
+    } else if (code_point < 0x800) {
+      out += static_cast<char>(0xC0 | (code_point >> 6));
+      out += static_cast<char>(0x80 | (code_point & 0x3F));
+    } else if (code_point < 0x10000) {
+      out += static_cast<char>(0xE0 | (code_point >> 12));
+      out += static_cast<char>(0x80 | ((code_point >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code_point & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (code_point >> 18));
+      out += static_cast<char>(0x80 | ((code_point >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((code_point >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code_point & 0x3F));
+    }
+  }
+
+  std::uint32_t parse_hex4() {
+    if (pos_ + 4 > text_.size()) {
+      fail("truncated \\u escape");
+    }
+    std::uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + static_cast<std::size_t>(i)];
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<std::uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<std::uint32_t>(c - 'A' + 10);
+      } else {
+        fail("invalid \\u escape digit");
+      }
+    }
+    pos_ += 4;
+    return value;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) {
+        fail("unterminated string");
+      }
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return out;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("raw control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        ++pos_;
+        continue;
+      }
+      ++pos_;  // consume the backslash
+      switch (peek()) {
+        case '"':
+          out += '"';
+          ++pos_;
+          break;
+        case '\\':
+          out += '\\';
+          ++pos_;
+          break;
+        case '/':
+          out += '/';
+          ++pos_;
+          break;
+        case 'b':
+          out += '\b';
+          ++pos_;
+          break;
+        case 'f':
+          out += '\f';
+          ++pos_;
+          break;
+        case 'n':
+          out += '\n';
+          ++pos_;
+          break;
+        case 'r':
+          out += '\r';
+          ++pos_;
+          break;
+        case 't':
+          out += '\t';
+          ++pos_;
+          break;
+        case 'u': {
+          ++pos_;
+          std::uint32_t code_point = parse_hex4();
+          if (code_point >= 0xD800 && code_point <= 0xDBFF) {
+            // High surrogate: must pair with a low surrogate escape.
+            if (!consume_literal("\\u")) {
+              fail("lone high surrogate");
+            }
+            const std::uint32_t low = parse_hex4();
+            if (low < 0xDC00 || low > 0xDFFF) {
+              fail("invalid low surrogate");
+            }
+            code_point =
+                0x10000 + ((code_point - 0xD800) << 10) + (low - 0xDC00);
+          } else if (code_point >= 0xDC00 && code_point <= 0xDFFF) {
+            fail("lone low surrogate");
+          }
+          append_utf8(out, code_point);
+          break;
+        }
+        default:
+          fail("invalid escape character");
+      }
+    }
+  }
+
+  bool at_digit() const {
+    return pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9';
+  }
+
+  Json parse_number() {
+    // Strict RFC 8259 grammar: -?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?
+    // — notably no leading zeros, no bare '.5'/'1.' forms (which the
+    // underlying from_chars would otherwise tolerate).
+    const std::size_t start = pos_;
+    if (peek() == '-') {
+      ++pos_;
+    }
+    if (!at_digit()) {
+      fail("invalid number");
+    }
+    if (text_[pos_] == '0') {
+      ++pos_;
+      if (at_digit()) {
+        fail("leading zeros are not allowed");
+      }
+    } else {
+      while (at_digit()) {
+        ++pos_;
+      }
+    }
+    bool integral = true;
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      integral = false;
+      ++pos_;
+      if (!at_digit()) {
+        fail("expected digits after the decimal point");
+      }
+      while (at_digit()) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      integral = false;
+      ++pos_;
+      if (pos_ < text_.size() &&
+          (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (!at_digit()) {
+        fail("expected digits in the exponent");
+      }
+      while (at_digit()) {
+        ++pos_;
+      }
+    }
+    const std::string_view token = text_.substr(start, pos_ - start);
+    const char* first = token.data();
+    const char* last = token.data() + token.size();
+    if (integral && token != "-0") {
+      // `-0` is excluded: int64 cannot hold the sign, and re-dumping 0
+      // would change the bytes; the double path preserves −0.0 exactly.
+      std::int64_t value = 0;
+      const auto [ptr, ec] = std::from_chars(first, last, value);
+      if (ec == std::errc() && ptr == last) {
+        return Json(value);
+      }
+      // Overflow (e.g. a double that printed as 20 fixed digits): fall
+      // through to the exact double path.
+    }
+    double value = 0.0;
+    const auto [ptr, ec] = std::from_chars(first, last, value);
+    if (ec != std::errc() || ptr != last) {
+      fail("invalid number");
+    }
+    return Json(value);
+  }
+
+  static constexpr int kMaxDepth = 512;
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
 
 Json& Json::set(std::string key, Json value) {
   NPD_CHECK_MSG(type_ == Type::Object, "Json::set on a non-object");
@@ -217,6 +566,10 @@ std::string Json::dump(int indent) const {
   std::string out;
   write(out, indent, 0);
   return out;
+}
+
+Json Json::parse(std::string_view text) {
+  return Parser(text).parse_document();
 }
 
 }  // namespace npd

@@ -1,18 +1,24 @@
 #pragma once
 
 /// \file json.hpp
-/// A dependency-free JSON document builder and writer — the machine-
-/// readable counterpart of csv.hpp, used by the batch experiment engine
-/// to serialize `RunReport`s.
+/// A dependency-free JSON document builder, writer and reader — the
+/// machine-readable counterpart of csv.hpp, used by the batch experiment
+/// engine to serialize `RunReport`s and by the shard subsystem
+/// (`src/shard`) to reload partial reports and cache entries.
 ///
-/// Write-only by design (the repo never parses JSON; external tooling
-/// does).  Three properties the engine relies on:
+/// Three properties the engine and the shard/cache pipeline rely on:
 ///   * **insertion-ordered objects** — serialization is a pure function
 ///     of construction order, so two reports built from the same data are
 ///     byte-identical (the engine's determinism tests compare raw bytes);
+///     `parse` preserves member order, so reload → re-dump is the
+///     identity on this writer's output;
 ///   * **round-trip numbers** — doubles are printed with the shortest
 ///     representation that parses back to the same value
-///     (`std::to_chars`), integers without any exponent;
+///     (`std::to_chars`, which is *stronger* than printing
+///     `max_digits10` digits: exact and minimal), integers without any
+///     exponent; `parse` reads them back bit-exactly via
+///     `std::from_chars`, so cached and merged reports reload
+///     bit-identically;
 ///   * **full escaping** — control characters, quotes and backslashes are
 ///     escaped per RFC 8259; other bytes pass through untouched (the repo
 ///     emits ASCII; UTF-8 would survive verbatim).
@@ -119,6 +125,15 @@ class Json {
   /// Serialize.  `indent < 0` gives the compact single-line form;
   /// `indent >= 0` pretty-prints with that many spaces per level.
   [[nodiscard]] std::string dump(int indent = -1) const;
+
+  /// Parse one complete JSON document (RFC 8259).  Throws
+  /// `std::invalid_argument` on malformed input, trailing non-whitespace,
+  /// or numbers outside double range.  Number mapping: integer-looking
+  /// tokens that fit an int64 become `Int` (except `-0`, kept as the
+  /// Double −0.0 so it re-dumps as written); everything else becomes
+  /// `Double`, read bit-exactly with `std::from_chars` — so for any
+  /// document produced by `dump`, `parse(dump(x)).dump() == dump(x)`.
+  [[nodiscard]] static Json parse(std::string_view text);
 
   /// Escape `text` as the *contents* of a JSON string literal (no outer
   /// quotes).  Exposed for tests.

@@ -53,4 +53,55 @@ bool parse_bool_value(std::string_view subject, std::string_view text) {
   fail(subject, "true/false", text);
 }
 
+std::string format_hex64(std::uint64_t value) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[value & 0xF];
+    value >>= 4;
+  }
+  return out;
+}
+
+std::vector<std::string> split_list(std::string_view text, char sep) {
+  std::vector<std::string> parts;
+  while (!text.empty()) {
+    const std::size_t pos = text.find(sep);
+    std::string_view part = text.substr(0, pos);
+    while (!part.empty() && part.front() == ' ') {
+      part.remove_prefix(1);
+    }
+    while (!part.empty() && part.back() == ' ') {
+      part.remove_suffix(1);
+    }
+    if (!part.empty()) {
+      parts.emplace_back(part);
+    }
+    if (pos == std::string_view::npos) {
+      break;
+    }
+    text.remove_prefix(pos + 1);
+  }
+  return parts;
+}
+
+std::uint64_t parse_hex64_value(std::string_view subject,
+                                std::string_view text) {
+  if (text.size() != 16) {
+    fail(subject, "16 hex digits", text);
+  }
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    value <<= 4;
+    if (c >= '0' && c <= '9') {
+      value |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      value |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else {
+      fail(subject, "16 hex digits", text);
+    }
+  }
+  return value;
+}
+
 }  // namespace npd

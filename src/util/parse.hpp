@@ -15,8 +15,10 @@
 ///   parse_int_value("--reps", "3x")
 ///     -> std::invalid_argument("--reps: expected an integer, got '3x'")
 
+#include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace npd {
 
@@ -32,5 +34,22 @@ namespace npd {
 /// Parse "true"/"1" or "false"/"0".
 [[nodiscard]] bool parse_bool_value(std::string_view subject,
                                     std::string_view text);
+
+/// Render a 64-bit value as exactly 16 lowercase hex digits.  The
+/// textual form of full-range `uint64` values (e.g. derived RNG seeds)
+/// in JSON documents, where integers are int64.
+[[nodiscard]] std::string format_hex64(std::uint64_t value);
+
+/// Parse exactly 16 lowercase hex digits (the inverse of
+/// `format_hex64`).  Anything else is a hard error.
+[[nodiscard]] std::uint64_t parse_hex64_value(std::string_view subject,
+                                              std::string_view text);
+
+/// Split `text` on `sep`, trimming surrounding spaces and dropping empty
+/// pieces ("a, b,,c" → {"a", "b", "c"}) — the separated-list convention
+/// of the tool drivers (`--scenarios`, `--params`, `--inputs`, the
+/// `solver_params` packs).
+[[nodiscard]] std::vector<std::string> split_list(std::string_view text,
+                                                  char sep);
 
 }  // namespace npd

@@ -6,12 +6,16 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <memory>
 #include <set>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "core/scores.hpp"
+#include "core/theory.hpp"
 #include "engine/builtin_scenarios.hpp"
 #include "engine/engine.hpp"
 #include "harness/sweeps.hpp"
@@ -136,7 +140,7 @@ TEST(ScenarioRegistryTest, RegisterListFindRoundTrip) {
   EXPECT_EQ(registry.find("no_such_scenario"), nullptr);
 
   const auto all = registry.list();
-  ASSERT_EQ(all.size(), 10u);  // 9 builtins + the test scenario
+  ASSERT_EQ(all.size(), 12u);  // 11 builtins + the test scenario
   for (std::size_t i = 1; i < all.size(); ++i) {
     EXPECT_LT(all[i - 1]->name(), all[i]->name());  // sorted by name
   }
@@ -239,6 +243,72 @@ TEST(RunBatchTest, DeterministicReportBytesAcrossThreadCounts) {
             parallel.to_json(false).dump(2));
   // ...and the perf stamps must exist in the full report.
   EXPECT_NE(parallel.to_json(true).find("perf"), nullptr);
+}
+
+// ---------------------------------------------- plan_batch / build_report
+
+TEST(BatchPlanTest, RunBatchEqualsPlanExecuteAggregate) {
+  ScenarioRegistry registry;
+  registry.add(std::make_unique<TestScenario>());
+  BatchRequest request;
+  request.scenario_names = {"test_scenario"};
+  request.config.seed = 11;
+  request.config.reps = 2;
+  request.config.threads = 2;
+  request.overrides.push_back({"test_scenario", "cells", "3"});
+
+  const BatchPlan plan = plan_batch(registry, request);
+  ASSERT_EQ(plan.scenarios.size(), 1u);
+  EXPECT_EQ(plan.scenarios[0].job_count, 6);  // 3 cells x 2 reps
+  JobQueue queue;
+  for (const Job& job : plan.jobs) {
+    (void)queue.push(job);
+  }
+  const RunReport composed =
+      build_report(plan, queue.run(2), request.config.threads);
+  const RunReport direct = run_batch(registry, request);
+  EXPECT_EQ(composed.to_json(false).dump(2), direct.to_json(false).dump(2));
+}
+
+TEST(BatchPlanTest, FingerprintSeparatesBatches) {
+  ScenarioRegistry registry;
+  registry.add(std::make_unique<TestScenario>());
+  const auto fingerprint = [&](std::uint64_t seed, Index reps,
+                               const char* scale) {
+    BatchRequest request;
+    request.scenario_names = {"test_scenario"};
+    request.config.seed = seed;
+    request.config.reps = reps;
+    request.overrides.push_back({"test_scenario", "scale", scale});
+    return plan_batch(registry, request).fingerprint();
+  };
+
+  const std::string base = fingerprint(1, 2, "1.0");
+  EXPECT_EQ(base, fingerprint(1, 2, "1.0"));  // pure function
+  std::set<std::string> prints{base};
+  prints.insert(fingerprint(2, 2, "1.0"));  // seed
+  prints.insert(fingerprint(1, 3, "1.0"));  // reps
+  prints.insert(fingerprint(1, 2, "2.5"));  // scenario option
+  EXPECT_EQ(prints.size(), 4u);
+}
+
+TEST(BatchPlanTest, JobKeyNamesScenarioCellRepAndSeed) {
+  ScenarioRegistry registry;
+  registry.add(std::make_unique<TestScenario>());
+  BatchRequest request;
+  request.scenario_names = {"test_scenario"};
+  request.config.seed = 7;
+  request.config.reps = 2;
+  const BatchPlan plan = plan_batch(registry, request);
+  ASSERT_EQ(plan.jobs.size(), 4u);
+  EXPECT_EQ(plan.scenario_of(3), 0);
+  const std::string key = plan.job_key(3);
+  EXPECT_EQ(key.find("test_scenario/cell=1/rep=1/seed="), 0u) << key;
+  std::set<std::string> keys;
+  for (Index j = 0; j < static_cast<Index>(plan.jobs.size()); ++j) {
+    keys.insert(plan.job_key(j));
+  }
+  EXPECT_EQ(keys.size(), plan.jobs.size());  // keys separate jobs
 }
 
 // ---------------------------------------- agreement with the legacy paths
@@ -367,6 +437,107 @@ TEST(EngineAgreementTest, Fig3CellsMatchLegacySweepDerivation) {
     EXPECT_EQ(m.at("q1").as_double(), rows[ni].summary.q1);
     EXPECT_EQ(m.at("q3").as_double(), rows[ni].summary.q3);
     EXPECT_EQ(m.at("mean").as_double(), rows[ni].mean_m);
+  }
+}
+
+TEST(EngineAgreementTest, Fig4CellsMatchLegacySweepDerivation) {
+  ScenarioRegistry registry;
+  register_builtin_scenarios(registry);
+  BatchRequest request;
+  request.scenario_names = {"fig4"};
+  request.config.seed = 42;
+  request.config.reps = 2;
+  request.config.threads = 2;
+  request.overrides.push_back({"fig4", "max_n", "100"});
+  const RunReport report = run_batch(registry, request);
+  const Json& cells = report.scenarios[0].aggregates.at("cells");
+  ASSERT_EQ(cells.size(), 5u);  // 5 q levels x log_grid(100, 100, 2)
+
+  // Cell 0 is q = 0.1 at n = 100: the legacy bench ran a single-point
+  // required_queries_sweep rooted at seed + uint64(-log10(q)*131) + n
+  // with the 20x-theory cap and channel-aware centering; recompute
+  // through that path and compare the aggregates bit for bit.
+  const double q = 0.1;
+  const Index n = 100;
+  const double theory =
+      core::theory::channel_sublinear_interpolated(n, 0.25, q, q, 0.05);
+  harness::RequiredQueriesOptions options;
+  options.max_queries =
+      std::max<Index>(5000, static_cast<Index>(20.0 * theory));
+  options.centering =
+      core::Centering{.offset_per_slot = q, .gain = 1.0 - 2.0 * q};
+  const auto rows = harness::required_queries_sweep(
+      {n}, 2, [](Index nn) { return pooling::sublinear_k(nn, 0.25); },
+      [](Index nn) { return pooling::paper_design(nn); },
+      [q](Index, Index) { return noise::make_bitflip_channel(q, q); },
+      42 + static_cast<std::uint64_t>(-std::log10(q) * 131.0) +
+          static_cast<std::uint64_t>(n),
+      options);
+  const Json& cell = cells.at(0);
+  EXPECT_EQ(cell.at("n").as_int(), n);
+  EXPECT_DOUBLE_EQ(cell.at("q").as_double(), q);
+  EXPECT_DOUBLE_EQ(cell.at("theory_interpolated").as_double(), theory);
+  const Json& m = cell.at("metrics").at("m");
+  EXPECT_EQ(m.at("median").as_double(), rows[0].summary.median);
+  EXPECT_EQ(m.at("q1").as_double(), rows[0].summary.q1);
+  EXPECT_EQ(m.at("q3").as_double(), rows[0].summary.q3);
+  EXPECT_EQ(m.at("mean").as_double(), rows[0].mean_m);
+}
+
+TEST(EngineAgreementTest, Fig6CellsMatchLegacySuccessSweep) {
+  ScenarioRegistry registry;
+  register_builtin_scenarios(registry);
+  BatchRequest request;
+  request.scenario_names = {"fig6"};
+  request.config.seed = 42;
+  request.config.reps = 3;
+  request.config.threads = 2;
+  request.overrides.push_back({"fig6", "n", "150"});
+  request.overrides.push_back({"fig6", "m_step", "40"});
+  request.overrides.push_back({"fig6", "m_max", "120"});
+  const RunReport report = run_batch(registry, request);
+  const Json& cells = report.scenarios[0].aggregates.at("cells");
+  // 3 p levels x 2 solvers x ms {40, 80, 120}.
+  ASSERT_EQ(cells.size(), 18u);
+
+  // The p = 0.1 series: the legacy bench ran success_sweep rooted at
+  // seed + uint64(p * 4051) — once per algorithm, same root.  The
+  // engine's greedy series is cells 0..2, the AMP series cells 3..5.
+  const Index n = 150;
+  const Index k = pooling::sublinear_k(n, 0.25);
+  const std::vector<Index> ms{40, 80, 120};
+  const auto seed = std::uint64_t{42} +
+                    static_cast<std::uint64_t>(0.1 * 4051.0);
+  const auto design_of_n = [](Index nn) {
+    return pooling::paper_design(nn);
+  };
+  const auto factory = [](Index, Index) {
+    return noise::make_z_channel(0.1);
+  };
+  const auto greedy = harness::success_sweep(
+      n, k, ms, 3, design_of_n, factory, harness::Algorithm::Greedy, seed);
+  const auto amp = harness::success_sweep(
+      n, k, ms, 3, design_of_n, factory, harness::Algorithm::Amp, seed);
+  for (std::size_t mi = 0; mi < ms.size(); ++mi) {
+    const Json& greedy_cell = cells.at(mi);
+    EXPECT_EQ(greedy_cell.at("m").as_int(), ms[mi]);
+    EXPECT_DOUBLE_EQ(greedy_cell.at("p").as_double(), 0.1);
+    EXPECT_EQ(greedy_cell.at("solver").as_string(), "greedy");
+    EXPECT_DOUBLE_EQ(
+        greedy_cell.at("metrics").at("success").at("mean").as_double(),
+        greedy[mi].success_rate);
+    EXPECT_DOUBLE_EQ(
+        greedy_cell.at("metrics").at("overlap").at("mean").as_double(),
+        greedy[mi].mean_overlap);
+
+    const Json& amp_cell = cells.at(ms.size() + mi);
+    EXPECT_EQ(amp_cell.at("solver").as_string(), "amp");
+    EXPECT_DOUBLE_EQ(
+        amp_cell.at("metrics").at("success").at("mean").as_double(),
+        amp[mi].success_rate);
+    EXPECT_DOUBLE_EQ(
+        amp_cell.at("metrics").at("overlap").at("mean").as_double(),
+        amp[mi].mean_overlap);
   }
 }
 

@@ -1,0 +1,461 @@
+// Tests for the sharded-execution subsystem (src/shard): deterministic
+// LPT shard planning, the content-addressed result cache, the shard
+// report round trip, and — the subsystem's core contract — that merging
+// any complete set of partial reports reproduces the single-process run
+// report byte for byte, including after a kill-and-resume through the
+// cache.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <memory>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "engine/builtin_scenarios.hpp"
+#include "engine/engine.hpp"
+#include "shard/merge.hpp"
+#include "shard/metrics_io.hpp"
+#include "shard/result_cache.hpp"
+#include "shard/runner.hpp"
+#include "shard/shard_plan.hpp"
+#include "shard/shard_report.hpp"
+#include "util/assert.hpp"
+
+namespace npd::shard {
+namespace {
+
+/// Self-cleaning unique temp directory per test.
+class TempDir {
+ public:
+  TempDir() {
+    static std::atomic<int> counter{0};
+    path_ = std::filesystem::temp_directory_path() /
+            ("npd_shard_test_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter.fetch_add(1)));
+    std::filesystem::create_directories(path_);
+  }
+
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+
+  [[nodiscard]] const std::filesystem::path& path() const { return path_; }
+
+ private:
+  std::filesystem::path path_;
+};
+
+/// The small two-scenario batch every merge test runs (fast: n <= 150).
+engine::BatchRequest small_request() {
+  engine::BatchRequest request;
+  request.scenario_names = {"fixed_m", "solver_sweep"};
+  request.config.seed = 11;
+  request.config.reps = 3;
+  request.config.threads = 2;
+  request.overrides.push_back({"fixed_m", "n", "150"});
+  request.overrides.push_back({"fixed_m", "m_points", "2"});
+  request.overrides.push_back({"solver_sweep", "n_lo", "120"});
+  request.overrides.push_back({"solver_sweep", "n_hi", "120"});
+  return request;
+}
+
+/// Deterministic counting scenario for the cache-skip test: every
+/// execution bumps an external counter (cache replays must not).
+class CountingScenario final : public engine::Scenario {
+ public:
+  explicit CountingScenario(std::atomic<int>* executions)
+      : executions_(executions) {}
+
+  std::string name() const override { return "counting"; }
+  std::string description() const override { return "counts executions"; }
+
+  std::vector<engine::Job> make_jobs(
+      const engine::EngineConfig& config,
+      const engine::ScenarioParams&) const override {
+    std::vector<engine::Job> jobs;
+    for (Index cell = 0; cell < 3; ++cell) {
+      for (Index rep = 0; rep < config.reps; ++rep) {
+        engine::Job job;
+        job.cell = cell;
+        job.rep = rep;
+        job.seed =
+            engine::derive_job_seed(config.seed, "counting", cell, rep);
+        job.cost_hint = cell + 1;
+        std::atomic<int>* executions = executions_;
+        job.run = [executions](rand::Rng& rng) -> engine::Metrics {
+          executions->fetch_add(1);
+          return {{"value", rng.uniform_real()}};
+        };
+        jobs.push_back(std::move(job));
+      }
+    }
+    return jobs;
+  }
+
+  Json aggregate(const std::vector<engine::JobResult>& results,
+                 const engine::ScenarioParams&) const override {
+    return engine::aggregate_cells(results, nullptr);
+  }
+
+ private:
+  std::atomic<int>* executions_;
+};
+
+// ------------------------------------------------------------ metrics io
+
+TEST(MetricsIoTest, RoundTripPreservesOrderDuplicatesAndBits) {
+  const engine::Metrics metrics{{"m", 94.0},
+                                {"overlap", 1.0 / 3.0},
+                                {"m", -0.0},  // duplicate name, signed zero
+                                {"tiny", 5e-324}};
+  const engine::Metrics reloaded =
+      metrics_from_json(Json::parse(metrics_to_json(metrics).dump()));
+  ASSERT_EQ(reloaded.size(), metrics.size());
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    EXPECT_EQ(reloaded[i].name, metrics[i].name);
+    // Bit identity, not just value identity.
+    EXPECT_EQ(Json(reloaded[i].value).dump(), Json(metrics[i].value).dump());
+  }
+  EXPECT_THROW((void)metrics_from_json(Json::parse("{}")),
+               std::invalid_argument);
+  EXPECT_THROW((void)metrics_from_json(Json::parse("[[1, 2]]")),
+               std::invalid_argument);
+}
+
+TEST(MetricsIoTest, NonFiniteValuesSurviveTheRoundTrip) {
+  // JSON numbers cannot carry NaN/Inf (the writer emits null); raw
+  // metric values use sentinel strings instead, so a job emitting them
+  // stays cacheable and mergeable.
+  const double inf = std::numeric_limits<double>::infinity();
+  const engine::Metrics metrics{{"nan", std::nan("")},
+                                {"pos", inf},
+                                {"neg", -inf},
+                                {"finite", 0.5}};
+  const std::string bytes = metrics_to_json(metrics).dump();
+  const engine::Metrics reloaded =
+      metrics_from_json(Json::parse(bytes));
+  ASSERT_EQ(reloaded.size(), 4u);
+  EXPECT_TRUE(std::isnan(reloaded[0].value));
+  EXPECT_EQ(reloaded[1].value, inf);
+  EXPECT_EQ(reloaded[2].value, -inf);
+  EXPECT_EQ(reloaded[3].value, 0.5);
+  // The serialized form itself is byte-stable.
+  EXPECT_EQ(metrics_to_json(reloaded).dump(), bytes);
+  // Unknown sentinel strings stay hard errors.
+  EXPECT_THROW((void)metrics_from_json(Json::parse("[[\"x\", \"huge\"]]")),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------------------ shard plan
+
+TEST(ShardPlanTest, CoversEveryJobExactlyOnceForAnyShardCount) {
+  engine::ScenarioRegistry registry;
+  engine::register_builtin_scenarios(registry);
+  const engine::BatchPlan plan = plan_batch(registry, small_request());
+
+  for (const Index count : {Index{1}, Index{2}, Index{3}, Index{7}}) {
+    const ShardPlan shards = ShardPlan::build(plan, count);
+    EXPECT_EQ(shards.shard_count(), count);
+    std::set<Index> covered;
+    for (Index s = 0; s < count; ++s) {
+      for (const Index job : shards.jobs_of(s)) {
+        EXPECT_EQ(shards.shard_of(job), s);
+        EXPECT_TRUE(covered.insert(job).second) << "job assigned twice";
+      }
+    }
+    EXPECT_EQ(covered.size(), plan.jobs.size());
+    // Determinism: rebuilding derives the identical assignment.
+    const ShardPlan again = ShardPlan::build(plan, count);
+    for (Index job = 0; job < shards.job_count(); ++job) {
+      EXPECT_EQ(shards.shard_of(job), again.shard_of(job));
+    }
+  }
+}
+
+TEST(ShardPlanTest, LptKeepsLoadsWithinOneMaxJobOfEachOther) {
+  engine::ScenarioRegistry registry;
+  engine::register_builtin_scenarios(registry);
+  const engine::BatchPlan plan = plan_batch(registry, small_request());
+  Index max_hint = 0;
+  for (const engine::Job& job : plan.jobs) {
+    max_hint = std::max(max_hint, job.cost_hint);
+  }
+  for (const Index count : {Index{2}, Index{3}}) {
+    const ShardPlan shards = ShardPlan::build(plan, count);
+    Index lo = shards.load_of(0);
+    Index hi = shards.load_of(0);
+    for (Index s = 1; s < count; ++s) {
+      lo = std::min(lo, shards.load_of(s));
+      hi = std::max(hi, shards.load_of(s));
+    }
+    // The classic LPT bound: no shard exceeds another by a full job.
+    EXPECT_LE(hi - lo, max_hint);
+  }
+}
+
+TEST(ShardPlanTest, InvalidShardCountThrows) {
+  engine::ScenarioRegistry registry;
+  engine::register_builtin_scenarios(registry);
+  const engine::BatchPlan plan = plan_batch(registry, small_request());
+  EXPECT_THROW((void)ShardPlan::build(plan, 0), std::invalid_argument);
+  EXPECT_THROW((void)ShardPlan::build(plan, -2), std::invalid_argument);
+}
+
+// ---------------------------------------------------------- result cache
+
+TEST(ResultCacheTest, StoreLoadRoundTripAndMisses) {
+  const TempDir dir;
+  const ResultCache cache(dir.path());
+  const engine::Metrics metrics{{"m", 94.5}, {"x", 1.0 / 3.0}};
+
+  EXPECT_FALSE(cache.load("absent-key").has_value());
+  cache.store("some/key", metrics);
+  const auto loaded = cache.load("some/key");
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), 2u);
+  EXPECT_EQ((*loaded)[0].name, "m");
+  EXPECT_EQ(Json((*loaded)[1].value).dump(), Json(1.0 / 3.0).dump());
+
+  // A second cache instance over the same directory sees the entry
+  // (persistence is the whole point).
+  const ResultCache reopened(dir.path());
+  EXPECT_TRUE(reopened.load("some/key").has_value());
+}
+
+TEST(ResultCacheTest, CollisionAndCorruptionDegradeToMisses) {
+  const TempDir dir;
+  const ResultCache cache(dir.path());
+  const engine::Metrics metrics{{"m", 1.0}};
+  cache.store("key-a", metrics);
+
+  // Simulated hash collision: an entry whose stored canonical key is not
+  // the one we ask for must be treated as a miss, never replayed.
+  {
+    std::ofstream out(cache.entry_path("key-b"));
+    out << Json::object()
+               .set("schema", "npd.cache_entry/1")
+               .set("key", "key-a")
+               .set("metrics", metrics_to_json(metrics))
+               .dump(2);
+  }
+  EXPECT_FALSE(cache.load("key-b").has_value());
+  EXPECT_TRUE(cache.load("key-a").has_value());
+
+  // Corrupted blob: also a miss, not an error.
+  {
+    std::ofstream out(cache.entry_path("key-c"));
+    out << "{ not json";
+  }
+  EXPECT_FALSE(cache.load("key-c").has_value());
+}
+
+TEST(ResultCacheTest, KeyDependsOnScenarioOptionsAndSeed) {
+  engine::ScenarioRegistry registry;
+  engine::register_builtin_scenarios(registry);
+  const engine::BatchPlan base = plan_batch(registry, small_request());
+
+  engine::BatchRequest tweaked_request = small_request();
+  tweaked_request.overrides.push_back({"fixed_m", "m_lo_frac", "0.6"});
+  const engine::BatchPlan tweaked = plan_batch(registry, tweaked_request);
+
+  engine::BatchRequest reseeded_request = small_request();
+  reseeded_request.config.seed = 12;
+  const engine::BatchPlan reseeded = plan_batch(registry, reseeded_request);
+
+  EXPECT_EQ(job_cache_key(base, 0), job_cache_key(base, 0));
+  EXPECT_NE(job_cache_key(base, 0), job_cache_key(base, 1));
+  EXPECT_NE(job_cache_key(base, 0), job_cache_key(tweaked, 0));
+  EXPECT_NE(job_cache_key(base, 0), job_cache_key(reseeded, 0));
+}
+
+// ----------------------------------------------------------- shard report
+
+TEST(ShardReportTest, JsonRoundTripIsByteStable) {
+  engine::ScenarioRegistry registry;
+  engine::register_builtin_scenarios(registry);
+  const engine::BatchPlan plan = plan_batch(registry, small_request());
+  const ShardPlan shards = ShardPlan::build(plan, 2);
+  const RunJobsOutcome outcome =
+      run_jobs(plan, shards.jobs_of(0), /*threads=*/2, nullptr);
+
+  const ShardRunReport report =
+      make_shard_report(plan, shards, 0, outcome.results);
+  const std::string bytes = shard_report_to_json(report, false).dump(2);
+  const ShardRunReport reloaded =
+      shard_report_from_json(Json::parse(bytes));
+  EXPECT_EQ(shard_report_to_json(reloaded, false).dump(2), bytes);
+  EXPECT_EQ(reloaded.results.size(), outcome.results.size());
+  EXPECT_EQ(reloaded.fingerprint, content_hash(plan.fingerprint()));
+}
+
+TEST(ShardReportTest, MalformedDocumentsAreRejected) {
+  EXPECT_THROW((void)shard_report_from_json(Json::parse("{}")),
+               std::invalid_argument);
+  EXPECT_THROW((void)shard_report_from_json(
+                   Json::parse("{\"schema\": \"npd.run_report/1\"}")),
+               std::invalid_argument);
+  EXPECT_THROW((void)shard_report_from_json(Json::parse("[1]")),
+               std::invalid_argument);
+}
+
+// ----------------------------------------------------------------- merge
+
+/// The subsystem's acceptance contract: for shard counts 1, 2, 3 and 7
+/// (7 > job count, so some shards are empty), the merged report is
+/// byte-identical to the single-process run — with the shard reports
+/// passed through their serialized form, exactly as npd_merge sees them.
+TEST(MergeTest, AnyShardCountReproducesSingleProcessBytes) {
+  engine::ScenarioRegistry registry;
+  engine::register_builtin_scenarios(registry);
+  const engine::BatchRequest request = small_request();
+  const std::string reference =
+      run_batch(registry, request).to_json(false).dump(2);
+
+  const engine::BatchPlan plan = plan_batch(registry, request);
+  for (const Index count : {Index{1}, Index{2}, Index{3}, Index{7}}) {
+    const ShardPlan shards = ShardPlan::build(plan, count);
+    std::vector<ShardRunReport> reports;
+    for (Index s = 0; s < count; ++s) {
+      const RunJobsOutcome outcome =
+          run_jobs(plan, shards.jobs_of(s), /*threads=*/2, nullptr);
+      const Json document = shard_report_to_json(
+          make_shard_report(plan, shards, s, outcome.results), false);
+      reports.push_back(
+          shard_report_from_json(Json::parse(document.dump(2))));
+    }
+    const engine::RunReport merged =
+        merge_shard_reports(registry, reports);
+    EXPECT_EQ(merged.to_json(false).dump(2), reference)
+        << "shard count " << count;
+  }
+}
+
+TEST(MergeTest, CacheResumedRerunIsByteIdentical) {
+  const TempDir dir;
+  const ResultCache cache(dir.path());
+  engine::ScenarioRegistry registry;
+  engine::register_builtin_scenarios(registry);
+  const engine::BatchRequest request = small_request();
+  const std::string reference =
+      run_batch(registry, request).to_json(false).dump(2);
+  const engine::BatchPlan plan = plan_batch(registry, request);
+  const ShardPlan shards = ShardPlan::build(plan, 2);
+
+  // First attempt runs shard 0 cold (populating the cache), then "dies"
+  // before shard 1.
+  const RunJobsOutcome first =
+      run_jobs(plan, shards.jobs_of(0), 2, &cache);
+  EXPECT_EQ(first.cache_hits, 0);
+  const std::string first_bytes =
+      shard_report_to_json(make_shard_report(plan, shards, 0, first.results),
+                           false)
+          .dump(2);
+
+  // The resume re-runs shard 0 purely from the cache and continues with
+  // shard 1; the replayed shard report is byte-identical to the cold one.
+  const RunJobsOutcome resumed =
+      run_jobs(plan, shards.jobs_of(0), 2, &cache);
+  EXPECT_EQ(resumed.executed, 0);
+  EXPECT_EQ(resumed.cache_hits,
+            static_cast<Index>(shards.jobs_of(0).size()));
+  EXPECT_EQ(shard_report_to_json(
+                make_shard_report(plan, shards, 0, resumed.results), false)
+                .dump(2),
+            first_bytes);
+
+  const RunJobsOutcome other = run_jobs(plan, shards.jobs_of(1), 2, &cache);
+  const engine::RunReport merged = merge_shard_reports(
+      registry,
+      {make_shard_report(plan, shards, 0, resumed.results),
+       make_shard_report(plan, shards, 1, other.results)});
+  EXPECT_EQ(merged.to_json(false).dump(2), reference);
+}
+
+TEST(MergeTest, CacheHitsSkipExecution) {
+  const TempDir dir;
+  const ResultCache cache(dir.path());
+  std::atomic<int> executions{0};
+  engine::ScenarioRegistry registry;
+  registry.add(std::make_unique<CountingScenario>(&executions));
+  engine::BatchRequest request;
+  request.scenario_names = {"counting"};
+  request.config.reps = 2;
+  const engine::BatchPlan plan = plan_batch(registry, request);
+  std::vector<Index> all;
+  for (Index j = 0; j < static_cast<Index>(plan.jobs.size()); ++j) {
+    all.push_back(j);
+  }
+
+  const RunJobsOutcome cold = run_jobs(plan, all, 1, &cache);
+  EXPECT_EQ(executions.load(), static_cast<int>(plan.jobs.size()));
+  const RunJobsOutcome warm = run_jobs(plan, all, 1, &cache);
+  EXPECT_EQ(executions.load(), static_cast<int>(plan.jobs.size()))
+      << "cache hits must not re-execute jobs";
+  EXPECT_EQ(warm.executed, 0);
+  ASSERT_EQ(warm.results.size(), cold.results.size());
+  for (std::size_t i = 0; i < cold.results.size(); ++i) {
+    ASSERT_EQ(warm.results[i].metrics.size(),
+              cold.results[i].metrics.size());
+    EXPECT_EQ(Json(warm.results[i].metrics[0].value).dump(),
+              Json(cold.results[i].metrics[0].value).dump());
+  }
+}
+
+TEST(MergeTest, IncompleteDuplicateAndForeignShardsAreRejected) {
+  engine::ScenarioRegistry registry;
+  engine::register_builtin_scenarios(registry);
+  const engine::BatchRequest request = small_request();
+  const engine::BatchPlan plan = plan_batch(registry, request);
+  const ShardPlan shards = ShardPlan::build(plan, 2);
+  std::vector<ShardRunReport> reports;
+  for (Index s = 0; s < 2; ++s) {
+    const RunJobsOutcome outcome =
+        run_jobs(plan, shards.jobs_of(s), 2, nullptr);
+    reports.push_back(make_shard_report(plan, shards, s, outcome.results));
+  }
+
+  // Missing shard.
+  EXPECT_THROW((void)merge_shard_reports(registry, {reports[0]}),
+               std::invalid_argument);
+  // Duplicated shard (every one of its jobs appears twice).
+  EXPECT_THROW((void)merge_shard_reports(
+                   registry, {reports[0], reports[0], reports[1]}),
+               std::invalid_argument);
+  // Foreign shard: same shape, different seed — fingerprints differ.
+  engine::BatchRequest reseeded_request = request;
+  reseeded_request.config.seed = 12;
+  const engine::BatchPlan reseeded =
+      plan_batch(registry, reseeded_request);
+  const RunJobsOutcome foreign =
+      run_jobs(reseeded, ShardPlan::build(reseeded, 2).jobs_of(0), 2,
+               nullptr);
+  EXPECT_THROW(
+      (void)merge_shard_reports(
+          registry,
+          {reports[0],
+           make_shard_report(reseeded, ShardPlan::build(reseeded, 2), 0,
+                             foreign.results)}),
+      std::invalid_argument);
+  // Empty input.
+  EXPECT_THROW((void)merge_shard_reports(registry, {}),
+               std::invalid_argument);
+  // A registry that cannot reproduce the echoed config (scenario
+  // missing) is registry/code drift, also a hard error.
+  const engine::ScenarioRegistry empty_registry;
+  EXPECT_THROW((void)merge_shard_reports(empty_registry, reports),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace npd::shard

@@ -1,12 +1,15 @@
-// Tests for the dependency-free JSON writer: escaping, number
+// Tests for the dependency-free JSON writer and parser: escaping, number
 // formatting (round-trip doubles, integer form, non-finite handling),
-// insertion-ordered serialization and the read accessors the engine's
-// report consumers use.
+// insertion-ordered serialization, the read accessors the engine's
+// report consumers use, and the bit-exact parse → dump round trip the
+// shard subsystem's cache and merger rely on.
 
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <limits>
+#include <stdexcept>
 
 #include "util/assert.hpp"
 #include "util/json.hpp"
@@ -141,6 +144,121 @@ TEST(JsonAccessTest, TypeMismatchesAreContractViolations) {
   EXPECT_THROW((void)j.at("missing"), ContractViolation);
   EXPECT_THROW((void)Json(1).set("k", 2), ContractViolation);
   EXPECT_THROW((void)Json(1).push_back(2), ContractViolation);
+}
+
+// --------------------------------------------------------------- parsing
+
+TEST(JsonParseTest, ScalarsAndLiterals) {
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_TRUE(Json::parse("true").as_bool());
+  EXPECT_FALSE(Json::parse("false").as_bool());
+  EXPECT_EQ(Json::parse("42").as_int(), 42);
+  EXPECT_EQ(Json::parse("-7").as_int(), -7);
+  EXPECT_DOUBLE_EQ(Json::parse("1.5").as_double(), 1.5);
+  EXPECT_EQ(Json::parse("\"hi\"").as_string(), "hi");
+  EXPECT_EQ(Json::parse("  42  ").as_int(), 42);  // outer whitespace ok
+}
+
+TEST(JsonParseTest, DocumentsPreserveStructureAndOrder) {
+  const Json j =
+      Json::parse("{\"z\": 1, \"a\": [true, null, \"x\"], \"m\": {}}");
+  ASSERT_TRUE(j.is_object());
+  EXPECT_EQ(j.size(), 3u);
+  EXPECT_EQ(j.key_at(0), "z");  // insertion (= document) order kept
+  EXPECT_EQ(j.key_at(1), "a");
+  EXPECT_EQ(j.key_at(2), "m");
+  EXPECT_EQ(j.at("a").size(), 3u);
+  EXPECT_TRUE(j.at("a").at(1).is_null());
+  EXPECT_EQ(j.at("m").size(), 0u);
+}
+
+TEST(JsonParseTest, StringEscapes) {
+  EXPECT_EQ(Json::parse("\"a\\nb\\tc\\\"d\\\\e\\/f\"").as_string(),
+            "a\nb\tc\"d\\e/f");
+  EXPECT_EQ(Json::parse("\"\\u0041\"").as_string(), "A");
+  EXPECT_EQ(Json::parse("\"\\u03bb\"").as_string(), "λ");
+  // Surrogate pair: U+1D11E (musical G clef), 4 UTF-8 bytes.
+  const std::string clef = Json::parse("\"\\uD834\\uDD1E\"").as_string();
+  EXPECT_EQ(clef.size(), 4u);
+  EXPECT_EQ(Json(clef).dump(), "\"" + clef + "\"");  // survives re-dump
+}
+
+TEST(JsonParseTest, DumpParseDumpIsIdentity) {
+  // The property the shard pipeline rests on: reloading a report and
+  // re-serializing it reproduces the original bytes.
+  Json j = Json::object();
+  Json cells = Json::array();
+  cells.push_back(Json::object()
+                      .set("n", 1000)
+                      .set("mean", 94.5)
+                      .set("stddev", 1.0 / 3.0)
+                      .set("label", "z(p=0.1)\n\"quoted\""));
+  j.set("schema", "npd.test/1")
+      .set("seed", std::int64_t{9223372036854775807LL})
+      .set("cells", std::move(cells))
+      .set("empty", Json::array())
+      .set("nothing", Json());
+  for (const int indent : {-1, 2}) {
+    const std::string bytes = j.dump(indent);
+    EXPECT_EQ(Json::parse(bytes).dump(indent), bytes);
+  }
+}
+
+TEST(JsonParseTest, DoublesReloadBitExactly) {
+  // Stronger than max_digits10 text round-trips: the reloaded double is
+  // the same bit pattern, for denormals, extremes and -0.0 included.
+  const double cases[] = {0.1,
+                          1.0 / 3.0,
+                          94.5,
+                          6.02214076e23,
+                          -0.0,
+                          5e-324,                   // smallest denormal
+                          2.2250738585072014e-308,  // smallest normal
+                          1.7976931348623157e308,   // largest finite
+                          123456789012345680.0,     // fixed-notation, > 2^53
+                          12345678901234567000.0};  // fixed-notation, > int64
+  for (const double x : cases) {
+    const std::string text = Json(x).dump();
+    const double reloaded = Json::parse(text).as_double();
+    EXPECT_EQ(std::memcmp(&reloaded, &x, sizeof x), 0)
+        << text << " reloaded as " << reloaded;
+    // Byte-level identity of the re-dump, not just value identity.
+    EXPECT_EQ(Json(reloaded).dump(), text);
+  }
+}
+
+TEST(JsonParseTest, IntegerLookingTokensBecomeInts) {
+  EXPECT_EQ(Json::parse("94").type(), Json::Type::Int);
+  EXPECT_EQ(Json::parse("1e2").type(), Json::Type::Double);
+  EXPECT_EQ(Json::parse("1.0").type(), Json::Type::Double);
+  // -0 keeps its sign through the double path and re-dumps as written.
+  const Json minus_zero = Json::parse("-0");
+  EXPECT_EQ(minus_zero.type(), Json::Type::Double);
+  EXPECT_TRUE(std::signbit(minus_zero.as_double()));
+  EXPECT_EQ(minus_zero.dump(), "-0");
+  // int64 overflow falls back to the exact double path.
+  EXPECT_EQ(Json::parse("12345678901234567000").type(), Json::Type::Double);
+}
+
+TEST(JsonParseTest, NestingDepthIsBoundedNotStackBound) {
+  // Reasonable nesting parses...
+  std::string ok = std::string(100, '[') + "1" + std::string(100, ']');
+  EXPECT_EQ(Json::parse(ok).dump(), ok);
+  // ...pathological nesting (e.g. a corrupted cache blob) is a clean
+  // error, not a stack overflow.
+  EXPECT_THROW((void)Json::parse(std::string(100000, '[')),
+               std::invalid_argument);
+}
+
+TEST(JsonParseTest, MalformedInputThrows) {
+  for (const char* bad :
+       {"", "   ", "{", "[1,", "{\"a\":}", "{\"a\" 1}", "tru", "nul",
+        "\"unterminated", "\"bad \\x escape\"", "\"\\uD834\"", "01x", "-",
+        "1.2.3", "[1] trailing", "{\"a\":1,}", "\"\t\"", "1e999",
+        // RFC 8259 number grammar is enforced strictly:
+        "007", "-01", ".5", "1.", "1e", "1e+", "[-]"}) {
+    EXPECT_THROW((void)Json::parse(bad), std::invalid_argument) << bad;
+  }
 }
 
 }  // namespace

@@ -1,0 +1,168 @@
+// npd_merge — fold partial shard reports (npd.run_report_shard/1, the
+// output of `npd_run --shard i/N`) back into one full run report
+// (npd.run_report/1), byte-identical to the report the single-process
+// `npd_run` writes for the same request.
+//
+//   npd_run --scenarios fixed_m --shard 1/3 --out shard1.json   # host 1
+//   npd_run --scenarios fixed_m --shard 2/3 --out shard2.json   # host 2
+//   npd_run --scenarios fixed_m --shard 3/3 --out shard3.json   # host 3
+//   npd_merge --inputs shard1.json,shard2.json,shard3.json --out full.json
+//
+// The merger re-plans the batch from the reports' config echo on the
+// built-in scenario registry, verifies the batch fingerprint and every
+// job's (cell, rep, seed) echo, requires every job to be covered exactly
+// once, and re-runs the deterministic aggregation over the complete
+// result set.  Reports produced by cache-resumed reruns merge the same
+// way (cache replay does not change any metric byte).
+
+#include <algorithm>
+#include <cstdio>
+#include <exception>
+#include <filesystem>
+#include <set>
+#include <string>
+#include <system_error>
+#include <utility>
+#include <vector>
+
+#include "engine/builtin_scenarios.hpp"
+#include "engine/engine.hpp"
+#include "shard/merge.hpp"
+#include "shard/shard_report.hpp"
+#include "tool_common.hpp"
+#include "util/cli.hpp"
+#include "util/parse.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace npd;
+
+int run(int argc, char** argv) {
+  CliParser cli("npd_merge",
+                "Merge npd_run --shard partial reports into one full run "
+                "report, byte-identical to the single-process run.");
+  const std::string& inputs_arg = cli.add_string(
+      "inputs", "", "comma-separated shard report paths");
+  const std::string& dir_arg = cli.add_string(
+      "dir", "",
+      "merge every *.json in this directory (sorted by name; combines "
+      "with --inputs)");
+  const std::string& out_path = cli.add_string(
+      "out", "npd_merge_report.json",
+      "merged report path ('-' or empty string streams the JSON to "
+      "stdout)");
+  const bool& no_perf = cli.add_flag(
+      "no-perf",
+      "omit wall-clock/throughput stamps (byte-reproducible report, "
+      "comparable to npd_run --no-perf output)");
+  cli.parse(argc, argv);
+
+  // Explicit --inputs are strict (any unreadable/non-shard file is a
+  // hard error); --dir discovery is forgiving about *other* JSON files
+  // that legitimately live next to shard reports — e.g. a previously
+  // merged full report — and skips them with a warning.
+  struct Input {
+    std::string path;
+    bool discovered;  ///< came from --dir, not named explicitly
+  };
+  // Dedup by canonical path: a report named by --inputs *and* found by
+  // --dir must be read once, not rejected later as a duplicated job set.
+  std::set<std::string> taken;
+  const auto canonical = [](const std::string& path) {
+    std::error_code ec;
+    const std::filesystem::path resolved =
+        std::filesystem::weakly_canonical(path, ec);
+    return ec ? path : resolved.string();
+  };
+  std::vector<Input> inputs;
+  for (std::string& path : split_list(inputs_arg, ',')) {
+    if (taken.insert(canonical(path)).second) {
+      inputs.push_back(Input{std::move(path), false});
+    }
+  }
+  if (!dir_arg.empty()) {
+    std::vector<std::string> found;
+    for (const auto& entry : std::filesystem::directory_iterator(dir_arg)) {
+      if (entry.is_regular_file() && entry.path().extension() == ".json") {
+        found.push_back(entry.path().string());
+      }
+    }
+    std::sort(found.begin(), found.end());
+    for (std::string& path : found) {
+      if (taken.insert(canonical(path)).second) {
+        inputs.push_back(Input{std::move(path), true});
+      }
+    }
+  }
+  if (inputs.empty()) {
+    std::fprintf(stderr,
+                 "npd_merge: no inputs (pass --inputs a.json,b.json,... "
+                 "and/or --dir DIR)\n");
+    return 2;
+  }
+
+  const Timer timer;
+  std::vector<shard::ShardRunReport> reports;
+  reports.reserve(inputs.size());
+  for (const Input& input : inputs) {
+    try {
+      Json document = Json::parse(tools::read_file(input.path));
+      const Json* schema = document.find("schema");
+      if (input.discovered &&
+          (schema == nullptr || !schema->is_string() ||
+           schema->as_string() != "npd.run_report_shard/1")) {
+        std::fprintf(stderr, "npd_merge: skipping %s (not a shard report)\n",
+                     input.path.c_str());
+        continue;
+      }
+      reports.push_back(shard::shard_report_from_json(document));
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "npd_merge: %s: %s\n", input.path.c_str(),
+                   error.what());
+      return 2;
+    }
+  }
+
+  engine::ScenarioRegistry registry;
+  engine::register_builtin_scenarios(registry);
+  engine::RunReport report = shard::merge_shard_reports(registry, reports);
+  engine::stamp_perf(report, timer.elapsed_seconds());
+
+  const std::string json = report.to_json(!no_perf).dump(2);
+  const bool to_stdout = tools::writes_to_stdout(out_path);
+  if (!tools::write_output(json, out_path)) {
+    return 1;
+  }
+
+  FILE* summary = tools::summary_stream(out_path);
+  ConsoleTable table({"scenario", "jobs", "cells"});
+  for (const engine::ScenarioRunReport& scenario : report.scenarios) {
+    const Json* cells = scenario.aggregates.find("cells");
+    table.add_row({scenario.name, std::to_string(scenario.jobs),
+                   std::to_string(cells != nullptr ? cells->size() : 0)});
+  }
+  std::fputs(table.render().c_str(), summary);
+  std::fprintf(summary,
+               "\nmerged %lld shard report%s covering %lld jobs\n",
+               static_cast<long long>(reports.size()),
+               reports.size() == 1 ? "" : "s",
+               static_cast<long long>(report.total_jobs));
+  if (!to_stdout) {
+    std::fprintf(summary, "[merged report written to %s]\n",
+                 out_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "npd_merge: %s\n", error.what());
+    return 2;
+  }
+}

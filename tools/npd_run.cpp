@@ -8,49 +8,42 @@
 //   npd_run --scenarios fig5,abl7 --reps 2 --threads 4 --seed 42
 //           --params fig5.max_n=1000,abl7.max_n=500 --out report.json
 //
+// Sharded execution (src/shard): `--shard i/N` plans the identical batch
+// on every host, executes only the i-th LPT-balanced shard, and writes a
+// partial report (schema npd.run_report_shard/1) that tools/npd_merge
+// folds back into the full report — byte-identical to the single-process
+// run.  `--cache DIR` replays finished jobs from a content-addressed
+// result cache (and stores fresh ones), so crashed or re-run sweeps skip
+// completed work.  `--dry-run` prints the planned job/shard assignment
+// without executing anything.
+//
 // Per-scenario aggregates are bit-identical for every --threads value;
 // only the perf stamps (wall clock, jobs/sec) vary.  --no-perf omits
 // them, making the whole report byte-reproducible.
 
+#include <algorithm>
 #include <cstdio>
 #include <exception>
-#include <fstream>
+#include <optional>
 #include <string>
-#include <string_view>
 #include <vector>
 
 #include "engine/builtin_scenarios.hpp"
 #include "engine/engine.hpp"
+#include "shard/result_cache.hpp"
+#include "shard/runner.hpp"
+#include "shard/shard_plan.hpp"
+#include "shard/shard_report.hpp"
 #include "solve/reconstructor.hpp"
+#include "tool_common.hpp"
 #include "util/cli.hpp"
+#include "util/parse.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
 namespace {
 
 using namespace npd;
-
-std::vector<std::string> split(std::string_view text, char sep) {
-  std::vector<std::string> parts;
-  while (!text.empty()) {
-    const std::size_t pos = text.find(sep);
-    std::string_view part = text.substr(0, pos);
-    while (!part.empty() && part.front() == ' ') {
-      part.remove_prefix(1);
-    }
-    while (!part.empty() && part.back() == ' ') {
-      part.remove_suffix(1);
-    }
-    if (!part.empty()) {
-      parts.emplace_back(part);
-    }
-    if (pos == std::string_view::npos) {
-      break;
-    }
-    text.remove_prefix(pos + 1);
-  }
-  return parts;
-}
 
 /// Parse one "scenario.key=value" override.
 engine::ParamOverride parse_override(const std::string& entry) {
@@ -64,6 +57,30 @@ engine::ParamOverride parse_override(const std::string& entry) {
   return engine::ParamOverride{entry.substr(0, dot),
                                entry.substr(dot + 1, eq - dot - 1),
                                entry.substr(eq + 1)};
+}
+
+/// Parse "--shard i/N" (1-based i).  Returns the 0-based shard index and
+/// the shard count.
+struct ShardSpec {
+  Index index = 0;  ///< 0-based
+  Index count = 1;
+};
+
+ShardSpec parse_shard_spec(const std::string& text) {
+  const std::size_t slash = text.find('/');
+  if (slash == std::string::npos) {
+    throw std::invalid_argument("malformed --shard '" + text +
+                                "' (expected i/N, e.g. 2/3)");
+  }
+  const long long i =
+      parse_int_value("--shard index", text.substr(0, slash));
+  const long long n =
+      parse_int_value("--shard count", text.substr(slash + 1));
+  if (n < 1 || i < 1 || i > n) {
+    throw std::invalid_argument("--shard '" + text +
+                                "': need 1 <= i <= N");
+  }
+  return ShardSpec{static_cast<Index>(i - 1), static_cast<Index>(n)};
 }
 
 void print_param_specs(const std::string& owner,
@@ -102,6 +119,53 @@ void print_solver_list() {
       "--params <scenario>.solver_params=key=value[;key=value...].\n");
 }
 
+/// `--dry-run`: the planned job set and its shard assignment, without
+/// executing anything.
+void print_dry_run(const engine::BatchPlan& plan,
+                   const shard::ShardPlan& shards, const ShardSpec& spec,
+                   bool sharded) {
+  std::printf("Planned batch (fingerprint %s):\n\n",
+              shard::content_hash(plan.fingerprint()).c_str());
+  ConsoleTable scenario_table({"scenario", "jobs", "cells", "cost"});
+  for (const engine::PlannedScenario& s : plan.scenarios) {
+    Index cells = 0;
+    Index cost = 0;
+    for (Index j = s.first_job; j < s.first_job + s.job_count; ++j) {
+      const engine::Job& job = plan.jobs[static_cast<std::size_t>(j)];
+      cells = std::max(cells, job.cell + 1);
+      cost += job.cost_hint;
+    }
+    scenario_table.add_row({s.scenario->name(), std::to_string(s.job_count),
+                            std::to_string(cells), std::to_string(cost)});
+  }
+  std::fputs(scenario_table.render().c_str(), stdout);
+
+  std::printf("\nShard assignment (LPT over cost hints, %lld shard%s):\n\n",
+              static_cast<long long>(shards.shard_count()),
+              shards.shard_count() == 1 ? "" : "s");
+  // Rendered from the plan's own balance summary so the table and any
+  // machine consumer of to_json() can never disagree.
+  const Json balance = shards.to_json();
+  const Json& entries = balance.at("shards");
+  ConsoleTable shard_table({"shard", "jobs", "load", "share", ""});
+  for (std::size_t s = 0; s < entries.size(); ++s) {
+    const Json& entry = entries.at(s);
+    char share[32];
+    std::snprintf(share, sizeof(share), "%.1f%%",
+                  100.0 * entry.at("load_share").as_double());
+    shard_table.add_row(
+        {std::to_string(entry.at("shard").as_int() + 1) + "/" +
+             std::to_string(shards.shard_count()),
+         std::to_string(entry.at("jobs").as_int()),
+         std::to_string(entry.at("load").as_int()), share,
+         sharded && static_cast<Index>(s) == spec.index ? "<- this shard"
+                                                        : ""});
+  }
+  std::fputs(shard_table.render().c_str(), stdout);
+  std::printf("\n%lld jobs planned; nothing executed (--dry-run).\n",
+              static_cast<long long>(plan.jobs.size()));
+}
+
 int run(int argc, char** argv) {
   CliParser cli("npd_run",
                 "Unified batch experiment driver: runs registered "
@@ -131,6 +195,17 @@ int run(int argc, char** argv) {
   const bool& no_perf = cli.add_flag(
       "no-perf",
       "omit wall-clock/throughput stamps (byte-reproducible report)");
+  const std::string& shard_arg = cli.add_string(
+      "shard", "",
+      "run one shard of the batch: i/N (1-based), e.g. 2/3; writes a "
+      "partial report for tools/npd_merge");
+  const std::string& cache_dir = cli.add_string(
+      "cache", "",
+      "content-addressed result cache directory: replay finished jobs, "
+      "store fresh ones (created if absent)");
+  const bool& dry_run = cli.add_flag(
+      "dry-run",
+      "print the planned job/shard assignment and exit without executing");
   cli.parse(argc, argv);
 
   engine::ScenarioRegistry registry;
@@ -151,37 +226,86 @@ int run(int argc, char** argv) {
       request.scenario_names.push_back(scenario->name());
     }
   } else {
-    request.scenario_names = split(scenarios_arg, ',');
+    request.scenario_names = split_list(scenarios_arg, ',');
   }
   request.config.seed = static_cast<std::uint64_t>(seed);
   request.config.reps = static_cast<Index>(reps);
   request.config.threads = static_cast<Index>(threads);
-  for (const std::string& entry : split(params_arg, ',')) {
+  for (const std::string& entry : split_list(params_arg, ',')) {
     request.overrides.push_back(parse_override(entry));
   }
 
-  const engine::RunReport report = engine::run_batch(registry, request);
-  const std::string json = report.to_json(!no_perf).dump(2);
+  const bool sharded = !shard_arg.empty();
+  const ShardSpec spec =
+      sharded ? parse_shard_spec(shard_arg) : ShardSpec{};
 
-  // "-" is the conventional stdout spelling; the historical "" spelling
-  // keeps working.
-  const bool to_stdout = out_path.empty() || out_path == "-";
-  if (to_stdout) {
-    std::printf("%s\n", json.c_str());
-  } else {
-    std::ofstream out(out_path);
-    if (!out) {
-      std::fprintf(stderr, "error: cannot open '%s' for writing\n",
-                   out_path.c_str());
-      return 1;
-    }
-    out << json << '\n';
+  const Timer timer;
+  const engine::BatchPlan plan = engine::plan_batch(registry, request);
+  const shard::ShardPlan shards = shard::ShardPlan::build(plan, spec.count);
+
+  if (dry_run) {
+    print_dry_run(plan, shards, spec, sharded);
+    return 0;
   }
 
-  // When the JSON owns stdout (--out - or --out ""), the human-readable
-  // summary must not corrupt it (| python3 -m json.tool), so it moves to
-  // stderr.
-  FILE* summary = to_stdout ? stderr : stdout;
+  std::optional<shard::ResultCache> cache;
+  if (!cache_dir.empty()) {
+    cache.emplace(cache_dir);
+  }
+
+  // Execute this process's slice: the selected shard, or — unsharded —
+  // every job (through the same cache-aware path, so --cache works for
+  // plain runs too).
+  std::vector<Index> job_indices;
+  if (sharded) {
+    job_indices = shards.jobs_of(spec.index);
+  } else {
+    job_indices.reserve(plan.jobs.size());
+    for (Index j = 0; j < static_cast<Index>(plan.jobs.size()); ++j) {
+      job_indices.push_back(j);
+    }
+  }
+  const shard::RunJobsOutcome outcome = shard::run_jobs(
+      plan, job_indices, request.config.threads,
+      cache.has_value() ? &*cache : nullptr);
+
+  const bool to_stdout = tools::writes_to_stdout(out_path);
+  FILE* summary = tools::summary_stream(out_path);
+
+  if (sharded) {
+    const shard::ShardRunReport report =
+        shard::make_shard_report(plan, shards, spec.index, outcome.results);
+    const std::string json =
+        shard::shard_report_to_json(report, !no_perf).dump(2);
+    if (!tools::write_output(json, out_path)) {
+      return 1;
+    }
+    std::fprintf(summary,
+                 "shard %lld/%lld: %lld of %lld jobs (%lld cache hits, "
+                 "%lld executed) in %.2f s\n",
+                 static_cast<long long>(spec.index + 1),
+                 static_cast<long long>(spec.count),
+                 static_cast<long long>(outcome.results.size()),
+                 static_cast<long long>(plan.jobs.size()),
+                 static_cast<long long>(outcome.cache_hits),
+                 static_cast<long long>(outcome.executed),
+                 timer.elapsed_seconds());
+    if (!to_stdout) {
+      std::fprintf(summary, "[partial report written to %s — merge with "
+                            "npd_merge]\n",
+                   out_path.c_str());
+    }
+    return 0;
+  }
+
+  engine::RunReport report =
+      engine::build_report(plan, outcome.results, request.config.threads);
+  engine::stamp_perf(report, timer.elapsed_seconds());
+  const std::string json = report.to_json(!no_perf).dump(2);
+  if (!tools::write_output(json, out_path)) {
+    return 1;
+  }
+
   ConsoleTable table({"scenario", "jobs", "cells", "job seconds"});
   for (const engine::ScenarioRunReport& scenario : report.scenarios) {
     const Json* cells = scenario.aggregates.find("cells");
@@ -190,9 +314,14 @@ int run(int argc, char** argv) {
                    std::to_string(scenario.job_seconds)});
   }
   std::fputs(table.render().c_str(), summary);
-  std::fprintf(summary, "\n%lld jobs in %.2f s (%.1f jobs/sec)\n",
+  std::fprintf(summary, "\n%lld jobs in %.2f s (%.1f jobs/sec)",
                static_cast<long long>(report.total_jobs),
                report.wall_seconds, report.jobs_per_second);
+  if (cache.has_value()) {
+    std::fprintf(summary, ", %lld cache hits",
+                 static_cast<long long>(outcome.cache_hits));
+  }
+  std::fprintf(summary, "\n");
   if (!to_stdout) {
     std::fprintf(summary, "[report written to %s]\n", out_path.c_str());
   }

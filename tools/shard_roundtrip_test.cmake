@@ -1,0 +1,75 @@
+# CTest driver for the sharded-execution determinism contract:
+#
+#   1. run a small two-scenario batch single-process (--no-perf),
+#   2. run the same batch as 3 shards through a fresh result cache,
+#   3. npd_merge the partial reports and require the merged bytes to
+#      equal the single-process bytes,
+#   4. delete one shard report, reproduce it from the (now warm) cache
+#      alone, re-merge, and require byte identity again — the
+#      kill-and-resume story.
+#
+# Inputs: -DNPD_RUN=<npd_run> -DNPD_MERGE=<npd_merge> -DWORK_DIR=<dir>
+
+foreach(var NPD_RUN NPD_MERGE WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "missing -D${var}=...")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+set(BATCH_ARGS
+  --scenarios fixed_m,solver_sweep --reps 3 --seed 11 --threads 2
+  --params fixed_m.n=150,fixed_m.m_points=2,solver_sweep.n_lo=120,solver_sweep.n_hi=120
+  --no-perf)
+
+function(run_checked)
+  execute_process(COMMAND ${ARGN}
+    RESULT_VARIABLE result
+    OUTPUT_VARIABLE output
+    ERROR_VARIABLE output)
+  if(NOT result EQUAL 0)
+    message(FATAL_ERROR "command failed (${result}): ${ARGN}\n${output}")
+  endif()
+endfunction()
+
+function(require_identical a b what)
+  file(READ "${a}" bytes_a)
+  file(READ "${b}" bytes_b)
+  if(NOT bytes_a STREQUAL bytes_b)
+    message(FATAL_ERROR "${what}: '${a}' and '${b}' differ")
+  endif()
+  message(STATUS "${what}: byte-identical")
+endfunction()
+
+# 1. The single-process reference report.
+run_checked("${NPD_RUN}" ${BATCH_ARGS} --out "${WORK_DIR}/single.json")
+
+# 2. The same batch as 3 shards, all writing through one result cache.
+foreach(i RANGE 1 3)
+  run_checked("${NPD_RUN}" ${BATCH_ARGS} --shard ${i}/3
+    --cache "${WORK_DIR}/cache" --out "${WORK_DIR}/shard${i}.json")
+endforeach()
+
+# 3. Merge and compare against the single-process bytes.
+run_checked("${NPD_MERGE}"
+  --inputs "${WORK_DIR}/shard1.json,${WORK_DIR}/shard2.json,${WORK_DIR}/shard3.json"
+  --no-perf --out "${WORK_DIR}/merged.json")
+require_identical("${WORK_DIR}/merged.json" "${WORK_DIR}/single.json"
+  "3-shard merge vs single process")
+
+# 4. Kill-and-resume: lose one shard report, reproduce it purely from the
+#    cache, and merge again (this time via --dir).
+file(REMOVE "${WORK_DIR}/shard2.json")
+file(RENAME "${WORK_DIR}/merged.json" "${WORK_DIR}/merged_first.json")
+run_checked("${NPD_RUN}" ${BATCH_ARGS} --shard 2/3
+  --cache "${WORK_DIR}/cache" --out "${WORK_DIR}/shard2.json")
+file(MAKE_DIRECTORY "${WORK_DIR}/shards")
+foreach(i RANGE 1 3)
+  file(COPY "${WORK_DIR}/shard${i}.json" DESTINATION "${WORK_DIR}/shards")
+endforeach()
+run_checked("${NPD_MERGE}" --dir "${WORK_DIR}/shards"
+  --no-perf --out "${WORK_DIR}/merged_resumed.json")
+require_identical("${WORK_DIR}/merged_resumed.json" "${WORK_DIR}/single.json"
+  "cache-resumed merge vs single process")

@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file tool_common.hpp
+/// The output conventions shared by the tool drivers (npd_run,
+/// npd_merge): a report path of "-" or "" streams the JSON to stdout —
+/// in which case the human-readable summary must move to stderr so
+/// `| python3 -m json.tool` keeps working.
+
+#include <cstdio>
+#include <fstream>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "util/file.hpp"
+
+namespace npd::tools {
+
+/// Slurp a whole file via util's shared reader.  Throws
+/// `std::runtime_error` when the file cannot be opened or the read
+/// fails partway (a truncated buffer must not be handed to a parser as
+/// if it were the document).
+[[nodiscard]] inline std::string read_file(const std::string& path) {
+  std::optional<std::string> text = try_read_file(path);
+  if (!text.has_value()) {
+    throw std::runtime_error("cannot read '" + path + "'");
+  }
+  return *std::move(text);
+}
+
+/// True when `out_path` selects stdout ("-" is the conventional
+/// spelling; the historical "" keeps working).
+[[nodiscard]] inline bool writes_to_stdout(const std::string& out_path) {
+  return out_path.empty() || out_path == "-";
+}
+
+/// Where the human-readable summary goes without corrupting the report.
+[[nodiscard]] inline FILE* summary_stream(const std::string& out_path) {
+  return writes_to_stdout(out_path) ? stderr : stdout;
+}
+
+/// Write `json` to `out_path` (stdout per `writes_to_stdout`).  Returns
+/// false — after printing an error — when the file cannot be opened.
+[[nodiscard]] inline bool write_output(const std::string& json,
+                                       const std::string& out_path) {
+  if (writes_to_stdout(out_path)) {
+    std::printf("%s\n", json.c_str());
+    return true;
+  }
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot open '%s' for writing\n",
+                 out_path.c_str());
+    return false;
+  }
+  out << json << '\n';
+  return true;
+}
+
+}  // namespace npd::tools
