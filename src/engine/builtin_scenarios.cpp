@@ -7,8 +7,11 @@
 #include <utility>
 
 #include "amp/amp.hpp"
+#include "amp/state_evolution.hpp"
 #include "core/evaluation.hpp"
+#include "core/greedy.hpp"
 #include "core/instance.hpp"
+#include "core/scores.hpp"
 #include "core/theory.hpp"
 #include "harness/required_queries.hpp"
 #include "harness/sweeps.hpp"
@@ -16,6 +19,7 @@
 #include "netsim/distributed_greedy.hpp"
 #include "noise/channel.hpp"
 #include "pooling/ground_truth.hpp"
+#include "pooling/pooling_graph.hpp"
 #include "pooling/query_design.hpp"
 #include "solve/channel_spec.hpp"
 #include "solve/reconstructor.hpp"
@@ -1001,10 +1005,726 @@ class Fig3Scenario final : public Scenario {
   }
 };
 
+// ------------------------------------------------------------------ abl1
+
+/// Ablation A1 pool-size sweep.  One cell per pool fraction Γ/n of the
+/// legacy roster {.05, .1, .25, .5, .75, .9}; per fraction the seed
+/// streams are byte-for-byte the legacy `abl1_query_size` bench's: a
+/// single-point `required_queries_sweep` rooted at
+/// `Rng(seed + uint64(fraction·1000))`, rep streams `root.derive(rep)`.
+class Abl1Scenario final : public Scenario {
+ public:
+  std::string name() const override { return "abl1"; }
+
+  std::string description() const override {
+    return "required queries vs pool fraction Gamma/n, Z-channel, "
+           "with-replacement design (Ablation A1)";
+  }
+
+  std::vector<ParamSpec> params() const override {
+    return {
+        {"n", ParamSpec::Kind::Int, "1000", "number of agents"},
+        {"p", ParamSpec::Kind::Double, "0.1", "Z-channel flip probability"},
+        {"theta", ParamSpec::Kind::Double, "0.25",
+         "sublinear regime exponent (k = n^theta)"},
+    };
+  }
+
+  std::vector<Job> make_jobs(const EngineConfig& config,
+                             const ScenarioParams& params) const override {
+    const auto n = static_cast<Index>(params.get_int("n"));
+    const double p = params.get_double("p");
+    const double theta = params.get_double("theta");
+    require_param(n >= 2, "abl1", "n >= 2");
+    require_param(p >= 0.0 && p < 1.0, "abl1", "p in [0, 1)");
+    require_param(theta > 0.0 && theta < 1.0, "abl1", "theta in (0, 1)");
+    const Index k = pooling::sublinear_k(n, theta);
+    const std::vector<double> fractions = fraction_roster();
+
+    std::vector<Job> jobs;
+    jobs.reserve(fractions.size() * static_cast<std::size_t>(config.reps));
+    for (std::size_t fi = 0; fi < fractions.size(); ++fi) {
+      const double fraction = fractions[fi];
+      // Legacy derivation: one single-point sweep per fraction, rooted
+      // at seed + uint64(fraction * 1000).
+      const rand::Rng root(config.seed +
+                           static_cast<std::uint64_t>(fraction * 1000.0));
+      for (Index rep = 0; rep < config.reps; ++rep) {
+        Job job;
+        job.cell = static_cast<Index>(fi);
+        job.rep = rep;
+        job.seed = root.derive(static_cast<std::uint64_t>(rep)).seed();
+        job.cost_hint = n;
+        job.run = [n, k, p, fraction](rand::Rng& rng) -> Metrics {
+          const auto channel = noise::make_z_channel(p);
+          const auto result = harness::required_queries(
+              n, k,
+              pooling::fractional_design(
+                  n, fraction, pooling::SamplingMode::WithReplacement),
+              *channel, rng);
+          return {{"m", static_cast<double>(result.m)},
+                  {"reached", result.reached ? 1.0 : 0.0}};
+        };
+        jobs.push_back(std::move(job));
+      }
+    }
+    return jobs;
+  }
+
+  Json aggregate(const std::vector<JobResult>& results,
+                 const ScenarioParams& params) const override {
+    const auto n = static_cast<Index>(params.get_int("n"));
+    const std::vector<double> fractions = fraction_roster();
+    return aggregate_cells(results, [&](Index cell) {
+      const double fraction = fractions[static_cast<std::size_t>(cell)];
+      Json meta = Json::object();
+      meta.set("fraction", fraction)
+          .set("gamma", fraction * static_cast<double>(n));
+      return meta;
+    });
+  }
+
+ private:
+  static std::vector<double> fraction_roster() {
+    return {0.05, 0.1, 0.25, 0.5, 0.75, 0.9};
+  }
+};
+
+// ------------------------------------------------------------------ abl2
+
+/// Ablation A2 sampling-discipline comparison: greedy success at equal m
+/// for the paper's with-replacement design, the without-replacement and
+/// Bernoulli variants, and a constant-column-weight design.  One series
+/// per design; seed derivations replicate the legacy `abl2_replacement`
+/// bench exactly (per-series `success_sweep` roots seed/+1/+3, and the
+/// ccw series' hand-rolled `Rng(seed + 2 + mi·131).derive(rep)` loop).
+class Abl2Scenario final : public Scenario {
+ public:
+  std::string name() const override { return "abl2"; }
+
+  std::string description() const override {
+    return "greedy success vs m for four query designs: with/without "
+           "replacement, Bernoulli, constant column weight (Ablation A2)";
+  }
+
+  std::vector<ParamSpec> params() const override {
+    return {
+        {"n", ParamSpec::Kind::Int, "1000", "number of agents"},
+        {"p", ParamSpec::Kind::Double, "0.1", "Z-channel flip probability"},
+        {"theta", ParamSpec::Kind::Double, "0.25",
+         "sublinear regime exponent (k = n^theta)"},
+        {"m_step", ParamSpec::Kind::Int, "50", "grid step in m"},
+        {"m_max", ParamSpec::Kind::Int, "400", "largest m"},
+    };
+  }
+
+  std::vector<Job> make_jobs(const EngineConfig& config,
+                             const ScenarioParams& params) const override {
+    const auto n = static_cast<Index>(params.get_int("n"));
+    const double p = params.get_double("p");
+    const double theta = params.get_double("theta");
+    require_param(n >= 2, "abl2", "n >= 2");
+    require_param(p >= 0.0 && p < 1.0, "abl2", "p in [0, 1)");
+    require_param(theta > 0.0 && theta < 1.0, "abl2", "theta in (0, 1)");
+    const Index k = pooling::sublinear_k(n, theta);
+    const std::vector<Index> ms = m_grid(params);
+
+    std::vector<Job> jobs;
+    jobs.reserve(4 * ms.size() * static_cast<std::size_t>(config.reps));
+
+    // Series 0-2 follow the legacy success_sweep derivation (root per
+    // series, stream root.derive(mi*100'000 + rep)); the designs are
+    // fixed-size, so one QueryDesign per series is shared by its jobs.
+    struct SweepSeries {
+      std::uint64_t salt;
+      pooling::QueryDesign design;
+    };
+    const std::vector<SweepSeries> series{
+        {0, pooling::paper_design(n)},
+        {1, pooling::fractional_design(
+                n, 0.5, pooling::SamplingMode::WithoutReplacement)},
+        {3, pooling::fractional_design(n, 0.5,
+                                       pooling::SamplingMode::Bernoulli)},
+    };
+    for (std::size_t si = 0; si < series.size(); ++si) {
+      const rand::Rng root(config.seed + series[si].salt);
+      for (std::size_t mi = 0; mi < ms.size(); ++mi) {
+        const Index m = ms[mi];
+        for (Index rep = 0; rep < config.reps; ++rep) {
+          Job job;
+          job.cell = static_cast<Index>(si * ms.size() + mi);
+          job.rep = rep;
+          job.seed =
+              root.derive(static_cast<std::uint64_t>(mi) * 100'000 +
+                          static_cast<std::uint64_t>(rep))
+                  .seed();
+          job.cost_hint = n;
+          job.run = [n, k, m, p,
+                     design = series[si].design](rand::Rng& rng) -> Metrics {
+            const auto channel = noise::make_z_channel(p);
+            const core::Instance instance =
+                core::make_instance(n, k, m, design, *channel, rng);
+            const auto result = core::greedy_reconstruct(instance);
+            return success_metrics(result.estimate, instance.truth);
+          };
+          jobs.push_back(std::move(job));
+        }
+      }
+    }
+
+    // Series 3: constant column weight, the legacy bench's hand-rolled
+    // loop — per m index the root is Rng(seed + 2 + mi*131), rep streams
+    // root.derive(rep), per-agent weight ~ gamma_constant()*m.
+    for (std::size_t mi = 0; mi < ms.size(); ++mi) {
+      const Index m = ms[mi];
+      const rand::Rng root(config.seed + 2 +
+                           static_cast<std::uint64_t>(mi) * 131);
+      const Index weight = std::max<Index>(
+          1, static_cast<Index>(core::theory::gamma_constant() *
+                                static_cast<double>(m)));
+      for (Index rep = 0; rep < config.reps; ++rep) {
+        Job job;
+        job.cell = static_cast<Index>(3 * ms.size() + mi);
+        job.rep = rep;
+        job.seed = root.derive(static_cast<std::uint64_t>(rep)).seed();
+        job.cost_hint = n;
+        job.run = [n, k, m, p, weight](rand::Rng& rng) -> Metrics {
+          const auto channel = noise::make_z_channel(p);
+          core::Instance instance;
+          instance.truth = pooling::make_ground_truth(n, k, rng);
+          instance.graph = pooling::make_constant_column_weight_graph(
+              n, m, std::min(weight, m), rng);
+          instance.results = core::measure_all(instance.graph,
+                                               instance.truth, *channel, rng);
+          const auto result = core::greedy_reconstruct(instance);
+          return success_metrics(result.estimate, instance.truth);
+        };
+        jobs.push_back(std::move(job));
+      }
+    }
+    return jobs;
+  }
+
+  Json aggregate(const std::vector<JobResult>& results,
+                 const ScenarioParams& params) const override {
+    const std::vector<Index> ms = m_grid(params);
+    return aggregate_cells(results, [&](Index cell) {
+      const auto mi = static_cast<std::size_t>(cell) % ms.size();
+      const auto si = static_cast<std::size_t>(cell) / ms.size();
+      Json meta = Json::object();
+      meta.set("m", ms[mi]).set("design", design_labels()[si]);
+      return meta;
+    });
+  }
+
+ private:
+  static Metrics success_metrics(const BitVector& estimate,
+                                 const pooling::GroundTruth& truth) {
+    return {{"success", core::exact_success(estimate, truth) ? 1.0 : 0.0},
+            {"overlap", core::overlap(estimate, truth)}};
+  }
+
+  static std::vector<std::string> design_labels() {
+    return {"with_replacement", "without_replacement", "bernoulli",
+            "constant_column_weight"};
+  }
+
+  static std::vector<Index> m_grid(const ScenarioParams& params) {
+    const auto m_step = static_cast<Index>(params.get_int("m_step"));
+    const auto m_max = static_cast<Index>(params.get_int("m_max"));
+    require_param(m_step >= 1 && m_max >= m_step, "abl2",
+                  "1 <= m_step <= m_max");
+    return harness::linear_grid(m_step, m_max, m_step);
+  }
+};
+
+// ------------------------------------------------------------------ abl3
+
+/// Ablation A3 score centering: raw Ψ vs the oblivious listing vs the
+/// analysis' channel-aware centering, all three evaluated **on the same
+/// instance** per repetition — one job per (m, rep) emitting six
+/// metrics.  Seed streams replicate the legacy `abl3_centering` bench:
+/// per m index the root is `Rng(seed + mi·17)`, rep streams
+/// `root.derive(rep)`.
+class Abl3Scenario final : public Scenario {
+ public:
+  std::string name() const override { return "abl3"; }
+
+  std::string description() const override {
+    return "score centering: raw Psi vs oblivious vs channel-aware on "
+           "the general (p, q) channel (Ablation A3)";
+  }
+
+  std::vector<ParamSpec> params() const override {
+    return {
+        {"n", ParamSpec::Kind::Int, "1000", "number of agents"},
+        {"p", ParamSpec::Kind::Double, "0.1", "false-negative rate"},
+        {"q", ParamSpec::Kind::Double, "0.05", "false-positive rate"},
+        {"theta", ParamSpec::Kind::Double, "0.25",
+         "sublinear regime exponent (k = n^theta)"},
+        {"m_step", ParamSpec::Kind::Int, "400", "grid step in m"},
+        {"m_max", ParamSpec::Kind::Int, "4000", "largest m"},
+    };
+  }
+
+  std::vector<Job> make_jobs(const EngineConfig& config,
+                             const ScenarioParams& params) const override {
+    const auto n = static_cast<Index>(params.get_int("n"));
+    const double p = params.get_double("p");
+    const double q = params.get_double("q");
+    const double theta = params.get_double("theta");
+    require_param(n >= 2, "abl3", "n >= 2");
+    require_param(p >= 0.0 && p < 1.0, "abl3", "p in [0, 1)");
+    require_param(q >= 0.0 && q < 1.0, "abl3", "q in [0, 1)");
+    require_param(p + q < 1.0, "abl3", "p + q < 1");
+    require_param(theta > 0.0 && theta < 1.0, "abl3", "theta in (0, 1)");
+    const Index k = pooling::sublinear_k(n, theta);
+    const std::vector<Index> ms = m_grid(params);
+
+    std::vector<Job> jobs;
+    jobs.reserve(ms.size() * static_cast<std::size_t>(config.reps));
+    for (std::size_t mi = 0; mi < ms.size(); ++mi) {
+      const Index m = ms[mi];
+      const rand::Rng root(config.seed +
+                           static_cast<std::uint64_t>(mi) * 17);
+      for (Index rep = 0; rep < config.reps; ++rep) {
+        Job job;
+        job.cell = static_cast<Index>(mi);
+        job.rep = rep;
+        job.seed = root.derive(static_cast<std::uint64_t>(rep)).seed();
+        job.cost_hint = n;
+        job.run = [n, k, m, p, q](rand::Rng& rng) -> Metrics {
+          const noise::BitFlipChannel channel(p, q);
+          const core::Centering aware_centering{.offset_per_slot = q,
+                                                .gain = 1.0 - p - q};
+          const core::Instance instance = core::make_instance(
+              n, k, m, pooling::paper_design(n), channel, rng);
+          const core::ScoreState oblivious_scores =
+              core::compute_scores(instance);
+          const core::ScoreState aware_scores =
+              core::compute_scores(instance, aware_centering);
+          const auto raw_est =
+              core::select_top_k(oblivious_scores.raw_psi(), k).estimate;
+          const auto oblivious_est =
+              core::select_top_k(oblivious_scores.centered_scores(), k)
+                  .estimate;
+          const auto aware_est =
+              core::select_top_k(aware_scores.centered_scores(), k).estimate;
+          const auto success = [&](const BitVector& est) {
+            return core::exact_success(est, instance.truth) ? 1.0 : 0.0;
+          };
+          const auto ovl = [&](const BitVector& est) {
+            return core::overlap(est, instance.truth);
+          };
+          return {{"raw_success", success(raw_est)},
+                  {"oblivious_success", success(oblivious_est)},
+                  {"aware_success", success(aware_est)},
+                  {"raw_overlap", ovl(raw_est)},
+                  {"oblivious_overlap", ovl(oblivious_est)},
+                  {"aware_overlap", ovl(aware_est)}};
+        };
+        jobs.push_back(std::move(job));
+      }
+    }
+    return jobs;
+  }
+
+  Json aggregate(const std::vector<JobResult>& results,
+                 const ScenarioParams& params) const override {
+    const std::vector<Index> ms = m_grid(params);
+    return aggregate_cells(results, [&](Index cell) {
+      Json meta = Json::object();
+      meta.set("m", ms[static_cast<std::size_t>(cell)]);
+      return meta;
+    });
+  }
+
+ private:
+  static std::vector<Index> m_grid(const ScenarioParams& params) {
+    const auto m_step = static_cast<Index>(params.get_int("m_step"));
+    const auto m_max = static_cast<Index>(params.get_int("m_max"));
+    require_param(m_step >= 1 && m_max >= m_step, "abl3",
+                  "1 <= m_step <= m_max");
+    return harness::linear_grid(m_step, m_max, m_step);
+  }
+};
+
+// ------------------------------------------------------------------ abl4
+
+/// Ablation A4 two-stage local correction: greedy vs two-stage vs AMP on
+/// one Z-channel success curve.  Every series shares the **same** sweep
+/// root `Rng(seed)` (the legacy `abl4_two_stage` bench reuses one base
+/// seed for all three `success_sweep`s), streams
+/// `root.derive(mi·100000 + rep)`; the algorithms come from the solver
+/// registry, pinned bit-identical to the legacy free functions.
+class Abl4Scenario final : public Scenario {
+ public:
+  std::string name() const override { return "abl4"; }
+
+  std::string description() const override {
+    return "greedy vs two-stage local correction vs AMP: success vs m on "
+           "the Z-channel (Ablation A4)";
+  }
+
+  std::vector<ParamSpec> params() const override {
+    return {
+        {"n", ParamSpec::Kind::Int, "1000", "number of agents"},
+        {"p", ParamSpec::Kind::Double, "0.3", "Z-channel flip probability"},
+        {"theta", ParamSpec::Kind::Double, "0.25",
+         "sublinear regime exponent (k = n^theta)"},
+        {"m_step", ParamSpec::Kind::Int, "50", "grid step in m"},
+        {"m_max", ParamSpec::Kind::Int, "500", "largest m"},
+        {"solvers", ParamSpec::Kind::String, "greedy;two_stage;amp",
+         "registered solver names, ';'-separated (one series each)"},
+    };
+  }
+
+  std::vector<Job> make_jobs(const EngineConfig& config,
+                             const ScenarioParams& params) const override {
+    const auto n = static_cast<Index>(params.get_int("n"));
+    const double p = params.get_double("p");
+    const double theta = params.get_double("theta");
+    require_param(n >= 2, "abl4", "n >= 2");
+    require_param(p >= 0.0 && p < 1.0, "abl4", "p in [0, 1)");
+    require_param(theta > 0.0 && theta < 1.0, "abl4", "theta in (0, 1)");
+    const Index k = pooling::sublinear_k(n, theta);
+    const pooling::QueryDesign design = pooling::paper_design(n);
+    const std::vector<Index> ms = m_grid(params);
+    const std::vector<std::string> names = solver_names(params);
+    std::vector<std::shared_ptr<const solve::Reconstructor>> solvers;
+    solvers.reserve(names.size());
+    for (const std::string& solver_name : names) {
+      solvers.push_back(solve::builtin_solvers().make(solver_name, ""));
+    }
+    // Legacy derivation: one shared root for every series.
+    const rand::Rng root(config.seed);
+
+    std::vector<Job> jobs;
+    jobs.reserve(names.size() * ms.size() *
+                 static_cast<std::size_t>(config.reps));
+    for (std::size_t si = 0; si < names.size(); ++si) {
+      const std::shared_ptr<const solve::Reconstructor> solver = solvers[si];
+      for (std::size_t mi = 0; mi < ms.size(); ++mi) {
+        const Index m = ms[mi];
+        for (Index rep = 0; rep < config.reps; ++rep) {
+          Job job;
+          job.cell = static_cast<Index>(si * ms.size() + mi);
+          job.rep = rep;
+          job.seed =
+              root.derive(static_cast<std::uint64_t>(mi) * 100'000 +
+                          static_cast<std::uint64_t>(rep))
+                  .seed();
+          job.cost_hint = n;
+          job.run = [n, k, m, p, design, solver](rand::Rng& rng) -> Metrics {
+            const auto channel = noise::make_z_channel(p);
+            const core::Instance instance =
+                core::make_instance(n, k, m, design, *channel, rng);
+            const solve::SolveResult result =
+                solver->solve(instance, *channel, rng);
+            return {{"success",
+                     core::exact_success(result.estimate, instance.truth)
+                         ? 1.0
+                         : 0.0},
+                    {"overlap",
+                     core::overlap(result.estimate, instance.truth)}};
+          };
+          jobs.push_back(std::move(job));
+        }
+      }
+    }
+    return jobs;
+  }
+
+  Json aggregate(const std::vector<JobResult>& results,
+                 const ScenarioParams& params) const override {
+    const std::vector<Index> ms = m_grid(params);
+    const std::vector<std::string> names = solver_names(params);
+    return aggregate_cells(results, [&](Index cell) {
+      const auto mi = static_cast<std::size_t>(cell) % ms.size();
+      const auto si = static_cast<std::size_t>(cell) / ms.size();
+      Json meta = Json::object();
+      meta.set("m", ms[mi]).set("solver", names[si]);
+      return meta;
+    });
+  }
+
+ private:
+  static std::vector<std::string> solver_names(
+      const ScenarioParams& params) {
+    std::vector<std::string> names =
+        split_list(params.get_string("solvers"), ';');
+    require_param(!names.empty(), "abl4",
+                  "at least one solver in 'solvers'");
+    return names;
+  }
+
+  static std::vector<Index> m_grid(const ScenarioParams& params) {
+    const auto m_step = static_cast<Index>(params.get_int("m_step"));
+    const auto m_max = static_cast<Index>(params.get_int("m_max"));
+    require_param(m_step >= 1 && m_max >= m_step, "abl4",
+                  "1 <= m_step <= m_max");
+    return harness::linear_grid(m_step, m_max, m_step);
+  }
+};
+
+// ------------------------------------------------------------------ abl5
+
+/// Ablation A5, the Theorem 2 phase transition: greedy success at fixed
+/// m (twice the noiseless bound) across the legacy λ roster — absolute
+/// levels, multiples of the critical scale √(m/ln n), and the failure
+/// regime λ² ∈ {m, 4m}.  Per λ the streams replicate the legacy
+/// `abl5_lambda_transition` bench: single-point `success_sweep` rooted
+/// at `Rng(seed + uint64(λ·97))`, rep streams `root.derive(rep)`.
+class Abl5Scenario final : public Scenario {
+ public:
+  std::string name() const override { return "abl5"; }
+
+  std::string description() const override {
+    return "Theorem 2 phase transition: greedy success vs query-noise "
+           "level lambda at fixed m (Ablation A5)";
+  }
+
+  std::vector<ParamSpec> params() const override {
+    return {
+        {"n", ParamSpec::Kind::Int, "1000", "number of agents"},
+        {"theta", ParamSpec::Kind::Double, "0.25",
+         "sublinear regime exponent (k = n^theta)"},
+    };
+  }
+
+  std::vector<Job> make_jobs(const EngineConfig& config,
+                             const ScenarioParams& params) const override {
+    const auto n = static_cast<Index>(params.get_int("n"));
+    const double theta = params.get_double("theta");
+    require_param(n >= 2, "abl5", "n >= 2");
+    require_param(theta > 0.0 && theta < 1.0, "abl5", "theta in (0, 1)");
+    const Index k = pooling::sublinear_k(n, theta);
+    const Index m = fixed_m(n, theta);
+    const std::vector<double> lambdas = lambda_roster(n, theta);
+
+    std::vector<Job> jobs;
+    jobs.reserve(lambdas.size() * static_cast<std::size_t>(config.reps));
+    for (std::size_t li = 0; li < lambdas.size(); ++li) {
+      const double lambda = lambdas[li];
+      const rand::Rng root(config.seed +
+                           static_cast<std::uint64_t>(lambda * 97.0));
+      for (Index rep = 0; rep < config.reps; ++rep) {
+        Job job;
+        job.cell = static_cast<Index>(li);
+        job.rep = rep;
+        job.seed = root.derive(static_cast<std::uint64_t>(rep)).seed();
+        job.cost_hint = n;
+        job.run = [n, k, m, lambda](rand::Rng& rng) -> Metrics {
+          const auto channel = lambda > 0.0
+                                   ? noise::make_gaussian_channel(lambda)
+                                   : noise::make_noiseless();
+          const core::Instance instance = core::make_instance(
+              n, k, m, pooling::paper_design(n), *channel, rng);
+          const auto result = core::greedy_reconstruct(instance);
+          return {{"success",
+                   core::exact_success(result.estimate, instance.truth)
+                       ? 1.0
+                       : 0.0},
+                  {"overlap",
+                   core::overlap(result.estimate, instance.truth)}};
+        };
+        jobs.push_back(std::move(job));
+      }
+    }
+    return jobs;
+  }
+
+  Json aggregate(const std::vector<JobResult>& results,
+                 const ScenarioParams& params) const override {
+    const auto n = static_cast<Index>(params.get_int("n"));
+    const double theta = params.get_double("theta");
+    const Index m = fixed_m(n, theta);
+    const std::vector<double> lambdas = lambda_roster(n, theta);
+    return aggregate_cells(results, [&](Index cell) {
+      const double lambda = lambdas[static_cast<std::size_t>(cell)];
+      Json meta = Json::object();
+      meta.set("lambda", lambda)
+          .set("m", m)
+          .set("ratio", lambda > 0.0
+                            ? core::theory::noisy_query_noise_ratio(
+                                  lambda, static_cast<double>(m), n)
+                            : 0.0);
+      return meta;
+    });
+  }
+
+ private:
+  /// Twice the noiseless Theorem 2 bound — comfortably achievable at
+  /// λ = 0, so the collapse is attributable to noise alone (legacy
+  /// bench constant, eps = 0.1).
+  static Index fixed_m(Index n, double theta) {
+    return static_cast<Index>(
+        std::ceil(2.0 * core::theory::noisy_query_sublinear(n, theta, 0.1)));
+  }
+
+  static std::vector<double> lambda_roster(Index n, double theta) {
+    const Index m = fixed_m(n, theta);
+    const double critical = std::sqrt(static_cast<double>(m) /
+                                      std::log(static_cast<double>(n)));
+    std::vector<double> lambdas{0.0, 1.0, 2.0, 4.0, 8.0};
+    lambdas.push_back(0.25 * critical);
+    lambdas.push_back(0.5 * critical);
+    lambdas.push_back(critical);
+    lambdas.push_back(2.0 * critical);
+    lambdas.push_back(std::sqrt(static_cast<double>(m)));        // λ² = m
+    lambdas.push_back(2.0 * std::sqrt(static_cast<double>(m)));  // λ² = 4m
+    return lambdas;
+  }
+};
+
+// ------------------------------------------------------------------ abl6
+
+/// Ablation A6 AMP configuration: the Bayes-optimal Bernoulli denoiser
+/// vs the soft-threshold (LASSO) denoiser vs damped Bayes iterations,
+/// all three on the **same instance** per repetition (the legacy
+/// `abl6_amp_denoiser` bench re-derives the identical rep stream per
+/// variant; the only randomness is instance creation).  Per m index the
+/// root is `Rng(seed + mi·71)`, rep streams `root.derive(rep)`.  The
+/// state-evolution fixed point of the Bayes denoiser is deterministic
+/// per cell and lands in the cell metadata as `se_tau2`.
+class Abl6Scenario final : public Scenario {
+ public:
+  std::string name() const override { return "abl6"; }
+
+  std::string description() const override {
+    return "AMP configuration: Bayes vs soft-threshold denoiser, "
+           "undamped vs damped, with the SE fixed point (Ablation A6)";
+  }
+
+  std::vector<ParamSpec> params() const override {
+    return {
+        {"n", ParamSpec::Kind::Int, "1000", "number of agents"},
+        {"p", ParamSpec::Kind::Double, "0.1", "Z-channel flip probability"},
+        {"theta", ParamSpec::Kind::Double, "0.25",
+         "sublinear regime exponent (k = n^theta)"},
+        {"m_step", ParamSpec::Kind::Int, "50", "grid step in m"},
+        {"m_max", ParamSpec::Kind::Int, "400", "largest m"},
+    };
+  }
+
+  std::vector<Job> make_jobs(const EngineConfig& config,
+                             const ScenarioParams& params) const override {
+    const auto n = static_cast<Index>(params.get_int("n"));
+    const double p = params.get_double("p");
+    const double theta = params.get_double("theta");
+    require_param(n >= 2, "abl6", "n >= 2");
+    require_param(p >= 0.0 && p < 1.0, "abl6", "p in [0, 1)");
+    require_param(theta > 0.0 && theta < 1.0, "abl6", "theta in (0, 1)");
+    const Index k = pooling::sublinear_k(n, theta);
+    const double pi = static_cast<double>(k) / static_cast<double>(n);
+    const std::vector<Index> ms = m_grid(params);
+
+    std::vector<Job> jobs;
+    jobs.reserve(ms.size() * static_cast<std::size_t>(config.reps));
+    for (std::size_t mi = 0; mi < ms.size(); ++mi) {
+      const Index m = ms[mi];
+      const rand::Rng root(config.seed +
+                           static_cast<std::uint64_t>(mi) * 71);
+      for (Index rep = 0; rep < config.reps; ++rep) {
+        Job job;
+        job.cell = static_cast<Index>(mi);
+        job.rep = rep;
+        job.seed = root.derive(static_cast<std::uint64_t>(rep)).seed();
+        // Three AMP solves per job.
+        job.cost_hint = 4 * n;
+        job.run = [n, k, m, p, pi](rand::Rng& rng) -> Metrics {
+          const noise::BitFlipChannel channel(p, 0.0);
+          const auto lin = channel.linearization(n, k, n / 2);
+          const core::Instance instance = core::make_instance(
+              n, k, m, pooling::paper_design(n), channel, rng);
+          const amp::AmpProblem problem = amp::standardize(instance, lin);
+          const amp::BayesBernoulliDenoiser bayes(pi);
+          const amp::SoftThresholdDenoiser soft(1.5);
+          const auto variant = [&](const amp::Denoiser& denoiser,
+                                   double damping) {
+            amp::AmpOptions options;
+            options.damping = damping;
+            return amp::run_amp(problem, denoiser, options);
+          };
+          const auto bayes_result = variant(bayes, 1.0);
+          const auto soft_result = variant(soft, 1.0);
+          const auto damped_result = variant(bayes, 0.7);
+          const auto success = [&](const amp::AmpResult& result) {
+            return core::exact_success(result.estimate, instance.truth)
+                       ? 1.0
+                       : 0.0;
+          };
+          const auto ovl = [&](const amp::AmpResult& result) {
+            return core::overlap(result.estimate, instance.truth);
+          };
+          return {{"bayes_success", success(bayes_result)},
+                  {"soft_success", success(soft_result)},
+                  {"bayes_damped_success", success(damped_result)},
+                  {"bayes_overlap", ovl(bayes_result)},
+                  {"soft_overlap", ovl(soft_result)},
+                  {"bayes_damped_overlap", ovl(damped_result)}};
+        };
+        jobs.push_back(std::move(job));
+      }
+    }
+    return jobs;
+  }
+
+  Json aggregate(const std::vector<JobResult>& results,
+                 const ScenarioParams& params) const override {
+    const auto n = static_cast<Index>(params.get_int("n"));
+    const double p = params.get_double("p");
+    const double theta = params.get_double("theta");
+    const Index k = pooling::sublinear_k(n, theta);
+    const double pi = static_cast<double>(k) / static_cast<double>(n);
+    const std::vector<Index> ms = m_grid(params);
+    return aggregate_cells(results, [&](Index cell) {
+      const Index m = ms[static_cast<std::size_t>(cell)];
+      Json meta = Json::object();
+      meta.set("m", m).set("se_tau2", se_fixed_point(n, k, m, p, pi));
+      return meta;
+    });
+  }
+
+ private:
+  /// The legacy bench's state-evolution fixed point for the Bayes
+  /// denoiser at (n, k, m, p) — a deterministic function, recomputed at
+  /// aggregation time rather than carried as a metric.
+  static double se_fixed_point(Index n, Index k, Index m, double p,
+                               double pi) {
+    const noise::BitFlipChannel channel(p, 0.0);
+    const auto lin = channel.linearization(n, k, n / 2);
+    const double gamma_pool = static_cast<double>(n) / 2.0;
+    const double entry_var = gamma_pool / static_cast<double>(n) *
+                             (1.0 - 1.0 / static_cast<double>(n));
+    const double s2 = static_cast<double>(m) * entry_var;
+    amp::StateEvolutionParams params;
+    params.pi = pi;
+    params.n_over_m = static_cast<double>(n) / static_cast<double>(m);
+    params.noise_var = lin.noise_var / (lin.gain * lin.gain * s2);
+    const amp::BayesBernoulliDenoiser bayes(pi);
+    return amp::run_state_evolution(params, bayes).tau2.back();
+  }
+
+  static std::vector<Index> m_grid(const ScenarioParams& params) {
+    const auto m_step = static_cast<Index>(params.get_int("m_step"));
+    const auto m_max = static_cast<Index>(params.get_int("m_max"));
+    require_param(m_step >= 1 && m_max >= m_step, "abl6",
+                  "1 <= m_step <= m_max");
+    return harness::linear_grid(m_step, m_max, m_step);
+  }
+};
+
 }  // namespace
 
 void register_builtin_scenarios(ScenarioRegistry& registry) {
   registry.add(std::make_unique<Fig5Scenario>());
+  registry.add(std::make_unique<Abl1Scenario>());
+  registry.add(std::make_unique<Abl2Scenario>());
+  registry.add(std::make_unique<Abl3Scenario>());
+  registry.add(std::make_unique<Abl4Scenario>());
+  registry.add(std::make_unique<Abl5Scenario>());
+  registry.add(std::make_unique<Abl6Scenario>());
   registry.add(std::make_unique<Abl7Scenario>());
   registry.add(std::make_unique<Fig2Scenario>());
   registry.add(std::make_unique<Fig3Scenario>());

@@ -1,0 +1,206 @@
+#include "shard/launcher.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "shard/merge.hpp"
+#include "util/file.hpp"
+#include "util/json.hpp"
+#include "util/subprocess.hpp"
+
+namespace npd::shard {
+
+namespace {
+
+/// The last chunk of a shard log, for failure messages.
+std::string log_tail(const std::filesystem::path& log_path,
+                     std::size_t max_bytes = 1000) {
+  const std::optional<std::string> text = try_read_file(log_path);
+  if (!text.has_value() || text->empty()) {
+    return "(log empty)";
+  }
+  if (text->size() <= max_bytes) {
+    return *text;
+  }
+  return "..." + text->substr(text->size() - max_bytes);
+}
+
+}  // namespace
+
+void require_valid_proc_count(const std::string& subject, long long count) {
+  // The upper bound is a sanity rail, not a scheduling limit: a count
+  // beyond it is always a typo (e.g. a seed pasted into --procs), and
+  // letting it through would size per-shard structures by it.
+  constexpr long long kMaxProcs = 4096;
+  if (count < 1 || count > kMaxProcs) {
+    throw std::invalid_argument(subject + ": need a process/shard count "
+                                "in [1, " + std::to_string(kMaxProcs) +
+                                "], got " + std::to_string(count));
+  }
+}
+
+LaunchOutcome run_shard_processes(const LaunchOptions& options) {
+  require_valid_proc_count("procs", options.procs);
+  if (options.retries < 0) {
+    throw std::invalid_argument("retries: must be >= 0");
+  }
+  if (options.runner.empty()) {
+    throw std::invalid_argument("runner: path of the npd_run binary "
+                                "required");
+  }
+  std::filesystem::create_directories(options.work_dir);
+
+  const Index procs = options.procs;
+  LaunchOutcome outcome;
+  outcome.reports.resize(static_cast<std::size_t>(procs));
+  for (Index i = 0; i < procs; ++i) {
+    const std::string stem = "shard_" + std::to_string(i + 1);
+    outcome.report_paths.push_back(options.work_dir / (stem + ".json"));
+    outcome.log_paths.push_back(options.work_dir / (stem + ".log"));
+  }
+
+  struct ShardState {
+    SpawnedProcess process;
+    Index attempts = 0;
+    bool done = false;
+  };
+  std::vector<ShardState> states(static_cast<std::size_t>(procs));
+
+  const auto spawn_shard = [&](Index i) {
+    const auto slot = static_cast<std::size_t>(i);
+    // A stale report (previous run, or an attempt that died after the
+    // write) must never be read back as this attempt's output; a stale
+    // log from a *previous launch* in the same workdir must not pollute
+    // this run's log tails — but retry attempts of this run append.
+    std::filesystem::remove(outcome.report_paths[slot]);
+    if (states[slot].attempts == 0) {
+      std::filesystem::remove(outcome.log_paths[slot]);
+    }
+    std::vector<std::string> argv;
+    argv.reserve(options.batch_args.size() + 5);
+    argv.push_back(options.runner);
+    argv.insert(argv.end(), options.batch_args.begin(),
+                options.batch_args.end());
+    argv.push_back("--shard");
+    argv.push_back(std::to_string(i + 1) + "/" + std::to_string(procs));
+    argv.push_back("--out");
+    argv.push_back(outcome.report_paths[slot].string());
+    states[slot].process = spawn_process(argv, outcome.log_paths[slot]);
+    ++states[slot].attempts;
+  };
+
+  const auto shard_of_pid = [&](int pid) -> Index {
+    for (Index i = 0; i < procs; ++i) {
+      const ShardState& state = states[static_cast<std::size_t>(i)];
+      if (!state.done && state.process.pid == pid) {
+        return i;
+      }
+    }
+    return -1;
+  };
+
+  // Abort path: tear down the siblings, reap them, and surface the
+  // failing shard's log so the operator does not have to hunt for it.
+  const auto abort_launch = [&](Index shard, const std::string& why) {
+    Index alive = 0;
+    for (Index i = 0; i < procs; ++i) {
+      ShardState& state = states[static_cast<std::size_t>(i)];
+      if (!state.done && state.process.pid > 0 && i != shard) {
+        kill_process(state.process);
+        ++alive;
+      }
+    }
+    while (alive > 0) {
+      const std::optional<ProcessExit> exit = wait_any_child();
+      if (!exit.has_value()) {
+        break;
+      }
+      if (shard_of_pid(exit->pid) >= 0) {
+        --alive;
+      }
+    }
+    const auto slot = static_cast<std::size_t>(shard);
+    throw std::runtime_error(
+        "launcher: shard " + std::to_string(shard + 1) + "/" +
+        std::to_string(procs) + " " + why + " (log: " +
+        outcome.log_paths[slot].string() + ")\n--- log tail ---\n" +
+        log_tail(outcome.log_paths[slot]));
+  };
+
+  for (Index i = 0; i < procs; ++i) {
+    spawn_shard(i);
+  }
+
+  Index remaining = procs;
+  while (remaining > 0) {
+    const std::optional<ProcessExit> exit = wait_any_child();
+    if (!exit.has_value()) {
+      throw std::runtime_error(
+          "launcher: lost track of the shard children (waitpid reported "
+          "no children while shards were still outstanding)");
+    }
+    const Index shard = shard_of_pid(exit->pid);
+    if (shard < 0) {
+      continue;  // not one of ours (embedding process' child)
+    }
+    const auto slot = static_cast<std::size_t>(shard);
+    ShardState& state = states[slot];
+
+    std::string failure;
+    if (exit->success()) {
+      // The report is the ground truth, not the exit code: parse it now
+      // so a child that died between report-write and exit (or wrote
+      // garbage) is handled by the same retry path as a crash.
+      std::optional<ShardRunReport> report;
+      try {
+        const std::optional<std::string> text =
+            try_read_file(outcome.report_paths[slot]);
+        if (!text.has_value()) {
+          throw std::runtime_error("report file missing or unreadable");
+        }
+        report = shard_report_from_json(Json::parse(*text));
+      } catch (const std::exception& error) {
+        failure = std::string("exited cleanly but its report is bad: ") +
+                  error.what();
+      }
+      if (report.has_value()) {
+        if (report->shard_index != shard || report->shard_count != procs) {
+          // Outside the try above so the abort propagates — this is not
+          // a retry case: the runner executed a different shard spec
+          // than we asked for, a wiring bug identical on every retry.
+          abort_launch(shard,
+                       "wrote a report for shard " +
+                           std::to_string(report->shard_index + 1) + "/" +
+                           std::to_string(report->shard_count) +
+                           " instead of the requested one");
+        }
+        outcome.reports[slot] = *std::move(report);
+        state.done = true;
+        --remaining;
+        continue;
+      }
+    } else {
+      failure = describe_exit(*exit);
+    }
+
+    if (state.attempts > options.retries) {
+      abort_launch(shard, "failed after " + std::to_string(state.attempts) +
+                              " attempt(s): " + failure);
+    }
+    ++outcome.restarts;
+    spawn_shard(shard);  // resumes from the cache when one is configured
+  }
+  return outcome;
+}
+
+engine::RunReport launch_and_merge(const engine::ScenarioRegistry& registry,
+                                   const LaunchOptions& options,
+                                   Index* restarts_out) {
+  const LaunchOutcome outcome = run_shard_processes(options);
+  if (restarts_out != nullptr) {
+    *restarts_out = outcome.restarts;
+  }
+  return merge_shard_reports(registry, outcome.reports);
+}
+
+}  // namespace npd::shard

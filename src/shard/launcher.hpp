@@ -1,0 +1,83 @@
+#pragma once
+
+/// \file launcher.hpp
+/// Multi-process shard supervision: spawn one `npd_run --shard i/N`
+/// child per shard, monitor their exits, restart crashed shards (they
+/// resume from the shared result cache when one is configured), and fold
+/// the partial reports back into one full `RunReport` — byte-identical
+/// to the single-process run, because the merge path is exactly
+/// `merge_shard_reports`.
+///
+/// The launcher deliberately coordinates through **files only** (shard
+/// reports, per-shard logs, the result cache): the children are plain
+/// `npd_run` processes that could equally run on other hosts.  What the
+/// supervisor adds is lifecycle — spawn, reap, retry, abort — not a new
+/// execution or serialization path, so a supervised run can never
+/// produce different bytes than a by-hand one.
+///
+/// Restart safety: shard reports are a pure function of (batch request,
+/// shard spec), so re-running a crashed shard — cold or resumed from the
+/// cache — writes the identical report, and the merged output does not
+/// depend on how many attempts any shard needed.
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "engine/engine.hpp"
+#include "shard/shard_report.hpp"
+#include "util/types.hpp"
+
+namespace npd::shard {
+
+/// What to spawn and how hard to try.
+struct LaunchOptions {
+  /// Path of the `npd_run` binary to exec for every shard.
+  std::string runner;
+  /// The shared batch surface (everything but `--shard`/`--out`):
+  /// `--scenarios`, `--reps`, `--seed`, `--threads`, `--params`,
+  /// `--cache` ... passed verbatim to every child.  Include `--cache`
+  /// when crashed shards should resume instead of recompute.
+  std::vector<std::string> batch_args;
+  /// Number of shard processes (the `N` of `--shard i/N`).
+  Index procs = 1;
+  /// Restart budget **per shard**: a shard may fail this many times and
+  /// still be retried; one more failure aborts the launch.
+  Index retries = 1;
+  /// Where shard reports (`shard_<i>.json`) and logs (`shard_<i>.log`)
+  /// are written; created if absent.
+  std::filesystem::path work_dir;
+};
+
+/// Everything a supervised run produced, before aggregation.
+struct LaunchOutcome {
+  /// Parsed partial reports, indexed by shard (0-based).
+  std::vector<ShardRunReport> reports;
+  /// Total restarts across all shards (0 on a clean run).
+  Index restarts = 0;
+  std::vector<std::filesystem::path> report_paths;  ///< by shard
+  std::vector<std::filesystem::path> log_paths;     ///< by shard
+};
+
+/// Validate a process/shard count the way the CLI layer needs it: a
+/// clear `std::invalid_argument` naming `subject` (e.g. "--procs") for
+/// anything outside [1, 4096] — never an assert or a bad_alloc from
+/// planning structures sized by an absurd count.
+void require_valid_proc_count(const std::string& subject, long long count);
+
+/// Spawn, supervise and reap the `procs` shard children.  Blocks until
+/// every shard has a report.  Throws `std::runtime_error` — after
+/// killing the surviving children — when a shard exhausts its retries or
+/// its report cannot be read back; the message carries the shard, the
+/// exit description and the tail of its log.
+[[nodiscard]] LaunchOutcome run_shard_processes(const LaunchOptions& options);
+
+/// `run_shard_processes` + `merge_shard_reports` in one call: the whole
+/// supervised pipeline, returning the full report (perf stamps zero; the
+/// caller stamps them).  `restarts_out`, when non-null, receives the
+/// restart count for the caller's summary.
+[[nodiscard]] engine::RunReport launch_and_merge(
+    const engine::ScenarioRegistry& registry, const LaunchOptions& options,
+    Index* restarts_out = nullptr);
+
+}  // namespace npd::shard

@@ -2,9 +2,13 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <fstream>
 #include <stdexcept>
+#include <system_error>
+#include <unordered_set>
 #include <utility>
 
 #include "rand/rng.hpp"
@@ -18,6 +22,47 @@ namespace npd::shard {
 namespace {
 
 constexpr std::string_view kEntrySchema = "npd.cache_entry/1";
+constexpr std::string_view kIndexSchema = "npd.cache_index/1";
+constexpr std::string_view kIndexFile = "cache_index.json";
+
+/// Write `text` to `path` via a unique temp name + rename, so no reader
+/// ever observes a partial file (shared by blobs and the index).
+void write_atomically(const std::filesystem::path& path,
+                      const std::string& text) {
+  static std::atomic<std::uint64_t> counter{0};
+  const std::filesystem::path temp_path =
+      path.string() + ".tmp." + std::to_string(::getpid()) + "." +
+      std::to_string(counter.fetch_add(1));
+  {
+    std::ofstream out(temp_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error("ResultCache: cannot write '" +
+                               temp_path.string() + "'");
+    }
+    out << text;
+    // Flush before checking: a full disk can fail only at flush time,
+    // and the destructor would swallow that error — renaming a
+    // truncated file into the final name.
+    out.flush();
+    if (!out.good()) {
+      throw std::runtime_error("ResultCache: short write to '" +
+                               temp_path.string() + "'");
+    }
+  }
+  std::filesystem::rename(temp_path, path);
+}
+
+/// True for `<32 lowercase hex>.json` — the only names `store` creates,
+/// and the only files the index (and GC!) will ever touch.
+bool is_blob_name(const std::string& name) {
+  constexpr std::size_t kHashLen = 32;
+  if (name.size() != kHashLen + 5 || name.substr(kHashLen) != ".json") {
+    return false;
+  }
+  return std::all_of(name.begin(), name.begin() + kHashLen, [](char c) {
+    return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+  });
+}
 
 }  // namespace
 
@@ -30,14 +75,20 @@ std::string content_hash(std::string_view text) {
              text, 0xcbf29ce484222325ULL ^ 0x9e3779b97f4a7c15ULL));
 }
 
-ResultCache::ResultCache(std::filesystem::path directory)
-    : directory_(std::move(directory)) {
+ResultCache::ResultCache(std::filesystem::path directory,
+                         std::string batch_fingerprint)
+    : directory_(std::move(directory)),
+      batch_fingerprint_(std::move(batch_fingerprint)) {
   std::filesystem::create_directories(directory_);
 }
 
 std::filesystem::path ResultCache::entry_path(
     std::string_view canonical_key) const {
   return directory_ / (content_hash(canonical_key) + ".json");
+}
+
+std::filesystem::path ResultCache::index_path() const {
+  return directory_ / kIndexFile;
 }
 
 std::optional<engine::Metrics> ResultCache::load(
@@ -68,35 +119,251 @@ void ResultCache::store(std::string_view canonical_key,
                         const engine::Metrics& metrics) const {
   Json entry = Json::object();
   entry.set("schema", std::string(kEntrySchema))
-      .set("key", std::string(canonical_key))
-      .set("metrics", metrics_to_json(metrics));
-  const std::string text = entry.dump(2) + "\n";
+      .set("key", std::string(canonical_key));
+  if (!batch_fingerprint_.empty()) {
+    // Observability only (GC liveness is key-based): which batch wrote
+    // this blob.  Concurrent same-key writers of one batch still write
+    // identical bytes; a different batch writing the same key would
+    // have replayed the existing entry instead of executing the job.
+    entry.set("fingerprint", batch_fingerprint_);
+  }
+  entry.set("metrics", metrics_to_json(metrics));
+  write_atomically(entry_path(canonical_key), entry.dump(2) + "\n");
+}
 
-  // Unique temp name per process + store call, renamed into place:
-  // readers never observe a partial entry, and concurrent writers of the
-  // same key (which write identical bytes) cannot corrupt each other.
-  static std::atomic<std::uint64_t> counter{0};
-  const std::filesystem::path final_path = entry_path(canonical_key);
-  const std::filesystem::path temp_path =
-      final_path.string() + ".tmp." + std::to_string(::getpid()) + "." +
-      std::to_string(counter.fetch_add(1));
-  {
-    std::ofstream out(temp_path, std::ios::binary | std::ios::trunc);
-    if (!out) {
-      throw std::runtime_error("ResultCache: cannot write '" +
-                               temp_path.string() + "'");
+std::vector<CacheIndexEntry> ResultCache::read_index() const {
+  std::vector<CacheIndexEntry> entries;
+  const std::optional<std::string> text = try_read_file(index_path());
+  if (!text.has_value()) {
+    return entries;
+  }
+  try {
+    const Json index = Json::parse(*text);
+    const Json* schema = index.find("schema");
+    const Json* rows = index.find("entries");
+    if (schema == nullptr || !schema->is_string() ||
+        schema->as_string() != kIndexSchema || rows == nullptr ||
+        !rows->is_array()) {
+      return {};
     }
-    out << text;
-    // Flush before checking: a full disk can fail only at flush time,
-    // and the destructor would swallow that error — renaming a
-    // truncated blob into the final name.
-    out.flush();
-    if (!out.good()) {
-      throw std::runtime_error("ResultCache: short write to '" +
-                               temp_path.string() + "'");
+    for (std::size_t i = 0; i < rows->size(); ++i) {
+      const Json& row = rows->at(i);
+      CacheIndexEntry entry;
+      entry.file = row.at("file").as_string();
+      entry.key = row.at("key").as_string();
+      entry.fingerprint = row.at("fingerprint").as_string();
+      entry.bytes = row.at("bytes").as_int();
+      entry.seq = row.at("seq").as_int();
+      entries.push_back(std::move(entry));
+    }
+  } catch (const std::exception&) {
+    return {};  // corrupt index: advisory, rebuilt by update_index
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const CacheIndexEntry& a, const CacheIndexEntry& b) {
+              return a.seq < b.seq;
+            });
+  return entries;
+}
+
+std::vector<CacheIndexEntry> ResultCache::scan_entries() const {
+  std::vector<CacheIndexEntry> entries = read_index();
+
+  std::unordered_set<std::string> indexed;
+  indexed.reserve(entries.size());
+  for (const CacheIndexEntry& entry : entries) {
+    indexed.insert(entry.file);
+  }
+
+  // Inventory the directory: known blobs keep their pinned sequence
+  // (sizes refreshed); unknown ones are enrolled below.
+  struct NewBlob {
+    std::filesystem::file_time_type mtime;
+    std::string file;
+  };
+  std::vector<NewBlob> fresh;
+  std::unordered_set<std::string> present;
+  for (const auto& dir_entry :
+       std::filesystem::directory_iterator(directory_)) {
+    if (!dir_entry.is_regular_file()) {
+      continue;
+    }
+    const std::string name = dir_entry.path().filename().string();
+    if (!is_blob_name(name)) {
+      continue;  // the index itself, temp files, foreign files
+    }
+    present.insert(name);
+    if (indexed.count(name) == 0) {
+      fresh.push_back(NewBlob{dir_entry.last_write_time(), name});
     }
   }
-  std::filesystem::rename(temp_path, final_path);
+
+  // Drop vanished blobs; refresh sizes of the survivors.
+  std::erase_if(entries, [&](const CacheIndexEntry& entry) {
+    return present.count(entry.file) == 0;
+  });
+  Index next_seq = 0;
+  for (CacheIndexEntry& entry : entries) {
+    std::error_code ec;
+    const auto bytes = std::filesystem::file_size(directory_ / entry.file, ec);
+    if (!ec) {
+      entry.bytes = static_cast<Index>(bytes);
+    }
+    next_seq = std::max(next_seq, entry.seq + 1);
+  }
+
+  // Enroll new blobs in mtime-then-name order — the one moment wall
+  // clocks are consulted; afterwards the recorded sequence is the
+  // eviction order, deterministic across re-reads.
+  std::sort(fresh.begin(), fresh.end(),
+            [](const NewBlob& a, const NewBlob& b) {
+              if (a.mtime != b.mtime) {
+                return a.mtime < b.mtime;
+              }
+              return a.file < b.file;
+            });
+  for (const NewBlob& blob : fresh) {
+    CacheIndexEntry entry;
+    entry.file = blob.file;
+    entry.seq = next_seq++;
+    std::error_code ec;
+    const auto bytes = std::filesystem::file_size(directory_ / blob.file, ec);
+    entry.bytes = ec ? 0 : static_cast<Index>(bytes);
+    // An unreadable/foreign blob stays indexed with an empty key: it can
+    // never be live, so GC can reclaim it.
+    if (const std::optional<std::string> text =
+            try_read_file(directory_ / blob.file)) {
+      try {
+        const Json parsed = Json::parse(*text);
+        const Json* schema = parsed.find("schema");
+        const Json* key = parsed.find("key");
+        if (schema != nullptr && schema->is_string() &&
+            schema->as_string() == kEntrySchema && key != nullptr &&
+            key->is_string()) {
+          entry.key = key->as_string();
+          const Json* fingerprint = parsed.find("fingerprint");
+          if (fingerprint != nullptr && fingerprint->is_string()) {
+            entry.fingerprint = fingerprint->as_string();
+          }
+        }
+      } catch (const std::exception&) {
+        // leave the entry opaque
+      }
+    }
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+void ResultCache::write_index(
+    const std::vector<CacheIndexEntry>& entries) const {
+  Json rows = Json::array();
+  for (const CacheIndexEntry& entry : entries) {
+    rows.push_back(Json::object()
+                       .set("file", entry.file)
+                       .set("key", entry.key)
+                       .set("fingerprint", entry.fingerprint)
+                       .set("bytes", entry.bytes)
+                       .set("seq", entry.seq));
+  }
+  Json index = Json::object();
+  index.set("schema", std::string(kIndexSchema)).set("entries", std::move(rows));
+  write_atomically(index_path(), index.dump(2) + "\n");
+}
+
+std::vector<CacheIndexEntry> ResultCache::update_index() const {
+  std::vector<CacheIndexEntry> entries = scan_entries();
+  write_index(entries);
+  return entries;
+}
+
+CacheGcStats ResultCache::gc(const CacheGcPolicy& policy) const {
+  CacheGcStats stats;
+
+  // Sweep orphaned temp files (a writer killed or erroring mid-store
+  // leaves '<name>.tmp.<pid>.<n>' behind, invisible to the blob index
+  // forever).  Only stale ones: a recent temp may belong to a shard
+  // process writing right now, and unlinking its name would fail that
+  // writer's rename.
+  const auto now = std::filesystem::file_time_type::clock::now();
+  for (const auto& dir_entry :
+       std::filesystem::directory_iterator(directory_)) {
+    if (!dir_entry.is_regular_file()) {
+      continue;
+    }
+    const std::string name = dir_entry.path().filename().string();
+    if (name.find(".json.tmp.") == std::string::npos) {
+      continue;
+    }
+    if (now - dir_entry.last_write_time() < std::chrono::hours(1)) {
+      continue;
+    }
+    std::error_code size_ec;
+    const auto bytes = std::filesystem::file_size(dir_entry.path(), size_ec);
+    std::error_code remove_ec;
+    std::filesystem::remove(dir_entry.path(), remove_ec);
+    if (!remove_ec) {
+      ++stats.dropped;
+      stats.bytes_dropped += size_ec ? 0 : static_cast<Index>(bytes);
+    }
+  }
+
+  // Sync without writing: the survivors below are the index this call
+  // leaves behind, in one write.
+  const std::vector<CacheIndexEntry> entries = scan_entries();
+
+  std::unordered_set<std::string> live(policy.live_keys.begin(),
+                                       policy.live_keys.end());
+  const auto is_live = [&](const CacheIndexEntry& entry) {
+    return !entry.key.empty() && live.count(entry.key) > 0;
+  };
+
+  std::vector<bool> drop(entries.size(), false);
+  Index kept_bytes = 0;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (policy.drop_foreign && !is_live(entries[i])) {
+      drop[i] = true;
+    } else {
+      kept_bytes += entries[i].bytes;
+    }
+  }
+  if (policy.max_bytes > 0) {
+    // Oldest sequence first (entries are already seq-ascending); live
+    // blobs are skipped unconditionally — the size cap may therefore be
+    // overshot when the live batch alone exceeds it.
+    for (std::size_t i = 0;
+         i < entries.size() && kept_bytes > policy.max_bytes; ++i) {
+      if (drop[i] || is_live(entries[i])) {
+        continue;
+      }
+      drop[i] = true;
+      kept_bytes -= entries[i].bytes;
+    }
+  }
+
+  std::vector<CacheIndexEntry> survivors;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    // A blob that cannot be deleted must stay in the index (keeping its
+    // pinned sequence) and count as kept — dropping it from the index
+    // would re-enroll it later as the *newest* entry, inverting its LRU
+    // position, and the stats would claim bytes that are still on disk.
+    bool removed = false;
+    if (drop[i]) {
+      std::error_code ec;
+      std::filesystem::remove(directory_ / entries[i].file, ec);
+      removed = !ec;
+    }
+    if (removed) {
+      ++stats.dropped;
+      stats.bytes_dropped += entries[i].bytes;
+    } else {
+      survivors.push_back(entries[i]);
+      ++stats.kept;
+      stats.bytes_kept += entries[i].bytes;
+    }
+  }
+  write_index(survivors);
+  return stats;
 }
 
 }  // namespace npd::shard

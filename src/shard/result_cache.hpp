@@ -1,7 +1,8 @@
 #pragma once
 
 /// \file result_cache.hpp
-/// Content-addressed on-disk store of finished job results.
+/// Content-addressed on-disk store of finished job results, with an
+/// index and a garbage collector for long-lived sweep caches.
 ///
 /// Every entry is one dependency-free JSON blob named by the hash of its
 /// **canonical key** — the job's identity string (scenario name +
@@ -22,11 +23,32 @@
 ///   * entries are self-describing (`schema npd.cache_entry/1`) and
 ///     safely shareable between concurrent shard processes — all writers
 ///     of one name write identical bytes.
+///
+/// The **index** (`cache_index.json`, schema `npd.cache_index/1`) gives
+/// very large caches an O(1)-per-entry inventory: per blob its canonical
+/// key, the batch fingerprint of the run that stored it, its size, and a
+/// monotone **sequence number** — the deterministic stand-in for "least
+/// recently stored".  New blobs enter the index ordered by file mtime
+/// (ties by name) exactly once; from then on their position is pinned by
+/// the recorded sequence, so eviction order cannot depend on filesystem
+/// timestamp drift.  The index is advisory and self-healing:
+/// `update_index` re-syncs it against the directory (adding unindexed
+/// blobs, dropping vanished ones), so a lost or stale index never loses
+/// results — only their ordering history.
+///
+/// The **garbage collector** (`gc`) keeps a shared cache bounded: it
+/// drops blobs that no longer belong to the live batch (their canonical
+/// key is not among the batch's job keys — the per-key generalization of
+/// "the batch fingerprint no longer matches", correct across widened
+/// reruns that legitimately reuse old entries) and/or evicts
+/// oldest-sequence-first down to a byte budget.  Blobs of the live batch
+/// are **never** evicted, not even to satisfy the size cap.
 
 #include <filesystem>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "engine/job.hpp"
 
@@ -37,11 +59,47 @@ namespace npd::shard {
 /// fingerprint echo in shard reports.
 [[nodiscard]] std::string content_hash(std::string_view text);
 
+/// One row of the cache index: a blob and what is known about it.
+struct CacheIndexEntry {
+  std::string file;         ///< blob file name (relative to the cache dir)
+  std::string key;          ///< canonical key ("" when the blob is opaque)
+  std::string fingerprint;  ///< producing batch's fingerprint hash ("" =
+                            ///< unknown / pre-index blob)
+  Index bytes = 0;
+  Index seq = 0;            ///< monotone store order (LRU eviction order)
+};
+
+/// What `gc` should keep.
+struct CacheGcPolicy {
+  /// Canonical keys of the live batch's jobs (all shards).  Blobs whose
+  /// key is in this set are protected unconditionally.
+  std::vector<std::string> live_keys;
+  /// Drop every blob that is not live (its key is unknown or belongs to
+  /// a different batch/configuration).
+  bool drop_foreign = false;
+  /// When > 0: after any foreign drop, evict non-live blobs oldest
+  /// sequence first until the cache is at most this many bytes.  Live
+  /// blobs never count as evictable, even if they alone exceed the cap.
+  Index max_bytes = 0;
+};
+
+/// What `gc` did.
+struct CacheGcStats {
+  Index kept = 0;
+  Index dropped = 0;        ///< foreign drops + LRU evictions
+  Index bytes_kept = 0;
+  Index bytes_dropped = 0;
+};
+
 /// A directory of content-addressed result blobs.
 class ResultCache {
  public:
   /// Opens (and creates, including parents) the cache directory.
-  explicit ResultCache(std::filesystem::path directory);
+  /// `batch_fingerprint` — when known (npd_run passes the planned
+  /// batch's fingerprint hash) — is stamped into every blob this
+  /// instance stores, and lands in the index for observability.
+  explicit ResultCache(std::filesystem::path directory,
+                       std::string batch_fingerprint = "");
 
   [[nodiscard]] const std::filesystem::path& directory() const {
     return directory_;
@@ -50,6 +108,9 @@ class ResultCache {
   /// The entry file a canonical key maps to (exposed for tests/tooling).
   [[nodiscard]] std::filesystem::path entry_path(
       std::string_view canonical_key) const;
+
+  /// Where the index lives (`<dir>/cache_index.json`).
+  [[nodiscard]] std::filesystem::path index_path() const;
 
   /// Look up a finished job.  Returns the stored metrics, or nullopt on
   /// miss (absent, malformed, or a hash collision with a different key).
@@ -62,8 +123,31 @@ class ResultCache {
   void store(std::string_view canonical_key,
              const engine::Metrics& metrics) const;
 
+  /// Parse the index file.  A missing or corrupt index is an empty one
+  /// (it is advisory; `update_index` rebuilds it from the blobs).
+  [[nodiscard]] std::vector<CacheIndexEntry> read_index() const;
+
+  /// Sync the index with the directory: keep known entries (their
+  /// sequence is pinned), enroll unindexed blobs in mtime-then-name
+  /// order with fresh sequence numbers, drop entries whose blob
+  /// vanished, and rewrite the file (temp + rename).  Returns the
+  /// synced entries in ascending sequence order.
+  std::vector<CacheIndexEntry> update_index() const;
+
+  /// Collect garbage per `policy` (always through an index sync first,
+  /// so blobs stored by crashed or concurrent runs are accounted).
+  /// Also sweeps orphaned temp files older than an hour — the residue
+  /// of writers killed mid-store, which the blob index cannot see.
+  CacheGcStats gc(const CacheGcPolicy& policy) const;
+
  private:
+  /// The sync of `update_index`, without writing the file.
+  [[nodiscard]] std::vector<CacheIndexEntry> scan_entries() const;
+  /// Serialize `entries` to the index file (temp + rename).
+  void write_index(const std::vector<CacheIndexEntry>& entries) const;
+
   std::filesystem::path directory_;
+  std::string batch_fingerprint_;
 };
 
 }  // namespace npd::shard

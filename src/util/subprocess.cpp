@@ -1,0 +1,94 @@
+#include "util/subprocess.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace npd {
+
+std::string describe_exit(const ProcessExit& exit) {
+  if (exit.signaled) {
+    return "killed by signal " + std::to_string(exit.term_signal);
+  }
+  if (exit.exit_code == 127) {
+    return "exit code 127 (exec failed)";
+  }
+  return "exit code " + std::to_string(exit.exit_code);
+}
+
+SpawnedProcess spawn_process(const std::vector<std::string>& argv,
+                             const std::filesystem::path& log_path) {
+  if (argv.empty()) {
+    throw std::invalid_argument("spawn_process: empty argv");
+  }
+  if (log_path.has_parent_path()) {
+    std::filesystem::create_directories(log_path.parent_path());
+  }
+  // Open the log in the parent so a bad path is a clean error here, not
+  // a silent exit-127 in the child.  O_APPEND keeps restart attempts of
+  // the same shard in one file, in order.
+  const int log_fd = ::open(log_path.c_str(),
+                            O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (log_fd < 0) {
+    throw std::runtime_error("spawn_process: cannot open log '" +
+                             log_path.string() + "': " +
+                             std::strerror(errno));
+  }
+
+  std::vector<char*> c_argv;
+  c_argv.reserve(argv.size() + 1);
+  for (const std::string& arg : argv) {
+    c_argv.push_back(const_cast<char*>(arg.c_str()));
+  }
+  c_argv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(log_fd);
+    throw std::runtime_error(std::string("spawn_process: fork failed: ") +
+                             std::strerror(errno));
+  }
+  if (pid == 0) {
+    // Child: only async-signal-safe calls between fork and exec.
+    (void)::dup2(log_fd, STDOUT_FILENO);
+    (void)::dup2(log_fd, STDERR_FILENO);
+    ::close(log_fd);
+    ::execvp(c_argv[0], c_argv.data());
+    _exit(127);  // exec failed; the parent reads this as "cannot start"
+  }
+  ::close(log_fd);
+  return SpawnedProcess{static_cast<int>(pid)};
+}
+
+std::optional<ProcessExit> wait_any_child() {
+  int status = 0;
+  pid_t pid = -1;
+  do {
+    pid = ::waitpid(-1, &status, 0);
+  } while (pid < 0 && errno == EINTR);
+  if (pid < 0) {
+    return std::nullopt;  // ECHILD: nothing left to reap
+  }
+  ProcessExit exit;
+  exit.pid = static_cast<int>(pid);
+  if (WIFSIGNALED(status)) {
+    exit.signaled = true;
+    exit.term_signal = WTERMSIG(status);
+  } else {
+    exit.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : 1;
+  }
+  return exit;
+}
+
+void kill_process(const SpawnedProcess& process) {
+  if (process.pid > 0) {
+    (void)::kill(static_cast<pid_t>(process.pid), SIGKILL);
+  }
+}
+
+}  // namespace npd

@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file subprocess.hpp
+/// Minimal POSIX process spawning for the shard launcher: fork/exec a
+/// child with its stdout+stderr captured to a log file, and reap
+/// children as they exit.
+///
+/// Deliberately tiny — no pipes, no async I/O, no signals beyond what
+/// `waitpid` reports.  The launcher's children are batch processes that
+/// communicate through files (shard reports, the result cache), so all
+/// the supervisor needs is "start it, log it, learn how it died".
+
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace npd {
+
+/// A child started by `spawn_process`.
+struct SpawnedProcess {
+  int pid = -1;
+};
+
+/// How a child exited, as reported by `waitpid`.
+struct ProcessExit {
+  int pid = -1;
+  /// Exit code when the child terminated normally (127 = exec failed).
+  int exit_code = 0;
+  /// True when the child was killed by a signal (`exit_code` invalid).
+  bool signaled = false;
+  int term_signal = 0;
+
+  [[nodiscard]] bool success() const { return !signaled && exit_code == 0; }
+};
+
+/// One line naming the outcome ("exit code 2", "killed by signal 9").
+[[nodiscard]] std::string describe_exit(const ProcessExit& exit);
+
+/// Fork and exec `argv` (argv[0] is the program path) with stdout and
+/// stderr appended to `log_path` (created including parent directories).
+/// Throws `std::runtime_error` when the fork or the log file fails; an
+/// exec failure surfaces as the child exiting with code 127.
+[[nodiscard]] SpawnedProcess spawn_process(
+    const std::vector<std::string>& argv,
+    const std::filesystem::path& log_path);
+
+/// Block until any child of this process exits and return how.  Returns
+/// nullopt when there are no children left to wait for.
+///
+/// Single-owner restriction: this reaps via `waitpid(-1, ...)`, i.e. it
+/// consumes the exit status of **whatever** child terminates first.  A
+/// process that also spawns children through other means must not run a
+/// supervisor loop concurrently, or the two will steal each other's
+/// exit statuses.  The tools (npd_launch, the test drivers) own all of
+/// their children, which is why the launcher may simply skip pids it
+/// does not recognize.
+[[nodiscard]] std::optional<ProcessExit> wait_any_child();
+
+/// Best-effort SIGKILL (used by the launcher to tear down siblings after
+/// an unrecoverable shard failure).
+void kill_process(const SpawnedProcess& process);
+
+}  // namespace npd

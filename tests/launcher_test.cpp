@@ -1,0 +1,212 @@
+// Tests for the multi-process shard supervisor (src/shard/launcher +
+// src/util/subprocess): a supervised 3-process launch reproduces the
+// single-process report bytes, a child killed mid-run (fault injection
+// via npd_run --test-crash, which dies after its jobs hit the cache but
+// before its report exists) is restarted and the merged bytes are
+// unchanged, and exhausted retries / bad runners / bad proc counts are
+// clean errors.
+//
+// The real npd_run binary is exec'd: its path is compiled in as
+// NPD_RUN_BINARY by tests/CMakeLists.txt.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "engine/builtin_scenarios.hpp"
+#include "engine/engine.hpp"
+#include "shard/launcher.hpp"
+#include "util/subprocess.hpp"
+
+namespace npd::shard {
+namespace {
+
+/// Self-cleaning unique temp directory per test.
+class TempDir {
+ public:
+  TempDir() {
+    static std::atomic<int> counter{0};
+    path_ = std::filesystem::temp_directory_path() /
+            ("npd_launcher_test_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter.fetch_add(1)));
+    std::filesystem::create_directories(path_);
+  }
+
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+
+  [[nodiscard]] const std::filesystem::path& path() const { return path_; }
+
+ private:
+  std::filesystem::path path_;
+};
+
+/// The small batch every launch test runs, as a request (for the
+/// in-process reference) and as the matching child argv surface.
+engine::BatchRequest small_request() {
+  engine::BatchRequest request;
+  request.scenario_names = {"fixed_m"};
+  request.config.seed = 11;
+  request.config.reps = 3;
+  request.config.threads = 1;
+  request.overrides.push_back({"fixed_m", "n", "150"});
+  request.overrides.push_back({"fixed_m", "m_points", "2"});
+  return request;
+}
+
+std::vector<std::string> small_batch_args() {
+  return {"--scenarios", "fixed_m", "--reps", "3", "--seed", "11",
+          "--threads", "1", "--params", "fixed_m.n=150,fixed_m.m_points=2",
+          "--no-perf"};
+}
+
+std::string reference_bytes() {
+  engine::ScenarioRegistry registry;
+  engine::register_builtin_scenarios(registry);
+  return engine::run_batch(registry, small_request())
+      .to_json(false)
+      .dump(2);
+}
+
+TEST(SubprocessTest, SpawnCapturesOutputAndReportsExit) {
+  const TempDir dir;
+  const auto log = dir.path() / "echo.log";
+  const SpawnedProcess child =
+      spawn_process({"/bin/sh", "-c", "echo hello; exit 7"}, log);
+  ASSERT_GT(child.pid, 0);
+  const std::optional<ProcessExit> exit = wait_any_child();
+  ASSERT_TRUE(exit.has_value());
+  EXPECT_EQ(exit->pid, child.pid);
+  EXPECT_FALSE(exit->signaled);
+  EXPECT_EQ(exit->exit_code, 7);
+  EXPECT_FALSE(exit->success());
+  EXPECT_EQ(describe_exit(*exit), "exit code 7");
+
+  std::ifstream in(log);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "hello");
+}
+
+TEST(SubprocessTest, ExecFailureIsExit127) {
+  const TempDir dir;
+  const SpawnedProcess child = spawn_process(
+      {(dir.path() / "no_such_binary").string()}, dir.path() / "x.log");
+  ASSERT_GT(child.pid, 0);
+  const std::optional<ProcessExit> exit = wait_any_child();
+  ASSERT_TRUE(exit.has_value());
+  EXPECT_EQ(exit->exit_code, 127);
+  EXPECT_EQ(describe_exit(*exit), "exit code 127 (exec failed)");
+}
+
+TEST(LauncherTest, InvalidProcCountsAreUsageErrors) {
+  EXPECT_THROW(require_valid_proc_count("--procs", 0),
+               std::invalid_argument);
+  EXPECT_THROW(require_valid_proc_count("--procs", -3),
+               std::invalid_argument);
+  EXPECT_THROW(require_valid_proc_count("--procs", 9'000'000'000LL),
+               std::invalid_argument);
+  EXPECT_NO_THROW(require_valid_proc_count("--procs", 1));
+
+  LaunchOptions options;
+  options.runner = NPD_RUN_BINARY;
+  options.procs = 0;
+  EXPECT_THROW((void)run_shard_processes(options), std::invalid_argument);
+  options.procs = 2;
+  options.retries = -1;
+  EXPECT_THROW((void)run_shard_processes(options), std::invalid_argument);
+  options.retries = 0;
+  options.runner.clear();
+  EXPECT_THROW((void)run_shard_processes(options), std::invalid_argument);
+}
+
+TEST(LauncherTest, SupervisedLaunchReproducesSingleProcessBytes) {
+  const TempDir dir;
+  LaunchOptions options;
+  options.runner = NPD_RUN_BINARY;
+  options.batch_args = small_batch_args();
+  options.procs = 3;
+  options.retries = 0;
+  options.work_dir = dir.path() / "work";
+
+  Index restarts = -1;
+  engine::ScenarioRegistry registry;
+  engine::register_builtin_scenarios(registry);
+  const engine::RunReport merged =
+      launch_and_merge(registry, options, &restarts);
+  EXPECT_EQ(restarts, 0);
+  EXPECT_EQ(merged.to_json(false).dump(2), reference_bytes());
+}
+
+TEST(LauncherTest, CrashedShardIsRestartedAndBytesAreUnchanged) {
+  const TempDir dir;
+  LaunchOptions options;
+  options.runner = NPD_RUN_BINARY;
+  options.batch_args = small_batch_args();
+  // The crash fires after the victim's jobs are in the cache and before
+  // its report exists; the restart must resume and write the identical
+  // report.  O_EXCL on the marker makes exactly one child the victim.
+  options.batch_args.push_back("--cache");
+  options.batch_args.push_back((dir.path() / "cache").string());
+  options.batch_args.push_back("--test-crash");
+  options.batch_args.push_back((dir.path() / "crash_marker").string());
+  options.procs = 3;
+  options.retries = 1;
+  options.work_dir = dir.path() / "work";
+
+  Index restarts = -1;
+  engine::ScenarioRegistry registry;
+  engine::register_builtin_scenarios(registry);
+  const engine::RunReport merged =
+      launch_and_merge(registry, options, &restarts);
+  EXPECT_EQ(restarts, 1) << "exactly one injected crash must be absorbed";
+  EXPECT_EQ(merged.to_json(false).dump(2), reference_bytes());
+  EXPECT_TRUE(std::filesystem::exists(dir.path() / "crash_marker"));
+}
+
+TEST(LauncherTest, ExhaustedRetriesAbortWithTheShardLog) {
+  const TempDir dir;
+  LaunchOptions options;
+  options.runner = "/bin/false";  // always exits 1, writes no report
+  options.procs = 2;
+  options.retries = 1;
+  options.work_dir = dir.path() / "work";
+  try {
+    (void)run_shard_processes(options);
+    FAIL() << "expected the launch to abort";
+  } catch (const std::runtime_error& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("failed after 2 attempt"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("shard_"), std::string::npos) << what;
+  }
+}
+
+TEST(LauncherTest, MissingRunnerBinaryAbortsWithExecFailure) {
+  const TempDir dir;
+  LaunchOptions options;
+  options.runner = (dir.path() / "no_such_npd_run").string();
+  options.procs = 1;
+  options.retries = 0;
+  options.work_dir = dir.path() / "work";
+  try {
+    (void)run_shard_processes(options);
+    FAIL() << "expected the launch to abort";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("exec failed"),
+              std::string::npos)
+        << error.what();
+  }
+}
+
+}  // namespace
+}  // namespace npd::shard

@@ -11,9 +11,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <limits>
 #include <memory>
 #include <set>
@@ -258,6 +260,143 @@ TEST(ResultCacheTest, CollisionAndCorruptionDegradeToMisses) {
     out << "{ not json";
   }
   EXPECT_FALSE(cache.load("key-c").has_value());
+}
+
+TEST(ResultCacheTest, StoreStampsFingerprintAndIndexTracksBlobs) {
+  const TempDir dir;
+  const ResultCache cache(dir.path(), "fp-live");
+  cache.store("key-a", {{"m", 1.0}});
+  cache.store("key-b", {{"m", 2.0}});
+
+  const std::vector<CacheIndexEntry> entries = cache.update_index();
+  ASSERT_EQ(entries.size(), 2u);
+  std::set<std::string> keys;
+  std::set<Index> seqs;
+  for (const CacheIndexEntry& entry : entries) {
+    keys.insert(entry.key);
+    seqs.insert(entry.seq);
+    EXPECT_EQ(entry.fingerprint, "fp-live");
+    EXPECT_GT(entry.bytes, 0);
+  }
+  EXPECT_EQ(keys, (std::set<std::string>{"key-a", "key-b"}));
+  EXPECT_EQ(seqs.size(), 2u);  // distinct, pinned sequence numbers
+
+  // Re-syncing without any directory change is byte-idempotent — the
+  // determinism the LRU order rests on.
+  std::ifstream first_in(cache.index_path());
+  const std::string first((std::istreambuf_iterator<char>(first_in)),
+                          std::istreambuf_iterator<char>());
+  (void)cache.update_index();
+  std::ifstream second_in(cache.index_path());
+  const std::string second((std::istreambuf_iterator<char>(second_in)),
+                           std::istreambuf_iterator<char>());
+  EXPECT_EQ(first, second);
+}
+
+TEST(ResultCacheTest, IndexIsAdvisoryAndSelfHealing) {
+  const TempDir dir;
+  const ResultCache cache(dir.path(), "fp");
+  cache.store("k1", {{"m", 1.0}});
+  (void)cache.update_index();
+
+  // A corrupted (or deleted) index must cost ordering history only:
+  // the blobs re-enroll from their own self-describing content.
+  {
+    std::ofstream out(cache.index_path());
+    out << "{ not json";
+  }
+  const std::vector<CacheIndexEntry> entries = cache.update_index();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].key, "k1");
+  EXPECT_EQ(entries[0].fingerprint, "fp");
+  EXPECT_TRUE(cache.load("k1").has_value());
+}
+
+TEST(ResultCacheTest, GcDropsForeignButNeverLiveBlobs) {
+  const TempDir dir;
+  {
+    const ResultCache stale(dir.path(), "fp-old");
+    stale.store("old-1", {{"m", 1.0}});
+    stale.store("old-2", {{"m", 2.0}});
+  }
+  const ResultCache cache(dir.path(), "fp-live");
+  cache.store("live-1", {{"m", 3.0}});
+  cache.store("live-2", {{"m", 4.0}});
+
+  CacheGcPolicy policy;
+  policy.live_keys = {"live-1", "live-2"};
+  policy.drop_foreign = true;
+  policy.max_bytes = 1;  // even an absurd cap must not touch live blobs
+  const CacheGcStats stats = cache.gc(policy);
+  EXPECT_EQ(stats.dropped, 2);
+  EXPECT_EQ(stats.kept, 2);
+  EXPECT_GT(stats.bytes_kept, policy.max_bytes);  // overshoot, by design
+  EXPECT_TRUE(cache.load("live-1").has_value());
+  EXPECT_TRUE(cache.load("live-2").has_value());
+  EXPECT_FALSE(cache.load("old-1").has_value());
+  EXPECT_FALSE(cache.load("old-2").has_value());
+}
+
+TEST(ResultCacheTest, GcSizeCapEvictsOldestSequenceFirst) {
+  const TempDir dir;
+  const ResultCache cache(dir.path(), "fp");
+  // Interleave stores with index syncs so the recorded sequence is the
+  // store order even on filesystems with coarse mtime resolution.
+  cache.store("k1", {{"m", 1.0}});
+  (void)cache.update_index();
+  cache.store("k2", {{"m", 2.0}});
+  (void)cache.update_index();
+  cache.store("k3", {{"m", 3.0}});
+  std::vector<CacheIndexEntry> entries = cache.update_index();
+  ASSERT_EQ(entries.size(), 3u);
+  Index total = 0;
+  for (const CacheIndexEntry& entry : entries) {
+    total += entry.bytes;
+  }
+
+  // A cap one byte under the total evicts exactly the oldest non-live
+  // blob (k1; k2 is protected as live).
+  CacheGcPolicy policy;
+  policy.live_keys = {"k2"};
+  policy.max_bytes = total - 1;
+  const CacheGcStats stats = cache.gc(policy);
+  EXPECT_EQ(stats.dropped, 1);
+  EXPECT_FALSE(cache.load("k1").has_value());
+  EXPECT_TRUE(cache.load("k2").has_value());
+  EXPECT_TRUE(cache.load("k3").has_value());
+
+  // Tightening the cap to one byte also evicts k3 — but never live k2.
+  policy.max_bytes = 1;
+  const CacheGcStats tighter = cache.gc(policy);
+  EXPECT_EQ(tighter.dropped, 1);
+  EXPECT_EQ(tighter.kept, 1);
+  EXPECT_FALSE(cache.load("k3").has_value());
+  EXPECT_TRUE(cache.load("k2").has_value());
+}
+
+TEST(ResultCacheTest, GcSweepsStaleTempFilesButNotFreshOnes) {
+  const TempDir dir;
+  const ResultCache cache(dir.path(), "fp");
+  cache.store("k1", {{"m", 1.0}});
+
+  // A writer killed mid-store leaves a temp file the blob index cannot
+  // see; GC reclaims it once it is clearly abandoned (an hour old), but
+  // must not unlink a recent one (it may belong to a live writer).
+  const auto stale = dir.path() / "deadbeef.json.tmp.123.0";
+  const auto fresh = dir.path() / "deadbeef.json.tmp.123.1";
+  { std::ofstream(stale) << "partial"; }
+  { std::ofstream(fresh) << "partial"; }
+  std::filesystem::last_write_time(
+      stale,
+      std::filesystem::file_time_type::clock::now() - std::chrono::hours(2));
+
+  CacheGcPolicy policy;
+  policy.live_keys = {"k1"};
+  const CacheGcStats stats = cache.gc(policy);
+  EXPECT_EQ(stats.dropped, 1);
+  EXPECT_FALSE(std::filesystem::exists(stale));
+  EXPECT_TRUE(std::filesystem::exists(fresh));
+  EXPECT_TRUE(cache.load("k1").has_value());
 }
 
 TEST(ResultCacheTest, KeyDependsOnScenarioOptionsAndSeed) {

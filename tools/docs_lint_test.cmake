@@ -1,0 +1,48 @@
+# Docs lint: every scenario `npd_run --list` registers must appear in
+# docs/cli.md — the CLI reference users are sent to — so a new scenario
+# cannot land undocumented.
+#
+# Inputs: -DNPD_RUN=<npd_run> -DCLI_DOC=<docs/cli.md>
+
+foreach(var NPD_RUN CLI_DOC)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "missing -D${var}=...")
+  endif()
+endforeach()
+
+execute_process(COMMAND "${NPD_RUN}" --list
+  RESULT_VARIABLE result
+  OUTPUT_VARIABLE listing
+  ERROR_VARIABLE listing)
+if(NOT result EQUAL 0)
+  message(FATAL_ERROR "npd_run --list failed (${result}):\n${listing}")
+endif()
+
+if(NOT EXISTS "${CLI_DOC}")
+  message(FATAL_ERROR "docs/cli.md not found at '${CLI_DOC}'")
+endif()
+file(READ "${CLI_DOC}" doc)
+
+# Scenario lines are exactly two-space indented ("  name  description");
+# parameter lines are deeper-indented and never match.
+string(REGEX MATCHALL "\n  [a-z0-9_]+" scenario_lines "\n${listing}")
+set(missing "")
+set(count 0)
+foreach(line IN LISTS scenario_lines)
+  string(REGEX REPLACE "\n  " "" scenario "${line}")
+  math(EXPR count "${count} + 1")
+  # The doc must name the scenario as inline code: `name`.
+  if(NOT doc MATCHES "`${scenario}`")
+    list(APPEND missing "${scenario}")
+  endif()
+endforeach()
+
+if(count EQUAL 0)
+  message(FATAL_ERROR "parsed no scenarios out of npd_run --list:\n${listing}")
+endif()
+if(missing)
+  message(FATAL_ERROR
+    "scenarios registered by npd_run --list but missing from docs/cli.md: "
+    "${missing}")
+endif()
+message(STATUS "docs/cli.md documents all ${count} registered scenarios")

@@ -1,0 +1,85 @@
+# CTest driver for the supervised-launch determinism contract:
+#
+#   1. run a small two-scenario batch single-process (--no-perf),
+#   2. npd_launch the same batch over 3 shard children through a fresh
+#      result cache, with --test-crash injecting exactly one child crash
+#      (after its jobs hit the cache, before its report exists) so the
+#      supervisor must restart it and the restart must resume from the
+#      cache,
+#   3. require the auto-merged bytes to equal the single-process bytes,
+#   4. re-launch with --cache-gc and require byte identity again — the
+#      GC must never have evicted a live-batch blob (a missing blob
+#      would silently re-execute; a wrong one cannot merge).
+#
+# Inputs: -DNPD_RUN=<npd_run> -DNPD_LAUNCH=<npd_launch> -DWORK_DIR=<dir>
+
+foreach(var NPD_RUN NPD_LAUNCH WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "missing -D${var}=...")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+set(BATCH_ARGS
+  --scenarios fixed_m,solver_sweep --reps 3 --seed 11
+  --params fixed_m.n=150,fixed_m.m_points=2,solver_sweep.n_lo=120,solver_sweep.n_hi=120
+  --no-perf)
+
+function(run_checked log_name)
+  execute_process(COMMAND ${ARGN}
+    RESULT_VARIABLE result
+    OUTPUT_VARIABLE output
+    ERROR_VARIABLE output)
+  file(WRITE "${WORK_DIR}/${log_name}.log" "${output}")
+  if(NOT result EQUAL 0)
+    message(FATAL_ERROR "command failed (${result}): ${ARGN}\n${output}")
+  endif()
+  set(LAST_OUTPUT "${output}" PARENT_SCOPE)
+endfunction()
+
+function(require_identical a b what)
+  file(READ "${a}" bytes_a)
+  file(READ "${b}" bytes_b)
+  if(NOT bytes_a STREQUAL bytes_b)
+    message(FATAL_ERROR "${what}: '${a}' and '${b}' differ")
+  endif()
+  message(STATUS "${what}: byte-identical")
+endfunction()
+
+# 1. The single-process reference report.
+run_checked(single "${NPD_RUN}" ${BATCH_ARGS} --threads 2
+  --out "${WORK_DIR}/single.json")
+
+# 2. Supervised launch: 3 children, one injected crash + restart,
+#    resuming from the shared cache.
+run_checked(launch "${NPD_LAUNCH}" ${BATCH_ARGS}
+  --procs 3 --retries 2 --runner "${NPD_RUN}"
+  --workdir "${WORK_DIR}/launch"
+  --cache "${WORK_DIR}/cache"
+  --test-crash "${WORK_DIR}/crash_marker"
+  --out "${WORK_DIR}/launched.json")
+
+# The injected crash must actually have happened (one restart) — else
+# this test silently stops covering the supervision path.
+if(NOT LAST_OUTPUT MATCHES "1 restart")
+  message(FATAL_ERROR "expected exactly one injected restart:\n${LAST_OUTPUT}")
+endif()
+
+# 3. Auto-merged bytes == single-process bytes.
+require_identical("${WORK_DIR}/launched.json" "${WORK_DIR}/single.json"
+  "npd_launch 3-proc auto-merge vs single process")
+
+# 4. Re-launch through the GC'd cache: every job must replay as a hit
+#    (the GC kept the whole live batch), and the bytes must still match.
+run_checked(relaunch_gc "${NPD_LAUNCH}" ${BATCH_ARGS}
+  --procs 3 --runner "${NPD_RUN}"
+  --workdir "${WORK_DIR}/relaunch"
+  --cache "${WORK_DIR}/cache" --cache-gc
+  --out "${WORK_DIR}/relaunched.json")
+if(NOT LAST_OUTPUT MATCHES "cache GC: kept")
+  message(FATAL_ERROR "expected a cache GC summary:\n${LAST_OUTPUT}")
+endif()
+require_identical("${WORK_DIR}/relaunched.json" "${WORK_DIR}/single.json"
+  "cache-GC'd relaunch vs single process")

@@ -1,0 +1,221 @@
+// npd_launch — the multi-process shard supervisor.
+//
+// Takes the same batch surface as npd_run plus `--procs N`: it plans the
+// batch in-process (so bad scenario names/parameters fail before any
+// child starts), spawns N `npd_run --shard i/N` children with per-shard
+// log capture, restarts crashed shards up to `--retries` (resuming from
+// `--cache` when one is configured), and on completion merges the
+// partial reports in-process — writing a final report **byte-identical**
+// to the single-process `npd_run` for the same request.
+//
+//   npd_launch --scenarios fig5 --reps 5 --seed 42 --procs 3
+//       --cache cache/ --no-perf --out full.json
+//
+// is equivalent to (but supervised, parallel and crash-tolerant):
+//
+//   npd_run --scenarios fig5 --reps 5 --seed 42 --no-perf --out full.json
+//
+// The children are ordinary npd_run processes found next to this binary
+// (override with --runner); shard reports and logs land in --workdir.
+// With --cache-gc / --cache-max-mb the parent garbage-collects the cache
+// after the merge (see npd_run: same policy, same live-key protection).
+
+#include <cstdio>
+#include <exception>
+#include <filesystem>
+#include <string>
+#include <system_error>
+#include <vector>
+
+#include "engine/builtin_scenarios.hpp"
+#include "engine/engine.hpp"
+#include "shard/launcher.hpp"
+#include "shard/merge.hpp"
+#include "shard/result_cache.hpp"
+#include "tool_common.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace npd;
+
+/// The npd_run binary expected next to this executable (children must be
+/// the same build, or their reports' fingerprints will refuse to merge).
+std::string default_runner() {
+  std::error_code ec;
+  const std::filesystem::path self =
+      std::filesystem::read_symlink("/proc/self/exe", ec);
+  if (ec) {
+    return "npd_run";  // fall back to PATH lookup
+  }
+  return (self.parent_path() / "npd_run").string();
+}
+
+int run(int argc, char** argv) {
+  CliParser cli("npd_launch",
+                "Multi-process shard supervisor: spawn N npd_run shard "
+                "children, restart crashes, auto-merge the partial "
+                "reports into one full run report.");
+  const std::string& scenarios_arg = cli.add_string(
+      "scenarios", "all", "comma-separated scenario names, or 'all'");
+  const long long& reps =
+      cli.add_int("reps", 1, "repetitions per grid cell");
+  const long long& seed =
+      cli.add_int("seed", 42, "base seed for all derived job streams");
+  const long long& threads = cli.add_int(
+      "threads", 1,
+      "worker threads per shard child (0 = all cores; with N children "
+      "prefer 1; aggregates are identical for any value)");
+  const std::string& params_arg = cli.add_string(
+      "params", "",
+      "parameter overrides: scenario.key=value[,scenario.key=value...]");
+  const std::string& out_path = cli.add_string(
+      "out", "npd_launch_report.json",
+      "merged report path ('-' or empty string streams the JSON to "
+      "stdout)");
+  const bool& no_perf = cli.add_flag(
+      "no-perf",
+      "omit wall-clock/throughput stamps (byte-reproducible report, "
+      "cmp-equal to npd_run --no-perf single-process output)");
+  const long long& procs = cli.add_int(
+      "procs", 2, "number of shard child processes (the N of --shard i/N)");
+  const long long& retries = cli.add_int(
+      "retries", 1, "restart budget per shard before the launch aborts");
+  const std::string& runner_arg = cli.add_string(
+      "runner", "",
+      "npd_run binary to exec (default: the npd_run next to npd_launch)");
+  const std::string& workdir = cli.add_string(
+      "workdir", "npd_launch_work",
+      "directory for shard reports (shard_<i>.json) and logs "
+      "(shard_<i>.log)");
+  const std::string& cache_dir = cli.add_string(
+      "cache", "",
+      "result cache directory forwarded to every child: crashed shards "
+      "resume instead of recompute (created if absent)");
+  const bool& cache_gc = cli.add_flag(
+      "cache-gc",
+      "after the merge, drop cache entries that do not belong to this "
+      "batch (and enforce --cache-max-mb); requires --cache");
+  const long long& cache_max_mb = cli.add_int(
+      "cache-max-mb", 0,
+      "size-cap the cache after the merge: evict least-recently-stored "
+      "entries (never this batch's) down to N MiB (0 = no cap)");
+  const std::string& test_crash = cli.add_string(
+      "test-crash", "",
+      "fault injection forwarded to the children (see npd_run "
+      "--test-crash): exactly one shard crashes once, exercising the "
+      "restart path");
+  cli.parse(argc, argv);
+
+  shard::require_valid_proc_count("--procs", procs);
+  if (retries < 0) {
+    throw std::invalid_argument("--retries: must be >= 0");
+  }
+  tools::validate_cache_gc_flags(cache_gc, cache_max_mb, cache_dir);
+
+  engine::ScenarioRegistry registry;
+  engine::register_builtin_scenarios(registry);
+
+  // Plan the identical batch the children will plan: every usage error
+  // (unknown scenario, bad parameter) surfaces here, before any process
+  // is spawned — and the plan's fingerprint/job keys drive the
+  // version-skew check and the cache GC below.
+  const engine::BatchRequest request = tools::make_batch_request(
+      registry, scenarios_arg, reps, seed, threads, params_arg);
+  const Timer timer;
+  const engine::BatchPlan plan = engine::plan_batch(registry, request);
+  const std::string fingerprint = shard::content_hash(plan.fingerprint());
+
+  shard::LaunchOptions options;
+  options.runner = runner_arg.empty() ? default_runner() : runner_arg;
+  options.procs = static_cast<Index>(procs);
+  options.retries = static_cast<Index>(retries);
+  options.work_dir = workdir;
+  options.batch_args = {"--scenarios", scenarios_arg,
+                        "--reps",      std::to_string(reps),
+                        "--seed",      std::to_string(seed),
+                        "--threads",   std::to_string(threads)};
+  if (!params_arg.empty()) {
+    options.batch_args.push_back("--params");
+    options.batch_args.push_back(params_arg);
+  }
+  if (!cache_dir.empty()) {
+    options.batch_args.push_back("--cache");
+    options.batch_args.push_back(cache_dir);
+  }
+  if (!test_crash.empty()) {
+    options.batch_args.push_back("--test-crash");
+    options.batch_args.push_back(test_crash);
+  }
+  if (no_perf) {
+    options.batch_args.push_back("--no-perf");
+  }
+
+  const bool to_stdout = tools::writes_to_stdout(out_path);
+  FILE* summary = tools::summary_stream(out_path);
+  std::fprintf(summary,
+               "launching %lld shard%s of %lld jobs (runner %s, workdir "
+               "%s)\n",
+               static_cast<long long>(options.procs),
+               options.procs == 1 ? "" : "s",
+               static_cast<long long>(plan.jobs.size()),
+               options.runner.c_str(), workdir.c_str());
+
+  const shard::LaunchOutcome outcome = shard::run_shard_processes(options);
+  for (const shard::ShardRunReport& shard_report : outcome.reports) {
+    if (shard_report.fingerprint != fingerprint) {
+      // The children planned a different batch than we did: the runner
+      // binary is a different build (scenario-code drift).  Merging
+      // would fail anyway; name the real cause instead.
+      throw std::runtime_error(
+          "runner version skew: shard reports carry batch fingerprint " +
+          shard_report.fingerprint + ", this binary planned " +
+          fingerprint + " — rebuild so npd_launch and " + options.runner +
+          " match");
+    }
+  }
+  engine::RunReport report = shard::merge_shard_reports(registry,
+                                                        outcome.reports);
+  engine::stamp_perf(report, timer.elapsed_seconds());
+
+  const std::string json = report.to_json(!no_perf).dump(2);
+  if (!tools::write_output(json, out_path)) {
+    return 1;
+  }
+
+  ConsoleTable table({"scenario", "jobs", "cells"});
+  for (const engine::ScenarioRunReport& scenario : report.scenarios) {
+    const Json* cells = scenario.aggregates.find("cells");
+    table.add_row({scenario.name, std::to_string(scenario.jobs),
+                   std::to_string(cells != nullptr ? cells->size() : 0)});
+  }
+  std::fputs(table.render().c_str(), summary);
+  std::fprintf(summary,
+               "\n%lld jobs over %lld shard%s in %.2f s (%lld restart%s)\n",
+               static_cast<long long>(report.total_jobs),
+               static_cast<long long>(options.procs),
+               options.procs == 1 ? "" : "s", timer.elapsed_seconds(),
+               static_cast<long long>(outcome.restarts),
+               outcome.restarts == 1 ? "" : "s");
+  if (!to_stdout) {
+    std::fprintf(summary, "[merged report written to %s]\n",
+                 out_path.c_str());
+  }
+
+  tools::collect_cache_gc(plan, cache_dir, cache_gc, cache_max_mb,
+                          summary);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "npd_launch: %s\n", error.what());
+    return 2;
+  }
+}

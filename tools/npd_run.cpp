@@ -21,6 +21,9 @@
 // only the perf stamps (wall clock, jobs/sec) vary.  --no-perf omits
 // them, making the whole report byte-reproducible.
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <exception>
@@ -30,6 +33,7 @@
 
 #include "engine/builtin_scenarios.hpp"
 #include "engine/engine.hpp"
+#include "shard/launcher.hpp"
 #include "shard/result_cache.hpp"
 #include "shard/runner.hpp"
 #include "shard/shard_plan.hpp"
@@ -44,20 +48,6 @@
 namespace {
 
 using namespace npd;
-
-/// Parse one "scenario.key=value" override.
-engine::ParamOverride parse_override(const std::string& entry) {
-  const std::size_t dot = entry.find('.');
-  const std::size_t eq = entry.find('=');
-  if (dot == std::string::npos || eq == std::string::npos || dot > eq ||
-      dot == 0 || dot + 1 == eq || eq + 1 == entry.size()) {
-    throw std::invalid_argument("malformed --params entry '" + entry +
-                                "' (expected scenario.key=value)");
-  }
-  return engine::ParamOverride{entry.substr(0, dot),
-                               entry.substr(dot + 1, eq - dot - 1),
-                               entry.substr(eq + 1)};
-}
 
 /// Parse "--shard i/N" (1-based i).  Returns the 0-based shard index and
 /// the shard count.
@@ -76,9 +66,14 @@ ShardSpec parse_shard_spec(const std::string& text) {
       parse_int_value("--shard index", text.substr(0, slash));
   const long long n =
       parse_int_value("--shard count", text.substr(slash + 1));
-  if (n < 1 || i < 1 || i > n) {
-    throw std::invalid_argument("--shard '" + text +
-                                "': need 1 <= i <= N");
+  // The count rail comes first so an absurd N (a pasted seed, say) is
+  // rejected before it can size the shard plan; then the index must
+  // select one of those N shards.  Both are usage errors, never asserts.
+  shard::require_valid_proc_count("--shard count", n);
+  if (i < 1 || i > n) {
+    throw std::invalid_argument(
+        "--shard '" + text + "': index out of range, need 1 <= i <= N "
+        "(e.g. --shard 2/3 for the second of three shards)");
   }
   return ShardSpec{static_cast<Index>(i - 1), static_cast<Index>(n)};
 }
@@ -206,6 +201,19 @@ int run(int argc, char** argv) {
   const bool& dry_run = cli.add_flag(
       "dry-run",
       "print the planned job/shard assignment and exit without executing");
+  const bool& cache_gc = cli.add_flag(
+      "cache-gc",
+      "after the run, drop cache entries that do not belong to this "
+      "batch (and enforce --cache-max-mb); requires --cache");
+  const long long& cache_max_mb = cli.add_int(
+      "cache-max-mb", 0,
+      "size-cap the cache after the run: evict least-recently-stored "
+      "entries (never this batch's) down to N MiB (0 = no cap)");
+  const std::string& test_crash = cli.add_string(
+      "test-crash", "",
+      "fault injection for the launcher tests: if this marker file does "
+      "not exist, create it and abort (exit 9) after executing the jobs "
+      "but before writing the report");
   cli.parse(argc, argv);
 
   engine::ScenarioRegistry registry;
@@ -220,24 +228,13 @@ int run(int argc, char** argv) {
     return 0;
   }
 
-  engine::BatchRequest request;
-  if (scenarios_arg == "all") {
-    for (const engine::Scenario* scenario : registry.list()) {
-      request.scenario_names.push_back(scenario->name());
-    }
-  } else {
-    request.scenario_names = split_list(scenarios_arg, ',');
-  }
-  request.config.seed = static_cast<std::uint64_t>(seed);
-  request.config.reps = static_cast<Index>(reps);
-  request.config.threads = static_cast<Index>(threads);
-  for (const std::string& entry : split_list(params_arg, ',')) {
-    request.overrides.push_back(parse_override(entry));
-  }
+  const engine::BatchRequest request = tools::make_batch_request(
+      registry, scenarios_arg, reps, seed, threads, params_arg);
 
   const bool sharded = !shard_arg.empty();
   const ShardSpec spec =
       sharded ? parse_shard_spec(shard_arg) : ShardSpec{};
+  tools::validate_cache_gc_flags(cache_gc, cache_max_mb, cache_dir);
 
   const Timer timer;
   const engine::BatchPlan plan = engine::plan_batch(registry, request);
@@ -250,8 +247,12 @@ int run(int argc, char** argv) {
 
   std::optional<shard::ResultCache> cache;
   if (!cache_dir.empty()) {
-    cache.emplace(cache_dir);
+    cache.emplace(cache_dir, shard::content_hash(plan.fingerprint()));
   }
+  const auto collect_cache = [&](FILE* summary) {
+    tools::collect_cache_gc(plan, cache_dir, cache_gc, cache_max_mb,
+                            summary);
+  };
 
   // Execute this process's slice: the selected shard, or — unsharded —
   // every job (through the same cache-aware path, so --cache works for
@@ -268,6 +269,23 @@ int run(int argc, char** argv) {
   const shard::RunJobsOutcome outcome = shard::run_jobs(
       plan, job_indices, request.config.threads,
       cache.has_value() ? &*cache : nullptr);
+
+  // Deterministic fault injection for the launcher's restart tests: the
+  // O_EXCL create makes exactly one process (across all shards sharing
+  // the marker) take the crash, after its jobs hit the cache but before
+  // its report exists — the worst-timed kill the supervisor must absorb.
+  if (!test_crash.empty()) {
+    const int marker_fd =
+        ::open(test_crash.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
+    if (marker_fd >= 0) {
+      ::close(marker_fd);
+      std::fprintf(stderr,
+                   "npd_run: --test-crash: injected crash before the "
+                   "report write (marker %s created)\n",
+                   test_crash.c_str());
+      return 9;
+    }
+  }
 
   const bool to_stdout = tools::writes_to_stdout(out_path);
   FILE* summary = tools::summary_stream(out_path);
@@ -295,6 +313,7 @@ int run(int argc, char** argv) {
                             "npd_merge]\n",
                    out_path.c_str());
     }
+    collect_cache(summary);
     return 0;
   }
 
@@ -325,6 +344,7 @@ int run(int argc, char** argv) {
   if (!to_stdout) {
     std::fprintf(summary, "[report written to %s]\n", out_path.c_str());
   }
+  collect_cache(summary);
   return 0;
 }
 

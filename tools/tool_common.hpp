@@ -13,9 +13,102 @@
 #include <string>
 #include <utility>
 
+#include "engine/engine.hpp"
+#include "shard/result_cache.hpp"
+#include "shard/runner.hpp"
 #include "util/file.hpp"
+#include "util/parse.hpp"
 
 namespace npd::tools {
+
+/// Parse one "scenario.key=value" override — the `--params` entry format
+/// shared by npd_run and npd_launch.
+[[nodiscard]] inline engine::ParamOverride parse_override(
+    const std::string& entry) {
+  const std::size_t dot = entry.find('.');
+  const std::size_t eq = entry.find('=');
+  if (dot == std::string::npos || eq == std::string::npos || dot > eq ||
+      dot == 0 || dot + 1 == eq || eq + 1 == entry.size()) {
+    throw std::invalid_argument("malformed --params entry '" + entry +
+                                "' (expected scenario.key=value)");
+  }
+  return engine::ParamOverride{entry.substr(0, dot),
+                               entry.substr(dot + 1, eq - dot - 1),
+                               entry.substr(eq + 1)};
+}
+
+/// Build the batch request both drivers run: expand "all", adopt the
+/// engine config, parse the `--params` overrides.
+[[nodiscard]] inline engine::BatchRequest make_batch_request(
+    const engine::ScenarioRegistry& registry,
+    const std::string& scenarios_arg, long long reps, long long seed,
+    long long threads, const std::string& params_arg) {
+  engine::BatchRequest request;
+  if (scenarios_arg == "all") {
+    for (const engine::Scenario* scenario : registry.list()) {
+      request.scenario_names.push_back(scenario->name());
+    }
+  } else {
+    request.scenario_names = split_list(scenarios_arg, ',');
+  }
+  request.config.seed = static_cast<std::uint64_t>(seed);
+  request.config.reps = static_cast<Index>(reps);
+  request.config.threads = static_cast<Index>(threads);
+  for (const std::string& entry : split_list(params_arg, ',')) {
+    request.overrides.push_back(parse_override(entry));
+  }
+  return request;
+}
+
+/// Usage rails for the shared cache-GC flags.  The upper bound (8 EiB
+/// would overflow; 8 TiB is already beyond any cache this writes) keeps
+/// the MiB→bytes conversion below from overflowing int64 on a pasted
+/// seed — the same input class the --shard/--procs rails reject.
+inline void validate_cache_gc_flags(bool cache_gc, long long cache_max_mb,
+                                    const std::string& cache_dir) {
+  if ((cache_gc || cache_max_mb > 0) && cache_dir.empty()) {
+    throw std::invalid_argument(
+        "--cache-gc/--cache-max-mb need --cache DIR (there is no cache "
+        "to collect without one)");
+  }
+  constexpr long long kMaxCacheMb = 8LL * 1024 * 1024;  // 8 TiB
+  if (cache_max_mb < 0 || cache_max_mb > kMaxCacheMb) {
+    throw std::invalid_argument(
+        "--cache-max-mb: need a cap in [0, " +
+        std::to_string(kMaxCacheMb) + "] MiB, got " +
+        std::to_string(cache_max_mb));
+  }
+}
+
+/// The shared `--cache-gc` / `--cache-max-mb` pass of npd_run and
+/// npd_launch: the live set is the *whole* plan's job keys — all
+/// shards' — so no process can ever collect a sibling's fresh results.
+/// No-op unless one of the flags is active.  The summary line's wording
+/// is a contract: CI and the launcher-roundtrip ctest grep for it.
+inline void collect_cache_gc(const engine::BatchPlan& plan,
+                             const std::string& cache_dir, bool cache_gc,
+                             long long cache_max_mb, FILE* summary) {
+  if (cache_dir.empty() || (!cache_gc && cache_max_mb == 0)) {
+    return;
+  }
+  shard::CacheGcPolicy policy;
+  policy.drop_foreign = cache_gc;
+  policy.max_bytes = static_cast<Index>(cache_max_mb) * 1024 * 1024;
+  policy.live_keys.reserve(plan.jobs.size());
+  for (Index j = 0; j < static_cast<Index>(plan.jobs.size()); ++j) {
+    policy.live_keys.push_back(shard::job_cache_key(plan, j));
+  }
+  const shard::ResultCache cache(cache_dir);
+  const shard::CacheGcStats stats = cache.gc(policy);
+  std::fprintf(summary,
+               "cache GC: kept %lld entr%s (%lld bytes), dropped %lld "
+               "(%lld bytes)\n",
+               static_cast<long long>(stats.kept),
+               stats.kept == 1 ? "y" : "ies",
+               static_cast<long long>(stats.bytes_kept),
+               static_cast<long long>(stats.dropped),
+               static_cast<long long>(stats.bytes_dropped));
+}
 
 /// Slurp a whole file via util's shared reader.  Throws
 /// `std::runtime_error` when the file cannot be opened or the read
