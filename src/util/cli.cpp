@@ -100,7 +100,7 @@ void CliParser::parse(int argc, const char* const* argv) {
   for (int i = 1; i < argc; ++i) {
     std::string_view arg(argv[i]);
     if (arg == "--help" || arg == "-h") {
-      std::fputs(help_text().c_str(), stdout);
+      (void)std::fputs(help_text().c_str(), stdout);
       std::exit(0);
     }
     if (arg.substr(0, 2) != "--") {

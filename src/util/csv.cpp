@@ -14,8 +14,10 @@ std::string format_double(double value) {
     return std::to_string(static_cast<long long>(value));
   }
   char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.12g", value);
-  return std::string(buf);
+  const int written = std::snprintf(buf, sizeof(buf), "%.12g", value);
+  NPD_CHECK_MSG(written > 0 && written < static_cast<int>(sizeof(buf)),
+                "CSV double formatting failed");
+  return std::string(buf, static_cast<std::size_t>(written));
 }
 
 CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> header)

@@ -1,11 +1,16 @@
 #include "util/log.hpp"
 
+#include <atomic>
 #include <cstdio>
 
 namespace npd {
 
 namespace {
-LogLevel g_level = LogLevel::Info;
+// Atomic: log_line is called from parallel_for workers while a driver
+// thread may adjust verbosity; a plain global here is a data race (the
+// first thing TSan flags in the engine suites).  Relaxed is enough — the
+// level is an independent filter knob, not a synchronization point.
+std::atomic<LogLevel> g_level{LogLevel::Info};
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -22,15 +27,18 @@ const char* level_tag(LogLevel level) {
 }
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
 
-LogLevel log_level() { return g_level; }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 void log_line(LogLevel level, const std::string& message) {
-  if (static_cast<int>(level) < static_cast<int>(g_level)) {
+  if (static_cast<int>(level) <
+      static_cast<int>(g_level.load(std::memory_order_relaxed))) {
     return;
   }
-  std::fprintf(stderr, "[%s] %s\n", level_tag(level), message.c_str());
+  (void)std::fprintf(stderr, "[%s] %s\n", level_tag(level), message.c_str());
 }
 
 }  // namespace npd

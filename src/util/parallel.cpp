@@ -56,6 +56,13 @@ void parallel_for(Index count, Index threads,
   }
 
   const Index chunk = resolve_grain(grain, count, workers);
+  // Memory-order notes (TSan-verified, see docs/static_analysis.md):
+  // `next` is a pure work-distribution counter — relaxed is enough
+  // because no data is published through it (each index's writes go to
+  // that index's own result slot, and thread join below is the only
+  // publication point the caller relies on).  `first_error` is written
+  // under `error_mutex` and read only after every worker has joined, so
+  // the join's synchronizes-with edge orders that read.
   std::atomic<Index> next{0};
   std::exception_ptr first_error;
   std::mutex error_mutex;

@@ -54,12 +54,22 @@ SpawnedProcess spawn_process(const std::vector<std::string>& argv,
                              std::strerror(errno));
   }
   if (pid == 0) {
-    // Child: only async-signal-safe calls between fork and exec.
+    // Child: only async-signal-safe calls between fork and exec (POSIX
+    // async-signal-safety list: dup2, close, execvp, write, _exit).  No
+    // allocation, no stdio, no locks — the parent may hold arbitrary
+    // locks at fork time, and anything that touches them deadlocks.
     (void)::dup2(log_fd, STDOUT_FILENO);
     (void)::dup2(log_fd, STDERR_FILENO);
     ::close(log_fd);
     ::execvp(c_argv[0], c_argv.data());
-    _exit(127);  // exec failed; the parent reads this as "cannot start"
+    // Exec failed: leave a breadcrumb in the captured log via raw
+    // write(2) (stderr now points at the log file), then report 127.
+    constexpr char kMessage[] = "spawn_process: execvp failed for: ";
+    (void)!::write(STDERR_FILENO, kMessage, sizeof(kMessage) - 1);
+    (void)!::write(STDERR_FILENO, c_argv[0],
+                   std::strlen(c_argv[0]));
+    (void)!::write(STDERR_FILENO, "\n", 1);
+    _exit(127);  // the parent reads this as "cannot start"
   }
   ::close(log_fd);
   return SpawnedProcess{static_cast<int>(pid)};

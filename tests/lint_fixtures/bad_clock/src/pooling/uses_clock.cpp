@@ -1,0 +1,14 @@
+#include <chrono>
+#include <ctime>
+
+namespace npd {
+
+// Wall-clock reads in library code: results must be functions of the
+// seed alone.
+long stamp_now() {
+  const long posix = static_cast<long>(time(nullptr));
+  const auto wall = std::chrono::system_clock::now();
+  return posix + wall.time_since_epoch().count();
+}
+
+}  // namespace npd

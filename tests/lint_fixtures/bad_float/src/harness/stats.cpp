@@ -1,0 +1,16 @@
+#include <span>
+
+namespace npd::harness {
+
+// float accumulation in the stats path: loses integer exactness and
+// makes sums association-order dependent far earlier than double.
+double mean(std::span<const double> xs) {
+  float acc = 0.0F;
+  for (const double x : xs) {
+    acc += static_cast<float>(x);
+  }
+  return xs.empty() ? 0.0 : static_cast<double>(acc) /
+                                static_cast<double>(xs.size());
+}
+
+}  // namespace npd::harness

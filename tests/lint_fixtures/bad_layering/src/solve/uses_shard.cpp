@@ -1,0 +1,9 @@
+// Layering violation: solve sits below engine and shard in the DAG.
+#include "shard/merge.hpp"
+#include "solve/reconstructor.hpp"
+
+namespace npd::solve {
+
+void merge_everything() {}
+
+}  // namespace npd::solve

@@ -1,0 +1,10 @@
+// Layering violation: util is the bottom layer and may include nothing
+// above itself.
+#include "engine/job.hpp"
+#include "util/types.hpp"
+
+namespace npd {
+
+int count_jobs() { return 0; }
+
+}  // namespace npd

@@ -1,0 +1,22 @@
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace npd::engine {
+
+// Hash-order iteration while emitting a report: the row order would
+// change with the hash seed / allocator addresses.
+std::vector<std::string> emit_rows(
+    const std::unordered_map<std::string, double>& by_name) {
+  std::unordered_map<std::string, double> totals(by_name);
+  std::vector<std::string> rows;
+  for (const auto& [name, value] : totals) {
+    rows.push_back(name + "=" + std::to_string(value));
+  }
+  for (auto it = totals.begin(); it != totals.end(); ++it) {
+    rows.push_back(it->first);
+  }
+  return rows;
+}
+
+}  // namespace npd::engine

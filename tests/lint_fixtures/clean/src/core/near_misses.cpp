@@ -1,0 +1,27 @@
+#include <string>
+
+#include "noise/channel.hpp"
+#include "pooling/pooling_graph.hpp"
+#include "rand/rng.hpp"
+#include "util/types.hpp"
+
+namespace npd {
+
+// Near-misses the lint must NOT flag:
+//  - banned calls inside comments:   std::rand(); srand(7); time(nullptr);
+//  - banned tokens in string literals (below);
+//  - identifiers merely containing banned words;
+//  - a char literal and a digit separator near a quote.
+/* std::random_device inside a block comment is fine too. */
+std::string describe_bans() {
+  const std::string docs =
+      "never call std::rand, srand(, time( or std::random_device here";
+  const long long big = 1'000'000;
+  const char quote = '"';
+  long runtime_estimate = 0;     // "time" embedded in an identifier
+  long last_write_time_ns = 0;   // ditto, suffix position
+  runtime_estimate += big + quote + last_write_time_ns;
+  return docs + std::to_string(runtime_estimate);
+}
+
+}  // namespace npd

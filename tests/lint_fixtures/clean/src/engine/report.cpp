@@ -1,0 +1,27 @@
+#include <map>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "harness/stats.hpp"
+#include "util/json.hpp"
+
+namespace npd::engine {
+
+// A clean emit path: deterministic iteration over a std::map, with an
+// unordered_set used for membership only (never iterated).
+std::vector<std::string> emit_rows(
+    const std::map<std::string, double>& by_name,
+    const std::vector<std::string>& wanted_names) {
+  std::unordered_set<std::string> wanted(wanted_names.begin(),
+                                         wanted_names.end());
+  std::vector<std::string> rows;
+  for (const auto& [name, value] : by_name) {
+    if (wanted.count(name) > 0) {
+      rows.push_back(name + "=" + std::to_string(value));
+    }
+  }
+  return rows;
+}
+
+}  // namespace npd::engine

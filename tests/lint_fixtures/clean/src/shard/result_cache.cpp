@@ -1,0 +1,27 @@
+#include <algorithm>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "engine/report.hpp"
+#include "util/file.hpp"
+
+namespace npd::shard {
+
+// Membership-only unordered use in a cache-index path is allowed; the
+// emitted order comes from sorting a vector.
+std::vector<std::string> live_entries(
+    const std::vector<std::string>& keys,
+    const std::vector<std::string>& candidates) {
+  std::unordered_set<std::string> live(keys.begin(), keys.end());
+  std::vector<std::string> kept;
+  for (const std::string& candidate : candidates) {
+    if (live.count(candidate) > 0) {
+      kept.push_back(candidate);
+    }
+  }
+  std::sort(kept.begin(), kept.end());
+  return kept;
+}
+
+}  // namespace npd::shard

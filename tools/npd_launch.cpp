@@ -155,7 +155,7 @@ int run(int argc, char** argv) {
 
   const bool to_stdout = tools::writes_to_stdout(out_path);
   FILE* summary = tools::summary_stream(out_path);
-  std::fprintf(summary,
+  (void)std::fprintf(summary,
                "launching %lld shard%s of %lld jobs (runner %s, workdir "
                "%s)\n",
                static_cast<long long>(options.procs),
@@ -191,8 +191,8 @@ int run(int argc, char** argv) {
     table.add_row({scenario.name, std::to_string(scenario.jobs),
                    std::to_string(cells != nullptr ? cells->size() : 0)});
   }
-  std::fputs(table.render().c_str(), summary);
-  std::fprintf(summary,
+  (void)std::fputs(table.render().c_str(), summary);
+  (void)std::fprintf(summary,
                "\n%lld jobs over %lld shard%s in %.2f s (%lld restart%s)\n",
                static_cast<long long>(report.total_jobs),
                static_cast<long long>(options.procs),
@@ -200,7 +200,7 @@ int run(int argc, char** argv) {
                static_cast<long long>(outcome.restarts),
                outcome.restarts == 1 ? "" : "s");
   if (!to_stdout) {
-    std::fprintf(summary, "[merged report written to %s]\n",
+    (void)std::fprintf(summary, "[merged report written to %s]\n",
                  out_path.c_str());
   }
 
@@ -215,7 +215,7 @@ int main(int argc, char** argv) {
   try {
     return run(argc, argv);
   } catch (const std::exception& error) {
-    std::fprintf(stderr, "npd_launch: %s\n", error.what());
+    (void)std::fprintf(stderr, "npd_launch: %s\n", error.what());
     return 2;
   }
 }

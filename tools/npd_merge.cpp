@@ -97,7 +97,7 @@ int run(int argc, char** argv) {
     }
   }
   if (inputs.empty()) {
-    std::fprintf(stderr,
+    (void)std::fprintf(stderr,
                  "npd_merge: no inputs (pass --inputs a.json,b.json,... "
                  "and/or --dir DIR)\n");
     return 2;
@@ -113,13 +113,13 @@ int run(int argc, char** argv) {
       if (input.discovered &&
           (schema == nullptr || !schema->is_string() ||
            schema->as_string() != "npd.run_report_shard/1")) {
-        std::fprintf(stderr, "npd_merge: skipping %s (not a shard report)\n",
+        (void)std::fprintf(stderr, "npd_merge: skipping %s (not a shard report)\n",
                      input.path.c_str());
         continue;
       }
       reports.push_back(shard::shard_report_from_json(document));
     } catch (const std::exception& error) {
-      std::fprintf(stderr, "npd_merge: %s: %s\n", input.path.c_str(),
+      (void)std::fprintf(stderr, "npd_merge: %s: %s\n", input.path.c_str(),
                    error.what());
       return 2;
     }
@@ -143,14 +143,14 @@ int run(int argc, char** argv) {
     table.add_row({scenario.name, std::to_string(scenario.jobs),
                    std::to_string(cells != nullptr ? cells->size() : 0)});
   }
-  std::fputs(table.render().c_str(), summary);
-  std::fprintf(summary,
+  (void)std::fputs(table.render().c_str(), summary);
+  (void)std::fprintf(summary,
                "\nmerged %lld shard report%s covering %lld jobs\n",
                static_cast<long long>(reports.size()),
                reports.size() == 1 ? "" : "s",
                static_cast<long long>(report.total_jobs));
   if (!to_stdout) {
-    std::fprintf(summary, "[merged report written to %s]\n",
+    (void)std::fprintf(summary, "[merged report written to %s]\n",
                  out_path.c_str());
   }
   return 0;
@@ -162,7 +162,7 @@ int main(int argc, char** argv) {
   try {
     return run(argc, argv);
   } catch (const std::exception& error) {
-    std::fprintf(stderr, "npd_merge: %s\n", error.what());
+    (void)std::fprintf(stderr, "npd_merge: %s\n", error.what());
     return 2;
   }
 }

@@ -81,20 +81,20 @@ ShardSpec parse_shard_spec(const std::string& text) {
 void print_param_specs(const std::string& owner,
                        const std::vector<ParamSpec>& specs) {
   for (const ParamSpec& spec : specs) {
-    std::printf("      %s.%s = %s  (%s)\n", owner.c_str(),
+    (void)std::printf("      %s.%s = %s  (%s)\n", owner.c_str(),
                 spec.name.c_str(), spec.default_value.c_str(),
                 spec.help.c_str());
   }
 }
 
 void print_scenario_list(const engine::ScenarioRegistry& registry) {
-  std::printf("Registered scenarios:\n\n");
+  (void)std::printf("Registered scenarios:\n\n");
   for (const engine::Scenario* scenario : registry.list()) {
-    std::printf("  %-18s %s\n", scenario->name().c_str(),
+    (void)std::printf("  %-18s %s\n", scenario->name().c_str(),
                 scenario->description().c_str());
     print_param_specs(scenario->name(), scenario->params());
   }
-  std::printf(
+  (void)std::printf(
       "\nRun a subset with --scenarios a,b,c; override parameters with\n"
       "--params scenario.key=value[,scenario.key=value...].\n"
       "Solver-generic scenarios select their algorithm with\n"
@@ -102,13 +102,13 @@ void print_scenario_list(const engine::ScenarioRegistry& registry) {
 }
 
 void print_solver_list() {
-  std::printf("Registered solvers:\n\n");
+  (void)std::printf("Registered solvers:\n\n");
   for (const solve::SolverFactory* factory : solve::builtin_solvers().list()) {
-    std::printf("  %-20s %s\n", factory->name().c_str(),
+    (void)std::printf("  %-20s %s\n", factory->name().c_str(),
                 factory->description().c_str());
     print_param_specs(factory->name(), factory->params());
   }
-  std::printf(
+  (void)std::printf(
       "\nSelect one per scenario with --params <scenario>.solver=<name>;\n"
       "pass its options with\n"
       "--params <scenario>.solver_params=key=value[;key=value...].\n");
@@ -119,7 +119,7 @@ void print_solver_list() {
 void print_dry_run(const engine::BatchPlan& plan,
                    const shard::ShardPlan& shards, const ShardSpec& spec,
                    bool sharded) {
-  std::printf("Planned batch (fingerprint %s):\n\n",
+  (void)std::printf("Planned batch (fingerprint %s):\n\n",
               shard::content_hash(plan.fingerprint()).c_str());
   ConsoleTable scenario_table({"scenario", "jobs", "cells", "cost"});
   for (const engine::PlannedScenario& s : plan.scenarios) {
@@ -133,9 +133,9 @@ void print_dry_run(const engine::BatchPlan& plan,
     scenario_table.add_row({s.scenario->name(), std::to_string(s.job_count),
                             std::to_string(cells), std::to_string(cost)});
   }
-  std::fputs(scenario_table.render().c_str(), stdout);
+  (void)std::fputs(scenario_table.render().c_str(), stdout);
 
-  std::printf("\nShard assignment (LPT over cost hints, %lld shard%s):\n\n",
+  (void)std::printf("\nShard assignment (LPT over cost hints, %lld shard%s):\n\n",
               static_cast<long long>(shards.shard_count()),
               shards.shard_count() == 1 ? "" : "s");
   // Rendered from the plan's own balance summary so the table and any
@@ -146,8 +146,8 @@ void print_dry_run(const engine::BatchPlan& plan,
   for (std::size_t s = 0; s < entries.size(); ++s) {
     const Json& entry = entries.at(s);
     char share[32];
-    std::snprintf(share, sizeof(share), "%.1f%%",
-                  100.0 * entry.at("load_share").as_double());
+    (void)std::snprintf(share, sizeof(share), "%.1f%%",
+                        100.0 * entry.at("load_share").as_double());
     shard_table.add_row(
         {std::to_string(entry.at("shard").as_int() + 1) + "/" +
              std::to_string(shards.shard_count()),
@@ -156,8 +156,8 @@ void print_dry_run(const engine::BatchPlan& plan,
          sharded && static_cast<Index>(s) == spec.index ? "<- this shard"
                                                         : ""});
   }
-  std::fputs(shard_table.render().c_str(), stdout);
-  std::printf("\n%lld jobs planned; nothing executed (--dry-run).\n",
+  (void)std::fputs(shard_table.render().c_str(), stdout);
+  (void)std::printf("\n%lld jobs planned; nothing executed (--dry-run).\n",
               static_cast<long long>(plan.jobs.size()));
 }
 
@@ -279,7 +279,7 @@ int run(int argc, char** argv) {
         ::open(test_crash.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
     if (marker_fd >= 0) {
       ::close(marker_fd);
-      std::fprintf(stderr,
+      (void)std::fprintf(stderr,
                    "npd_run: --test-crash: injected crash before the "
                    "report write (marker %s created)\n",
                    test_crash.c_str());
@@ -298,7 +298,7 @@ int run(int argc, char** argv) {
     if (!tools::write_output(json, out_path)) {
       return 1;
     }
-    std::fprintf(summary,
+    (void)std::fprintf(summary,
                  "shard %lld/%lld: %lld of %lld jobs (%lld cache hits, "
                  "%lld executed) in %.2f s\n",
                  static_cast<long long>(spec.index + 1),
@@ -309,7 +309,7 @@ int run(int argc, char** argv) {
                  static_cast<long long>(outcome.executed),
                  timer.elapsed_seconds());
     if (!to_stdout) {
-      std::fprintf(summary, "[partial report written to %s — merge with "
+      (void)std::fprintf(summary, "[partial report written to %s — merge with "
                             "npd_merge]\n",
                    out_path.c_str());
     }
@@ -332,17 +332,17 @@ int run(int argc, char** argv) {
                    std::to_string(cells != nullptr ? cells->size() : 0),
                    std::to_string(scenario.job_seconds)});
   }
-  std::fputs(table.render().c_str(), summary);
-  std::fprintf(summary, "\n%lld jobs in %.2f s (%.1f jobs/sec)",
+  (void)std::fputs(table.render().c_str(), summary);
+  (void)std::fprintf(summary, "\n%lld jobs in %.2f s (%.1f jobs/sec)",
                static_cast<long long>(report.total_jobs),
                report.wall_seconds, report.jobs_per_second);
   if (cache.has_value()) {
-    std::fprintf(summary, ", %lld cache hits",
+    (void)std::fprintf(summary, ", %lld cache hits",
                  static_cast<long long>(outcome.cache_hits));
   }
-  std::fprintf(summary, "\n");
+  (void)std::fprintf(summary, "\n");
   if (!to_stdout) {
-    std::fprintf(summary, "[report written to %s]\n", out_path.c_str());
+    (void)std::fprintf(summary, "[report written to %s]\n", out_path.c_str());
   }
   collect_cache(summary);
   return 0;
@@ -354,7 +354,7 @@ int main(int argc, char** argv) {
   try {
     return run(argc, argv);
   } catch (const std::exception& error) {
-    std::fprintf(stderr, "npd_run: %s\n", error.what());
+    (void)std::fprintf(stderr, "npd_run: %s\n", error.what());
     return 2;
   }
 }
