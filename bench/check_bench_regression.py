@@ -1,0 +1,165 @@
+#!/usr/bin/env python3
+"""Compare benchmark results against the committed baseline.
+
+The committed baseline (bench/baseline/) was recorded on one particular
+machine; CI runners are faster or slower across the board.  Raw
+per-benchmark comparison would therefore flag machine speed, not code
+regressions.  Instead:
+
+  1. compute a machine-speed factor: the geometric mean, over every
+     benchmark present in both files, of current_time / baseline_time;
+  2. a benchmark only counts as regressed when it is more than
+     `--tolerance` (default 1.25) slower than the baseline *after*
+     dividing out that factor — i.e. it got slower relative to its
+     peers, which is what a code regression looks like;
+  3. the npd_run wall-clock baseline (BENCH_run.json) is compared the
+     same way, scaled by the micro-benchmark speed factor.
+
+`--validate-only` just checks the baseline files parse and carry the
+expected shape — the deterministic half that runs as a ctest on every
+machine, benchmark library or not.
+
+Exit codes: 0 OK, 1 regression found, 2 usage/baseline error.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+
+def load_json(path):
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, ValueError) as error:
+        print(f"error: cannot read '{path}': {error}", file=sys.stderr)
+        sys.exit(2)
+
+
+def micro_times(document, path):
+    """name -> real_time (ns) from a Google Benchmark JSON document."""
+    benchmarks = document.get("benchmarks")
+    if not isinstance(benchmarks, list) or not benchmarks:
+        print(f"error: '{path}' has no benchmarks array", file=sys.stderr)
+        sys.exit(2)
+    samples = {}
+    for entry in benchmarks:
+        name = entry.get("name")
+        time = entry.get("real_time")
+        if not isinstance(name, str) or not isinstance(time, (int, float)):
+            print(f"error: '{path}' entry without name/real_time",
+                  file=sys.stderr)
+            sys.exit(2)
+        if entry.get("run_type", "iteration") == "iteration" and time > 0:
+            # Repetitions repeat a name; collect all samples per name.
+            samples.setdefault(name, []).append(float(time))
+    if not samples:
+        print(f"error: '{path}' has no usable iteration entries",
+              file=sys.stderr)
+        sys.exit(2)
+    # Median across repetitions: robust against one lucky/unlucky rep in
+    # a way min is not (a single fast outlier in the baseline would turn
+    # into a permanent false regression).
+    return {name: sorted(values)[len(values) // 2]
+            for name, values in samples.items()}
+
+
+def run_perf(document, path):
+    """(wall_seconds, total_jobs) from a BENCH_run.json document."""
+    if document.get("schema") != "npd.bench_run/1":
+        print(f"error: '{path}' schema is not npd.bench_run/1",
+              file=sys.stderr)
+        sys.exit(2)
+    perf = document.get("perf", {})
+    wall = perf.get("wall_seconds")
+    jobs = perf.get("total_jobs")
+    if not isinstance(wall, (int, float)) or wall <= 0 or \
+            not isinstance(jobs, int) or jobs <= 0:
+        print(f"error: '{path}' perf block incomplete", file=sys.stderr)
+        sys.exit(2)
+    return float(wall), jobs
+
+
+def speed_factor(baseline, current):
+    """Geometric mean of current/baseline over the shared benchmarks."""
+    shared = sorted(set(baseline) & set(current))
+    if not shared:
+        print("error: baseline and current share no benchmarks",
+              file=sys.stderr)
+        sys.exit(2)
+    log_sum = sum(math.log(current[name] / baseline[name])
+                  for name in shared)
+    return math.exp(log_sum / len(shared)), shared
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True,
+                        help="committed BENCH_micro.json")
+    parser.add_argument("--current",
+                        help="freshly recorded micro-benchmark JSON")
+    parser.add_argument("--run-baseline",
+                        help="committed BENCH_run.json (npd_run wall clock)")
+    parser.add_argument("--run-current",
+                        help="freshly recorded npd.bench_run/1 JSON")
+    parser.add_argument("--tolerance", type=float, default=1.25,
+                        help="allowed slowdown after normalization "
+                             "(default 1.25 = 25%%)")
+    parser.add_argument("--validate-only", action="store_true",
+                        help="only check the baseline files' shape")
+    args = parser.parse_args()
+
+    baseline = micro_times(load_json(args.baseline), args.baseline)
+    if args.run_baseline:
+        run_perf(load_json(args.run_baseline), args.run_baseline)
+    if args.validate_only:
+        print(f"baseline OK: {len(baseline)} micro benchmarks"
+              + (", npd_run wall-clock present" if args.run_baseline else ""))
+        return 0
+
+    if not args.current:
+        parser.error("--current is required unless --validate-only")
+    current = micro_times(load_json(args.current), args.current)
+    factor, shared = speed_factor(baseline, current)
+    print(f"machine speed factor (geomean over {len(shared)} shared "
+          f"benchmarks): {factor:.3f}x")
+
+    regressions = []
+    for name in shared:
+        normalized = current[name] / factor
+        ratio = normalized / baseline[name]
+        marker = " <-- REGRESSION" if ratio > args.tolerance else ""
+        print(f"  {name}: {baseline[name]:.0f} -> {current[name]:.0f} ns "
+              f"(normalized ratio {ratio:.2f}){marker}")
+        if ratio > args.tolerance:
+            regressions.append(name)
+
+    if args.run_baseline and args.run_current:
+        base_wall, base_jobs = run_perf(load_json(args.run_baseline),
+                                        args.run_baseline)
+        cur_wall, cur_jobs = run_perf(load_json(args.run_current),
+                                      args.run_current)
+        if cur_jobs != base_jobs:
+            print(f"error: npd_run job count changed "
+                  f"({base_jobs} -> {cur_jobs}); re-record the baseline "
+                  f"batch", file=sys.stderr)
+            sys.exit(2)
+        ratio = (cur_wall / factor) / base_wall
+        marker = " <-- REGRESSION" if ratio > args.tolerance else ""
+        print(f"  npd_run wall: {base_wall:.2f}s -> {cur_wall:.2f}s "
+              f"(normalized ratio {ratio:.2f}){marker}")
+        if ratio > args.tolerance:
+            regressions.append("npd_run.wall_seconds")
+
+    if regressions:
+        print(f"FAIL: {len(regressions)} regression(s) beyond "
+              f"{args.tolerance:.2f}x: {', '.join(regressions)}")
+        return 1
+    print(f"OK: no benchmark slower than {args.tolerance:.2f}x baseline "
+          f"after normalization")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,6 +7,7 @@
 #include "util/assert.hpp"
 #include "util/parallel.hpp"
 #include "util/timer.hpp"
+#include "util/trace.hpp"
 
 namespace npd::engine {
 
@@ -48,6 +49,14 @@ std::vector<JobResult> JobQueue::run(Index threads) {
         JobResult& result = results[static_cast<std::size_t>(j)];
         result.cell = job.cell;
         result.rep = job.rep;
+        // Telemetry span per job (out-of-band; a no-op without --trace).
+        // The detail string is only built when tracing is on.
+        std::string detail;
+        if (trace::enabled()) {
+          detail = "cell=" + std::to_string(job.cell) +
+                   " rep=" + std::to_string(job.rep);
+        }
+        const trace::Span span("job", std::move(detail));
         const Timer timer;
         rand::Rng rng(job.seed);
         result.metrics = job.run(rng);

@@ -1,10 +1,17 @@
 #include "shard/launcher.hpp"
 
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 #include "shard/merge.hpp"
 #include "util/file.hpp"
+#include "util/heartbeat.hpp"
 #include "util/json.hpp"
 #include "util/subprocess.hpp"
 
@@ -24,6 +31,108 @@ std::string log_tail(const std::filesystem::path& log_path,
   }
   return "..." + text->substr(text->size() - max_bytes);
 }
+
+/// One decimal place, no locale surprises.
+std::string fixed1(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.1f", value);
+  return buffer;
+}
+
+/// The live `--watch` progress line: reads every shard heartbeat file,
+/// folds them into one aggregate, and renders to stderr.  On a TTY the
+/// line rewrites in place (carriage return, padded to cover the previous
+/// frame); otherwise a line is printed only when the text changes, so a
+/// CI log shows each distinct state once.  All wall-clock arithmetic
+/// goes through `heartbeat::now_unix_seconds()` — the launcher itself
+/// never reads a clock.
+class WatchRenderer {
+ public:
+  WatchRenderer(std::vector<std::filesystem::path> paths, Index procs)
+      : paths_(std::move(paths)),
+        procs_(procs),
+        start_unix_(heartbeat::now_unix_seconds()),
+        tty_(::isatty(2) != 0) {}
+
+  void render(Index restarts, bool final) {
+    std::int64_t done = 0;
+    std::int64_t total = 0;
+    std::int64_t hits = 0;
+    double max_lag = 0.0;
+    Index reporting = 0;
+    const double now = heartbeat::now_unix_seconds();
+    std::string per_shard;
+    for (std::size_t i = 0; i < paths_.size(); ++i) {
+      const std::optional<heartbeat::Heartbeat> beat =
+          heartbeat::read_heartbeat(paths_[i]);
+      if (!per_shard.empty()) {
+        per_shard += ' ';
+      }
+      per_shard += std::to_string(i + 1) + ':';
+      if (!beat.has_value()) {
+        per_shard += '-';
+        continue;
+      }
+      ++reporting;
+      done += beat->jobs_done;
+      total += beat->jobs_total;
+      hits += beat->cache_hits;
+      if (!beat->done) {
+        max_lag = std::max(max_lag, now - beat->updated_unix);
+      }
+      per_shard += std::to_string(beat->jobs_done) + '/' +
+                   std::to_string(beat->jobs_total);
+    }
+
+    const double elapsed = std::max(now - start_unix_, 1e-9);
+    const double rate = static_cast<double>(done) / elapsed;
+    std::string line = "[watch] " + std::to_string(done) + '/' +
+                       std::to_string(total) + " jobs";
+    line += " | " + fixed1(rate) + " jobs/s";
+    if (done < total && rate > 0.0) {
+      line += " | eta " +
+              fixed1(static_cast<double>(total - done) / rate) + "s";
+    }
+    line += " | hits " + std::to_string(hits);
+    line += " | lag " + fixed1(max_lag) + "s";
+    line += " | restarts " + std::to_string(restarts);
+    line += " | shards " +
+            (per_shard.empty() ? std::string("-") : per_shard);
+    if (reporting < procs_ && !final) {
+      line += " (" + std::to_string(procs_ - reporting) +
+              " not reporting yet)";
+    }
+
+    if (tty_) {
+      std::string padded = line;
+      if (padded.size() < last_len_) {
+        padded.append(last_len_ - padded.size(), ' ');
+      }
+      std::fprintf(stderr, "\r%s", padded.c_str());
+      if (final) {
+        std::fprintf(stderr, "\n");
+      }
+      std::fflush(stderr);
+      last_len_ = line.size();
+    } else if (line != last_line_ || (final && !final_printed_)) {
+      std::fprintf(stderr, "%s\n", line.c_str());
+      std::fflush(stderr);
+    }
+    last_line_ = std::move(line);
+    if (final) {
+      final_printed_ = true;
+    }
+  }
+
+ private:
+  std::vector<std::filesystem::path> paths_;
+  Index procs_;
+  double start_unix_;
+  bool tty_;
+  std::size_t last_len_ = 0;
+  std::string last_line_;
+  bool final_printed_ = false;
+};
 
 }  // namespace
 
@@ -51,12 +160,17 @@ LaunchOutcome run_shard_processes(const LaunchOptions& options) {
   std::filesystem::create_directories(options.work_dir);
 
   const Index procs = options.procs;
+  const bool heartbeats = options.heartbeats || options.watch;
   LaunchOutcome outcome;
   outcome.reports.resize(static_cast<std::size_t>(procs));
   for (Index i = 0; i < procs; ++i) {
     const std::string stem = "shard_" + std::to_string(i + 1);
     outcome.report_paths.push_back(options.work_dir / (stem + ".json"));
     outcome.log_paths.push_back(options.work_dir / (stem + ".log"));
+    if (heartbeats) {
+      outcome.heartbeat_paths.push_back(options.work_dir /
+                                        (stem + ".heartbeat.json"));
+    }
   }
 
   struct ShardState {
@@ -75,9 +189,15 @@ LaunchOutcome run_shard_processes(const LaunchOptions& options) {
     std::filesystem::remove(outcome.report_paths[slot]);
     if (states[slot].attempts == 0) {
       std::filesystem::remove(outcome.log_paths[slot]);
+      if (heartbeats) {
+        // A heartbeat from a previous launch must not feed the watch
+        // view; a *retry's* predecessor heartbeat is fine to keep — the
+        // restarted child overwrites it with its first beat.
+        std::filesystem::remove(outcome.heartbeat_paths[slot]);
+      }
     }
     std::vector<std::string> argv;
-    argv.reserve(options.batch_args.size() + 5);
+    argv.reserve(options.batch_args.size() + 7);
     argv.push_back(options.runner);
     argv.insert(argv.end(), options.batch_args.begin(),
                 options.batch_args.end());
@@ -85,6 +205,10 @@ LaunchOutcome run_shard_processes(const LaunchOptions& options) {
     argv.push_back(std::to_string(i + 1) + "/" + std::to_string(procs));
     argv.push_back("--out");
     argv.push_back(outcome.report_paths[slot].string());
+    if (heartbeats) {
+      argv.push_back("--heartbeat");
+      argv.push_back(outcome.heartbeat_paths[slot].string());
+    }
     states[slot].process = spawn_process(argv, outcome.log_paths[slot]);
     ++states[slot].attempts;
   };
@@ -132,22 +256,20 @@ LaunchOutcome run_shard_processes(const LaunchOptions& options) {
   }
 
   Index remaining = procs;
-  while (remaining > 0) {
-    const std::optional<ProcessExit> exit = wait_any_child();
-    if (!exit.has_value()) {
-      throw std::runtime_error(
-          "launcher: lost track of the shard children (waitpid reported "
-          "no children while shards were still outstanding)");
-    }
-    const Index shard = shard_of_pid(exit->pid);
+
+  // One reaped exit -> retry / record / abort.  Shared by the blocking
+  // loop and the watch poll loop so the supervision semantics cannot
+  // drift between the two modes.
+  const auto handle_exit = [&](const ProcessExit& exit) {
+    const Index shard = shard_of_pid(exit.pid);
     if (shard < 0) {
-      continue;  // not one of ours (embedding process' child)
+      return;  // not one of ours (embedding process' child)
     }
     const auto slot = static_cast<std::size_t>(shard);
     ShardState& state = states[slot];
 
     std::string failure;
-    if (exit->success()) {
+    if (exit.success()) {
       // The report is the ground truth, not the exit code: parse it now
       // so a child that died between report-write and exit (or wrote
       // garbage) is handled by the same retry path as a crash.
@@ -177,10 +299,10 @@ LaunchOutcome run_shard_processes(const LaunchOptions& options) {
         outcome.reports[slot] = *std::move(report);
         state.done = true;
         --remaining;
-        continue;
+        return;
       }
     } else {
-      failure = describe_exit(*exit);
+      failure = describe_exit(exit);
     }
 
     if (state.attempts > options.retries) {
@@ -189,6 +311,40 @@ LaunchOutcome run_shard_processes(const LaunchOptions& options) {
     }
     ++outcome.restarts;
     spawn_shard(shard);  // resumes from the cache when one is configured
+  };
+
+  if (options.watch) {
+    WatchRenderer watch(outcome.heartbeat_paths, procs);
+    const auto interval =
+        std::chrono::milliseconds(std::max(options.watch_interval_ms, 10));
+    while (remaining > 0) {
+      // Drain every already-exited child before sleeping, so a burst of
+      // exits does not cost one render interval each.
+      ProcessExit exit;
+      const PollChild poll = poll_any_child(exit);
+      if (poll == PollChild::Reaped) {
+        handle_exit(exit);
+        continue;
+      }
+      if (poll == PollChild::NoChildren) {
+        throw std::runtime_error(
+            "launcher: lost track of the shard children (waitpid reported "
+            "no children while shards were still outstanding)");
+      }
+      watch.render(outcome.restarts, /*final=*/false);
+      std::this_thread::sleep_for(interval);
+    }
+    watch.render(outcome.restarts, /*final=*/true);
+  } else {
+    while (remaining > 0) {
+      const std::optional<ProcessExit> exit = wait_any_child();
+      if (!exit.has_value()) {
+        throw std::runtime_error(
+            "launcher: lost track of the shard children (waitpid reported "
+            "no children while shards were still outstanding)");
+      }
+      handle_exit(*exit);
+    }
   }
   return outcome;
 }

@@ -47,6 +47,17 @@ struct LaunchOptions {
   /// Where shard reports (`shard_<i>.json`) and logs (`shard_<i>.log`)
   /// are written; created if absent.
   std::filesystem::path work_dir;
+  /// Pass `--heartbeat <work_dir>/shard_<i>.heartbeat.json` to every
+  /// child so progress is observable while the shards run.  Telemetry
+  /// only — the reports and the merge are byte-identical either way.
+  bool heartbeats = false;
+  /// Tail the shard heartbeats while supervising and render a live
+  /// aggregate progress line to stderr (implies `heartbeats`).  On a
+  /// TTY the line rewrites in place; otherwise a new line is printed
+  /// whenever the aggregate changes.
+  bool watch = false;
+  /// Poll/render cadence of the watch loop.
+  int watch_interval_ms = 500;
 };
 
 /// Everything a supervised run produced, before aggregation.
@@ -57,6 +68,11 @@ struct LaunchOutcome {
   Index restarts = 0;
   std::vector<std::filesystem::path> report_paths;  ///< by shard
   std::vector<std::filesystem::path> log_paths;     ///< by shard
+  /// Heartbeat file per shard (empty unless `heartbeats`/`watch` was
+  /// set).  The files outlive the children; the final write of a clean
+  /// shard has `done == true`, so the caller can read them back for an
+  /// end-of-run telemetry summary.
+  std::vector<std::filesystem::path> heartbeat_paths;
 };
 
 /// Validate a process/shard count the way the CLI layer needs it: a

@@ -16,6 +16,7 @@
 #include "util/file.hpp"
 #include "util/json.hpp"
 #include "util/parse.hpp"
+#include "util/trace.hpp"
 
 namespace npd::shard {
 
@@ -363,6 +364,8 @@ CacheGcStats ResultCache::gc(const CacheGcPolicy& policy) const {
     }
   }
   write_index(survivors);
+  // Out-of-band telemetry only; `stats` is the caller-facing truth.
+  trace::counter("cache.evictions", stats.dropped);
   return stats;
 }
 

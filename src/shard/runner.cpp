@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "util/assert.hpp"
+#include "util/trace.hpp"
 
 namespace npd::shard {
 
@@ -27,9 +28,13 @@ std::string job_cache_key(const engine::BatchPlan& plan, Index job) {
 
 RunJobsOutcome run_jobs(const engine::BatchPlan& plan,
                         const std::vector<Index>& job_indices, Index threads,
-                        const ResultCache* cache) {
+                        const ResultCache* cache,
+                        heartbeat::ProgressCounters* progress) {
   RunJobsOutcome outcome;
   outcome.results.resize(job_indices.size());
+  if (progress != nullptr) {
+    progress->set_jobs_total(static_cast<std::int64_t>(job_indices.size()));
+  }
 
   // One prefix per scenario, not per job: the params dump dominates the
   // key-construction cost on large sweeps.
@@ -43,6 +48,40 @@ RunJobsOutcome run_jobs(const engine::BatchPlan& plan,
   const auto key_of = [&](Index job) {
     return prefixes[static_cast<std::size_t>(plan.scenario_of(job))] +
            plan.job_key(job);
+  };
+
+  // Telemetry wrapper around an executed job's body: a span named after
+  // the owning scenario (nested inside the queue's per-job span, on the
+  // same worker), live progress updates, and — when `key` is non-empty —
+  // the persist-on-finish cache store.  Out-of-band by construction:
+  // the metrics pass through untouched.  `store` must stay *inside* the
+  // wrapper (on the worker, before the rest of the queue drains) so a
+  // run killed mid-shard leaves every completed job on disk for the
+  // resume (store is thread-safe: unique temp names + atomic rename).
+  const bool instrument = trace::enabled() || progress != nullptr;
+  const auto wrap = [&](const engine::Job& planned, Index job,
+                        std::string key) {
+    engine::Job wrapped = planned;
+    const engine::PlannedScenario& s =
+        plan.scenarios[static_cast<std::size_t>(plan.scenario_of(job))];
+    wrapped.run = [inner = planned.run, cache, key = std::move(key),
+                   progress, scenario = s.scenario->name(),
+                   cell = planned.cell](rand::Rng& rng) {
+      if (progress != nullptr) {
+        progress->set_current(scenario, cell);
+      }
+      const trace::Span span(scenario);
+      engine::Metrics metrics = inner(rng);
+      if (!key.empty()) {
+        cache->store(key, metrics);
+      }
+      trace::counter("jobs.executed");
+      if (progress != nullptr) {
+        progress->add_done();
+      }
+      return metrics;
+    };
+    return wrapped;
   };
 
   // Replay every cache hit, queue every miss.  The queue keeps the
@@ -65,20 +104,21 @@ RunJobsOutcome run_jobs(const engine::BatchPlan& plan,
         result.metrics = std::move(*metrics);
         result.wall_seconds = 0.0;  // replayed, not executed
         ++outcome.cache_hits;
+        trace::counter("cache.hits");
+        trace::counter("jobs.replayed");
+        if (progress != nullptr) {
+          progress->add_cache_hits();
+          progress->add_done();
+        }
         continue;
       }
-      // Miss: persist the result the moment the job finishes — on the
-      // worker, before the rest of the queue drains — so a run killed
-      // mid-shard leaves every completed job on disk for the resume
-      // (store is thread-safe: unique temp names + atomic rename).
-      engine::Job wrapped = planned;
-      wrapped.run = [inner = planned.run, cache,
-                     key = std::move(key)](rand::Rng& rng) {
-        engine::Metrics metrics = inner(rng);
-        cache->store(key, metrics);
-        return metrics;
-      };
-      (void)queue.push(std::move(wrapped));
+      trace::counter("cache.misses");
+      if (progress != nullptr) {
+        progress->add_cache_misses();
+      }
+      (void)queue.push(wrap(planned, job, std::move(key)));
+    } else if (instrument) {
+      (void)queue.push(wrap(planned, job, std::string()));
     } else {
       (void)queue.push(planned);
     }

@@ -18,6 +18,7 @@
 
 #include "engine/engine.hpp"
 #include "shard/result_cache.hpp"
+#include "util/heartbeat.hpp"
 
 namespace npd::shard {
 
@@ -44,9 +45,19 @@ struct RunJobsOutcome {
 /// Execute (or replay from `cache`, when non-null) the plan jobs listed
 /// in `job_indices`, on up to `threads` workers.  Cached results carry
 /// `wall_seconds == 0` (perf telemetry only; aggregates are unaffected).
+///
+/// Telemetry (strictly out-of-band; the result bytes are identical with
+/// or without it): when tracing is enabled, every executed job runs
+/// under a span named after its scenario and the `cache.hits` /
+/// `cache.misses` / `jobs.executed` / `jobs.replayed` counters are
+/// maintained; when `progress` is non-null, it receives the job total
+/// up front and live done/hit/miss/current-job updates as the shard
+/// runs (the feed behind `--heartbeat` and `npd_launch --watch`).
 [[nodiscard]] RunJobsOutcome run_jobs(const engine::BatchPlan& plan,
                                       const std::vector<Index>& job_indices,
                                       Index threads,
-                                      const ResultCache* cache);
+                                      const ResultCache* cache,
+                                      heartbeat::ProgressCounters* progress =
+                                          nullptr);
 
 }  // namespace npd::shard

@@ -1,0 +1,144 @@
+#pragma once
+
+/// \file heartbeat.hpp
+/// Per-shard liveness files (schema `npd.heartbeat/1`) and the live
+/// progress counters behind them — the out-of-band channel a supervisor
+/// (`npd_launch --watch`) tails to see where a running shard is without
+/// touching its report.
+///
+/// A heartbeat file is one small JSON document, rewritten in place via
+/// the same temp + rename discipline as the result cache: a reader
+/// never observes a partial document, and a writer killed mid-write
+/// leaves only a stale-but-complete previous heartbeat plus a temp file
+/// nobody reads.  Corrupt or missing files read as "no heartbeat" —
+/// telemetry is best-effort by contract and must never fail a run.
+///
+/// The wall-clock `updated_unix` stamp (the basis of `--watch`'s
+/// per-shard lag display) is read in heartbeat.cpp — one of the two TUs
+/// allowlisted by `npd_lint`'s no-wall-clock ban.  Callers that need
+/// "now" to compute lag use `now_unix_seconds()` instead of touching
+/// the clock themselves, which keeps every wall-clock read confined to
+/// the telemetry TUs.  Timestamps never enter reports, cache keys or
+/// fingerprints.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <filesystem>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "util/json.hpp"
+#include "util/types.hpp"
+
+namespace npd::heartbeat {
+
+/// One snapshot of a shard's progress (schema `npd.heartbeat/1`).
+struct Heartbeat {
+  Index shard_index = 0;  ///< 0-based
+  Index shard_count = 1;
+  std::int64_t jobs_done = 0;
+  std::int64_t jobs_total = 0;
+  std::int64_t cache_hits = 0;
+  std::int64_t cache_misses = 0;
+  /// Scenario/cell of the most recently started job ("" before any).
+  std::string scenario;
+  Index cell = -1;
+  /// Wall-clock write time (unix seconds) — what `--watch` subtracts
+  /// from `now_unix_seconds()` to show per-shard lag.
+  double updated_unix = 0.0;
+  /// True for the final heartbeat written when the shard's jobs are
+  /// done (or its writer is torn down).
+  bool done = false;
+};
+
+/// The telemetry layer's sanctioned wall-clock read (unix seconds).
+[[nodiscard]] double now_unix_seconds();
+
+[[nodiscard]] Json to_json(const Heartbeat& heartbeat);
+
+/// Parse one heartbeat document.  Returns nullopt on a wrong schema tag
+/// or missing fields (never throws on malformed telemetry).
+[[nodiscard]] std::optional<Heartbeat> from_json(const Json& doc);
+
+/// Write `heartbeat` to `path` (stamping `updated_unix`) via a unique
+/// temp name + rename.  Returns false on I/O failure — heartbeats are
+/// best-effort and must never abort the run they describe.
+bool write_heartbeat(const std::filesystem::path& path,
+                     Heartbeat heartbeat);
+
+/// Read the heartbeat at `path`.  Missing, unreadable, malformed or
+/// wrong-schema files all return nullopt.
+[[nodiscard]] std::optional<Heartbeat> read_heartbeat(
+    const std::filesystem::path& path);
+
+/// Thread-safe live progress of one shard run, updated by the worker
+/// threads (`shard::run_jobs`) and snapshotted by the heartbeat writer
+/// thread.  Counts are atomics; the current scenario/cell pair is
+/// guarded by a mutex (it is two fields that must stay consistent).
+class ProgressCounters {
+ public:
+  void set_jobs_total(std::int64_t total) {
+    jobs_total_.store(total, std::memory_order_relaxed);
+  }
+  void add_done(std::int64_t n = 1) {
+    jobs_done_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void add_cache_hits(std::int64_t n = 1) {
+    cache_hits_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void add_cache_misses(std::int64_t n = 1) {
+    cache_misses_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void set_current(const std::string& scenario, Index cell);
+
+  /// Copy the live values into the progress fields of `out` (leaves the
+  /// shard identity and timestamp fields alone).
+  void snapshot(Heartbeat& out) const;
+
+ private:
+  std::atomic<std::int64_t> jobs_total_{0};
+  std::atomic<std::int64_t> jobs_done_{0};
+  std::atomic<std::int64_t> cache_hits_{0};
+  std::atomic<std::int64_t> cache_misses_{0};
+  mutable std::mutex current_mutex_;
+  std::string current_scenario_;
+  Index current_cell_ = -1;
+};
+
+/// Background writer: rewrites one heartbeat file every `interval_ms`
+/// from a `ProgressCounters` snapshot, plus a final `done = true` write
+/// on teardown (so a shard that finished always leaves a terminal
+/// heartbeat, even when it crashes right after its jobs — the writer's
+/// destructor runs on the normal-return path of `--test-crash`).
+class HeartbeatWriter {
+ public:
+  HeartbeatWriter(std::filesystem::path path, Index shard_index,
+                  Index shard_count, const ProgressCounters& progress,
+                  int interval_ms = 200);
+  ~HeartbeatWriter();
+  HeartbeatWriter(const HeartbeatWriter&) = delete;
+  HeartbeatWriter& operator=(const HeartbeatWriter&) = delete;
+
+  /// Stop the writer thread and write the final heartbeat.  Idempotent;
+  /// the destructor calls it.
+  void stop();
+
+ private:
+  void write_once(bool done);
+
+  std::filesystem::path path_;
+  Index shard_index_;
+  Index shard_count_;
+  const ProgressCounters& progress_;
+  int interval_ms_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  bool stopped_ = false;
+  std::thread thread_;
+};
+
+}  // namespace npd::heartbeat

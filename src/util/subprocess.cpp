@@ -75,15 +75,9 @@ SpawnedProcess spawn_process(const std::vector<std::string>& argv,
   return SpawnedProcess{static_cast<int>(pid)};
 }
 
-std::optional<ProcessExit> wait_any_child() {
-  int status = 0;
-  pid_t pid = -1;
-  do {
-    pid = ::waitpid(-1, &status, 0);
-  } while (pid < 0 && errno == EINTR);
-  if (pid < 0) {
-    return std::nullopt;  // ECHILD: nothing left to reap
-  }
+namespace {
+
+ProcessExit exit_from_status(pid_t pid, int status) {
   ProcessExit exit;
   exit.pid = static_cast<int>(pid);
   if (WIFSIGNALED(status)) {
@@ -93,6 +87,36 @@ std::optional<ProcessExit> wait_any_child() {
     exit.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : 1;
   }
   return exit;
+}
+
+}  // namespace
+
+std::optional<ProcessExit> wait_any_child() {
+  int status = 0;
+  pid_t pid = -1;
+  do {
+    pid = ::waitpid(-1, &status, 0);
+  } while (pid < 0 && errno == EINTR);
+  if (pid < 0) {
+    return std::nullopt;  // ECHILD: nothing left to reap
+  }
+  return exit_from_status(pid, status);
+}
+
+PollChild poll_any_child(ProcessExit& out) {
+  int status = 0;
+  pid_t pid = -1;
+  do {
+    pid = ::waitpid(-1, &status, WNOHANG);
+  } while (pid < 0 && errno == EINTR);
+  if (pid < 0) {
+    return PollChild::NoChildren;  // ECHILD
+  }
+  if (pid == 0) {
+    return PollChild::NoneExited;
+  }
+  out = exit_from_status(pid, status);
+  return PollChild::Reaped;
 }
 
 void kill_process(const SpawnedProcess& process) {

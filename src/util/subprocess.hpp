@@ -57,6 +57,18 @@ struct ProcessExit {
 /// does not recognize.
 [[nodiscard]] std::optional<ProcessExit> wait_any_child();
 
+/// Outcome of one non-blocking reap attempt (`poll_any_child`).
+enum class PollChild {
+  Reaped,      ///< a child exited; its status was written to `out`
+  NoneExited,  ///< children exist, none has exited yet
+  NoChildren,  ///< there is no child left to wait for
+};
+
+/// `wait_any_child` with WNOHANG: reap at most one exited child without
+/// blocking.  Same single-owner restriction.  Used by the launcher's
+/// `--watch` loop, which must keep rendering progress between exits.
+[[nodiscard]] PollChild poll_any_child(ProcessExit& out);
+
 /// Best-effort SIGKILL (used by the launcher to tear down siblings after
 /// an unrecoverable shard failure).
 void kill_process(const SpawnedProcess& process);

@@ -1,0 +1,13 @@
+#include <chrono>
+
+namespace npd {
+
+// NOT allowlisted: any other util TU reading the wall clock must still
+// fire no-wall-clock — the exemption is exactly two files, not a
+// directory.
+double sneaky_timestamp() {
+  const auto now = std::chrono::system_clock::now().time_since_epoch();
+  return std::chrono::duration<double>(now).count();
+}
+
+}  // namespace npd

@@ -1,0 +1,13 @@
+#include <sys/time.h>
+
+namespace npd::heartbeat {
+
+// Also allowlisted: heartbeat freshness needs a real timestamp.
+double now_unix_seconds() {
+  timeval tv{};
+  (void)gettimeofday(&tv, nullptr);
+  return static_cast<double>(tv.tv_sec) +
+         static_cast<double>(tv.tv_usec) / 1e6;
+}
+
+}  // namespace npd::heartbeat

@@ -1,0 +1,12 @@
+#include <chrono>
+
+namespace npd::trace {
+
+// The telemetry allowlist: trace.cpp may stamp flush times from the
+// wall clock without tripping no-wall-clock.
+double wall_unix_seconds() {
+  const auto now = std::chrono::system_clock::now().time_since_epoch();
+  return std::chrono::duration<double>(now).count();
+}
+
+}  // namespace npd::trace

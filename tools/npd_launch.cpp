@@ -34,6 +34,8 @@
 #include "shard/result_cache.hpp"
 #include "tool_common.hpp"
 #include "util/cli.hpp"
+#include "util/heartbeat.hpp"
+#include "util/json.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
@@ -107,6 +109,13 @@ int run(int argc, char** argv) {
       "fault injection forwarded to the children (see npd_run "
       "--test-crash): exactly one shard crashes once, exercising the "
       "restart path");
+  const bool& watch = cli.add_flag(
+      "watch",
+      "tail the shard heartbeats while they run and render a live "
+      "aggregate progress line (jobs/sec, ETA, per-shard lag, restarts) "
+      "on stderr; in-place on a TTY, one line per change otherwise");
+  const long long& watch_interval_ms = cli.add_int(
+      "watch-interval-ms", 500, "poll/render cadence of --watch");
   cli.parse(argc, argv);
 
   shard::require_valid_proc_count("--procs", procs);
@@ -128,11 +137,20 @@ int run(int argc, char** argv) {
   const engine::BatchPlan plan = engine::plan_batch(registry, request);
   const std::string fingerprint = shard::content_hash(plan.fingerprint());
 
+  if (watch_interval_ms < 1) {
+    throw std::invalid_argument("--watch-interval-ms: must be >= 1");
+  }
+
   shard::LaunchOptions options;
   options.runner = runner_arg.empty() ? default_runner() : runner_arg;
   options.procs = static_cast<Index>(procs);
   options.retries = static_cast<Index>(retries);
   options.work_dir = workdir;
+  // Heartbeats are always on under the supervisor (they feed the final
+  // telemetry block); --watch additionally renders them live.
+  options.heartbeats = true;
+  options.watch = watch;
+  options.watch_interval_ms = static_cast<int>(watch_interval_ms);
   options.batch_args = {"--scenarios", scenarios_arg,
                         "--reps",      std::to_string(reps),
                         "--seed",      std::to_string(seed),
@@ -206,6 +224,35 @@ int run(int argc, char** argv) {
 
   tools::collect_cache_gc(plan, cache_dir, cache_gc, cache_max_mb,
                           summary);
+
+  // Final machine-readable telemetry block (schema npd.telemetry/1) on
+  // stderr: launch-level aggregates plus each shard's last heartbeat.
+  // Out-of-band — nothing in the merged report depends on it.
+  const double wall = timer.elapsed_seconds();
+  Json telemetry = Json::object();
+  telemetry.set("schema", "npd.telemetry/1")
+      .set("jobs", report.total_jobs)
+      .set("procs", options.procs)
+      .set("restarts", outcome.restarts)
+      .set("wall_seconds", wall)
+      .set("jobs_per_second",
+           wall > 0.0 ? static_cast<double>(report.total_jobs) / wall : 0.0);
+  Json shard_beats = Json::array();
+  for (std::size_t i = 0; i < outcome.heartbeat_paths.size(); ++i) {
+    Json entry = Json::object();
+    entry.set("shard", static_cast<std::int64_t>(i));
+    if (const std::optional<heartbeat::Heartbeat> beat =
+            heartbeat::read_heartbeat(outcome.heartbeat_paths[i])) {
+      entry.set("jobs_done", beat->jobs_done)
+          .set("jobs_total", beat->jobs_total)
+          .set("cache_hits", beat->cache_hits)
+          .set("cache_misses", beat->cache_misses)
+          .set("done", beat->done);
+    }
+    shard_beats.push_back(std::move(entry));
+  }
+  telemetry.set("shards", std::move(shard_beats));
+  (void)std::fprintf(stderr, "telemetry %s\n", telemetry.dump().c_str());
   return 0;
 }
 

@@ -10,6 +10,7 @@ if(NOT NPD_LINT OR NOT FIXTURES)
 endif()
 
 # check_fixture(<dir> <expected-exit> <regex-that-must-match-stdout>...)
+# A pattern starting with "!" is negated: the rest must NOT match.
 function(check_fixture dir expected_exit)
   execute_process(
     COMMAND ${NPD_LINT} --root ${FIXTURES}/${dir}
@@ -22,7 +23,13 @@ function(check_fixture dir expected_exit)
       "stdout:\n${output}\nstderr:\n${error_output}")
   endif()
   foreach(pattern IN LISTS ARGN)
-    if(NOT output MATCHES "${pattern}")
+    if(pattern MATCHES "^!(.*)$")
+      if(output MATCHES "${CMAKE_MATCH_1}")
+        message(FATAL_ERROR
+          "fixture '${dir}': output must NOT match '${CMAKE_MATCH_1}'\n"
+          "stdout:\n${output}")
+      endif()
+    elseif(NOT output MATCHES "${pattern}")
       message(FATAL_ERROR
         "fixture '${dir}': output does not match '${pattern}'\n"
         "stdout:\n${output}")
@@ -42,6 +49,12 @@ check_fixture(bad_rand 1
 check_fixture(bad_clock 1
   "src/pooling/uses_clock.cpp:[0-9]+: \\[no-wall-clock\\].*time"
   "src/pooling/uses_clock.cpp:[0-9]+: \\[no-wall-clock\\].*system_clock")
+# The wall-clock allowlist is exactly src/util/{trace,heartbeat}.cpp:
+# those two read the clock without findings, any sibling still fires.
+check_fixture(bad_clock_telemetry 1
+  "src/util/clock_sneaks_in.cpp:[0-9]+: \\[no-wall-clock\\].*system_clock"
+  "!src/util/trace.cpp:[0-9]+: \\[no-wall-clock\\]"
+  "!src/util/heartbeat.cpp:[0-9]+: \\[no-wall-clock\\]")
 check_fixture(bad_unordered 1
   "src/engine/report.cpp:[0-9]+: \\[no-unordered-iteration\\].*totals")
 check_fixture(bad_float 1

@@ -41,9 +41,11 @@
 #include "solve/reconstructor.hpp"
 #include "tool_common.hpp"
 #include "util/cli.hpp"
+#include "util/heartbeat.hpp"
 #include "util/parse.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
+#include "util/trace.hpp"
 
 namespace {
 
@@ -214,7 +216,26 @@ int run(int argc, char** argv) {
       "fault injection for the launcher tests: if this marker file does "
       "not exist, create it and abort (exit 9) after executing the jobs "
       "but before writing the report");
+  const std::string& trace_path = cli.add_string(
+      "trace", "",
+      "write a Chrome-trace JSON (schema npd.trace/1, loadable in "
+      "Perfetto / chrome://tracing) of this run's spans and counters; "
+      "the report bytes are identical with or without it");
+  const std::string& heartbeat_path = cli.add_string(
+      "heartbeat", "",
+      "write live progress (schema npd.heartbeat/1, temp+rename "
+      "atomically) to this file while the jobs run; the feed behind "
+      "npd_launch --watch");
+  const bool& quiet = cli.add_flag(
+      "quiet", "suppress the summary tables and end-of-run lines "
+      "(errors still print)");
   cli.parse(argc, argv);
+
+  // Enable tracing before any instrumented thread exists (the worker
+  // pool observes the flag when it starts running jobs).
+  if (!trace_path.empty()) {
+    trace::set_enabled(true);
+  }
 
   engine::ScenarioRegistry registry;
   engine::register_builtin_scenarios(registry);
@@ -237,7 +258,10 @@ int run(int argc, char** argv) {
   tools::validate_cache_gc_flags(cache_gc, cache_max_mb, cache_dir);
 
   const Timer timer;
-  const engine::BatchPlan plan = engine::plan_batch(registry, request);
+  const engine::BatchPlan plan = [&] {
+    const trace::Span span("plan");
+    return engine::plan_batch(registry, request);
+  }();
   const shard::ShardPlan shards = shard::ShardPlan::build(plan, spec.count);
 
   if (dry_run) {
@@ -266,9 +290,23 @@ int run(int argc, char** argv) {
       job_indices.push_back(j);
     }
   }
-  const shard::RunJobsOutcome outcome = shard::run_jobs(
-      plan, job_indices, request.config.threads,
-      cache.has_value() ? &*cache : nullptr);
+  // Live progress feed: counters updated by the workers, written to the
+  // heartbeat file by a background thread (temp+rename, so readers never
+  // see a torn write).  Purely observational — the run computes the same
+  // bytes with or without it.
+  heartbeat::ProgressCounters progress;
+  std::optional<heartbeat::HeartbeatWriter> beat_writer;
+  if (!heartbeat_path.empty()) {
+    beat_writer.emplace(heartbeat_path, spec.index, spec.count, progress);
+  }
+
+  const shard::RunJobsOutcome outcome = [&] {
+    const trace::Span span("run_jobs");
+    return shard::run_jobs(
+        plan, job_indices, request.config.threads,
+        cache.has_value() ? &*cache : nullptr,
+        beat_writer.has_value() ? &progress : nullptr);
+  }();
 
   // Deterministic fault injection for the launcher's restart tests: the
   // O_EXCL create makes exactly one process (across all shards sharing
@@ -290,62 +328,110 @@ int run(int argc, char** argv) {
   const bool to_stdout = tools::writes_to_stdout(out_path);
   FILE* summary = tools::summary_stream(out_path);
 
+  // The machine-greppable end-of-run line (satisfied with or without
+  // --trace): job count, cache hit/executed split, wall time.  Goes to
+  // stderr so it survives `--out -` report streaming.
+  const auto stderr_summary = [&] {
+    if (quiet) {
+      return;
+    }
+    (void)std::fprintf(
+        stderr, "npd_run: %lld jobs, %lld cache hits, %lld executed, "
+        "%.2f s\n",
+        static_cast<long long>(outcome.results.size()),
+        static_cast<long long>(outcome.cache_hits),
+        static_cast<long long>(outcome.executed), timer.elapsed_seconds());
+  };
+
+  // Flush after every instrumented thread has joined (run_jobs joins its
+  // workers; the heartbeat writer only reads counters) and after the
+  // report is on disk — the trace is telemetry about the run, never a
+  // participant in it.
+  const auto write_trace = [&]() -> bool {
+    if (trace_path.empty()) {
+      return true;
+    }
+    const trace::TraceSnapshot snapshot = trace::flush();
+    if (!tools::write_output(trace::chrome_trace_json(snapshot).dump(2),
+                             trace_path)) {
+      return false;
+    }
+    if (!quiet) {
+      (void)std::fprintf(stderr, "[trace written to %s]\n",
+                         trace_path.c_str());
+    }
+    return true;
+  };
+
   if (sharded) {
-    const shard::ShardRunReport report =
-        shard::make_shard_report(plan, shards, spec.index, outcome.results);
-    const std::string json =
-        shard::shard_report_to_json(report, !no_perf).dump(2);
+    {
+      const trace::Span span("report");
+      const shard::ShardRunReport report = shard::make_shard_report(
+          plan, shards, spec.index, outcome.results);
+      const std::string json =
+          shard::shard_report_to_json(report, !no_perf).dump(2);
+      if (!tools::write_output(json, out_path)) {
+        return 1;
+      }
+    }
+    if (!quiet) {
+      (void)std::fprintf(summary,
+                   "shard %lld/%lld: %lld of %lld jobs (%lld cache hits, "
+                   "%lld executed) in %.2f s\n",
+                   static_cast<long long>(spec.index + 1),
+                   static_cast<long long>(spec.count),
+                   static_cast<long long>(outcome.results.size()),
+                   static_cast<long long>(plan.jobs.size()),
+                   static_cast<long long>(outcome.cache_hits),
+                   static_cast<long long>(outcome.executed),
+                   timer.elapsed_seconds());
+      if (!to_stdout) {
+        (void)std::fprintf(summary, "[partial report written to %s — merge "
+                              "with npd_merge]\n",
+                     out_path.c_str());
+      }
+    }
+    collect_cache(summary);
+    stderr_summary();
+    return write_trace() ? 0 : 1;
+  }
+
+  {
+    const trace::Span span("report");
+    engine::RunReport report =
+        engine::build_report(plan, outcome.results, request.config.threads);
+    engine::stamp_perf(report, timer.elapsed_seconds());
+    const std::string json = report.to_json(!no_perf).dump(2);
     if (!tools::write_output(json, out_path)) {
       return 1;
     }
-    (void)std::fprintf(summary,
-                 "shard %lld/%lld: %lld of %lld jobs (%lld cache hits, "
-                 "%lld executed) in %.2f s\n",
-                 static_cast<long long>(spec.index + 1),
-                 static_cast<long long>(spec.count),
-                 static_cast<long long>(outcome.results.size()),
-                 static_cast<long long>(plan.jobs.size()),
-                 static_cast<long long>(outcome.cache_hits),
-                 static_cast<long long>(outcome.executed),
-                 timer.elapsed_seconds());
-    if (!to_stdout) {
-      (void)std::fprintf(summary, "[partial report written to %s — merge with "
-                            "npd_merge]\n",
-                   out_path.c_str());
+
+    if (!quiet) {
+      ConsoleTable table({"scenario", "jobs", "cells", "job seconds"});
+      for (const engine::ScenarioRunReport& scenario : report.scenarios) {
+        const Json* cells = scenario.aggregates.find("cells");
+        table.add_row({scenario.name, std::to_string(scenario.jobs),
+                       std::to_string(cells != nullptr ? cells->size() : 0),
+                       std::to_string(scenario.job_seconds)});
+      }
+      (void)std::fputs(table.render().c_str(), summary);
+      (void)std::fprintf(summary, "\n%lld jobs in %.2f s (%.1f jobs/sec)",
+                   static_cast<long long>(report.total_jobs),
+                   report.wall_seconds, report.jobs_per_second);
+      if (cache.has_value()) {
+        (void)std::fprintf(summary, ", %lld cache hits",
+                     static_cast<long long>(outcome.cache_hits));
+      }
+      (void)std::fprintf(summary, "\n");
+      if (!to_stdout) {
+        (void)std::fprintf(summary, "[report written to %s]\n",
+                           out_path.c_str());
+      }
     }
-    collect_cache(summary);
-    return 0;
-  }
-
-  engine::RunReport report =
-      engine::build_report(plan, outcome.results, request.config.threads);
-  engine::stamp_perf(report, timer.elapsed_seconds());
-  const std::string json = report.to_json(!no_perf).dump(2);
-  if (!tools::write_output(json, out_path)) {
-    return 1;
-  }
-
-  ConsoleTable table({"scenario", "jobs", "cells", "job seconds"});
-  for (const engine::ScenarioRunReport& scenario : report.scenarios) {
-    const Json* cells = scenario.aggregates.find("cells");
-    table.add_row({scenario.name, std::to_string(scenario.jobs),
-                   std::to_string(cells != nullptr ? cells->size() : 0),
-                   std::to_string(scenario.job_seconds)});
-  }
-  (void)std::fputs(table.render().c_str(), summary);
-  (void)std::fprintf(summary, "\n%lld jobs in %.2f s (%.1f jobs/sec)",
-               static_cast<long long>(report.total_jobs),
-               report.wall_seconds, report.jobs_per_second);
-  if (cache.has_value()) {
-    (void)std::fprintf(summary, ", %lld cache hits",
-                 static_cast<long long>(outcome.cache_hits));
-  }
-  (void)std::fprintf(summary, "\n");
-  if (!to_stdout) {
-    (void)std::fprintf(summary, "[report written to %s]\n", out_path.c_str());
   }
   collect_cache(summary);
-  return 0;
+  stderr_summary();
+  return write_trace() ? 0 : 1;
 }
 
 }  // namespace

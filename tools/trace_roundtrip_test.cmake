@@ -1,0 +1,149 @@
+# CTest driver for the telemetry out-of-band contract:
+#
+#   1. run a small batch single-process (--no-perf) as the reference,
+#   2. run it again with --trace + --heartbeat and require the report
+#      bytes to be identical — telemetry must never leak into results,
+#   3. validate the trace (schema npd.trace/1, Chrome trace events) and
+#      the final heartbeat (schema npd.heartbeat/1, done, all jobs
+#      counted) as real JSON via cmake's string(JSON),
+#   4. run with --quiet and require identical bytes plus zero summary
+#      output,
+#   5. npd_launch the batch over 3 shards with --watch (non-TTY) and an
+#      injected crash: merged bytes identical again, watch lines and the
+#      final `telemetry` block on the output, one restart observed, and
+#      every per-shard heartbeat file terminal and valid.
+#
+# Inputs: -DNPD_RUN=<npd_run> -DNPD_LAUNCH=<npd_launch> -DWORK_DIR=<dir>
+
+foreach(var NPD_RUN NPD_LAUNCH WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "missing -D${var}=...")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+set(BATCH_ARGS
+  --scenarios fixed_m --reps 3 --seed 19
+  --params fixed_m.n=150,fixed_m.m_points=2
+  --no-perf)
+
+function(run_checked log_name)
+  execute_process(COMMAND ${ARGN}
+    RESULT_VARIABLE result
+    OUTPUT_VARIABLE output
+    ERROR_VARIABLE output)
+  file(WRITE "${WORK_DIR}/${log_name}.log" "${output}")
+  if(NOT result EQUAL 0)
+    message(FATAL_ERROR "command failed (${result}): ${ARGN}\n${output}")
+  endif()
+  set(LAST_OUTPUT "${output}" PARENT_SCOPE)
+endfunction()
+
+function(require_identical a b what)
+  file(READ "${a}" bytes_a)
+  file(READ "${b}" bytes_b)
+  if(NOT bytes_a STREQUAL bytes_b)
+    message(FATAL_ERROR "${what}: '${a}' and '${b}' differ")
+  endif()
+  message(STATUS "${what}: byte-identical")
+endfunction()
+
+# json_field(<out-var> <file> <member>...) — parse-or-die JSON access.
+function(json_field out file)
+  file(READ "${file}" document)
+  string(JSON value ERROR_VARIABLE json_error GET "${document}" ${ARGN})
+  if(json_error)
+    message(FATAL_ERROR "'${file}' ${ARGN}: ${json_error}")
+  endif()
+  set(${out} "${value}" PARENT_SCOPE)
+endfunction()
+
+# Require a terminal, fully-counted heartbeat file.
+function(check_final_heartbeat file)
+  json_field(schema "${file}" schema)
+  if(NOT schema STREQUAL "npd.heartbeat/1")
+    message(FATAL_ERROR "'${file}': schema '${schema}'")
+  endif()
+  json_field(done "${file}" done)
+  if(NOT done STREQUAL "ON")  # cmake renders JSON true as ON
+    message(FATAL_ERROR "'${file}': final heartbeat not done (${done})")
+  endif()
+  json_field(jobs_done "${file}" jobs_done)
+  json_field(jobs_total "${file}" jobs_total)
+  if(NOT jobs_done EQUAL jobs_total OR jobs_total EQUAL 0)
+    message(FATAL_ERROR
+      "'${file}': ${jobs_done}/${jobs_total} jobs in the final heartbeat")
+  endif()
+  message(STATUS "heartbeat '${file}': done, ${jobs_done}/${jobs_total}")
+endfunction()
+
+# 1. Reference report, no telemetry.
+run_checked(reference "${NPD_RUN}" ${BATCH_ARGS} --threads 2
+  --out "${WORK_DIR}/reference.json")
+
+# 2. Same batch, fully instrumented.
+run_checked(traced "${NPD_RUN}" ${BATCH_ARGS} --threads 2
+  --trace "${WORK_DIR}/trace.json"
+  --heartbeat "${WORK_DIR}/heartbeat.json"
+  --out "${WORK_DIR}/traced.json")
+require_identical("${WORK_DIR}/traced.json" "${WORK_DIR}/reference.json"
+  "npd_run with --trace/--heartbeat vs without")
+if(NOT LAST_OUTPUT MATCHES "npd_run: [0-9]+ jobs, [0-9]+ cache hits")
+  message(FATAL_ERROR "expected the end-of-run summary line:\n${LAST_OUTPUT}")
+endif()
+
+# 3a. Trace: schema tag, and at least the three phase spans + per-job
+#     spans as Chrome "X" events.
+json_field(trace_schema "${WORK_DIR}/trace.json" schema)
+if(NOT trace_schema STREQUAL "npd.trace/1")
+  message(FATAL_ERROR "trace schema '${trace_schema}'")
+endif()
+file(READ "${WORK_DIR}/trace.json" trace_doc)
+string(JSON event_count LENGTH "${trace_doc}" traceEvents)
+if(event_count LESS 5)
+  message(FATAL_ERROR "suspiciously few trace events (${event_count})")
+endif()
+json_field(first_phase "${WORK_DIR}/trace.json" traceEvents 0 ph)
+if(NOT first_phase STREQUAL "X")
+  message(FATAL_ERROR "first trace event is '${first_phase}', not 'X'")
+endif()
+message(STATUS "trace: npd.trace/1 with ${event_count} events")
+
+# 3b. The final heartbeat of the instrumented run.
+check_final_heartbeat("${WORK_DIR}/heartbeat.json")
+
+# 4. --quiet: identical bytes, not a byte of summary output.
+run_checked(quiet "${NPD_RUN}" ${BATCH_ARGS} --threads 2 --quiet
+  --out "${WORK_DIR}/quiet.json")
+require_identical("${WORK_DIR}/quiet.json" "${WORK_DIR}/reference.json"
+  "npd_run --quiet vs default")
+if(NOT LAST_OUTPUT STREQUAL "")
+  message(FATAL_ERROR "--quiet still printed:\n${LAST_OUTPUT}")
+endif()
+
+# 5. Supervised watch: 3 shards through a cache, one injected crash, the
+#    watch view rendering to a non-TTY stderr.
+run_checked(watch "${NPD_LAUNCH}" ${BATCH_ARGS}
+  --procs 3 --retries 2 --runner "${NPD_RUN}"
+  --watch --watch-interval-ms 50
+  --workdir "${WORK_DIR}/launch"
+  --cache "${WORK_DIR}/cache"
+  --test-crash "${WORK_DIR}/crash_marker"
+  --out "${WORK_DIR}/watched.json")
+require_identical("${WORK_DIR}/watched.json" "${WORK_DIR}/reference.json"
+  "npd_launch --watch 3-proc auto-merge vs single process")
+if(NOT LAST_OUTPUT MATCHES "\\[watch\\] [0-9]+/[0-9]+ jobs")
+  message(FATAL_ERROR "no watch progress line:\n${LAST_OUTPUT}")
+endif()
+if(NOT LAST_OUTPUT MATCHES "1 restart")
+  message(FATAL_ERROR "expected exactly one injected restart:\n${LAST_OUTPUT}")
+endif()
+if(NOT LAST_OUTPUT MATCHES "telemetry \\{\"schema\":\"npd.telemetry/1\"")
+  message(FATAL_ERROR "no final telemetry block:\n${LAST_OUTPUT}")
+endif()
+foreach(shard RANGE 1 3)
+  check_final_heartbeat("${WORK_DIR}/launch/shard_${shard}.heartbeat.json")
+endforeach()
+message(STATUS "watch roundtrip: OK")
