@@ -1,0 +1,53 @@
+#include "serve/design_cache.hpp"
+
+#include "rand/rng.hpp"
+#include "util/json.hpp"
+#include "util/parse.hpp"
+
+namespace npd::serve {
+
+std::string design_cache_key(std::string_view scenario,
+                             std::string_view packed_params) {
+  std::string key;
+  key.reserve(scenario.size() + 1 + packed_params.size());
+  key.append(scenario);
+  key.push_back('\0');
+  key.append(packed_params);
+  return key;
+}
+
+std::string config_hash(std::string_view scenario_name,
+                        const engine::ScenarioParams& params) {
+  Json doc = Json::object();
+  doc.set("schema", "npd.serve_config/1");
+  doc.set("scenario", std::string(scenario_name));
+  doc.set("params", params.to_json());
+  return format_hex64(rand::fnv1a64(doc.dump()));
+}
+
+DesignCache::DesignCache(Index capacity)
+    : capacity_(capacity < 1 ? 1 : capacity) {}
+
+const ResolvedDesign* DesignCache::find(std::string_view key) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  entries_.splice(entries_.begin(), entries_, it->second);
+  return &entries_.front().second;
+}
+
+const ResolvedDesign* DesignCache::insert(std::string key,
+                                          ResolvedDesign design) {
+  entries_.emplace_front(std::move(key), std::move(design));
+  index_[entries_.front().first] = entries_.begin();
+  while (static_cast<Index>(entries_.size()) > capacity_) {
+    index_.erase(entries_.back().first);
+    entries_.pop_back();
+  }
+  return &entries_.front().second;
+}
+
+}  // namespace npd::serve

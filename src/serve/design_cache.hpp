@@ -1,0 +1,90 @@
+#pragma once
+
+/// \file design_cache.hpp
+/// The daemon's resident-design store: an LRU cache from canonical
+/// request configuration (scenario name + packed parameter overrides)
+/// to the resolved `ScenarioParams` and the scenario pointer, so
+/// repeated requests for the same configuration skip parameter
+/// re-resolution and carry a stable `config_hash` identity.
+///
+/// Resolution is exactly what `engine::plan_batch` does for a
+/// single-scenario request — declared defaults, then each override
+/// applied through `ParamSet::set` — so a cache hit and a fresh
+/// resolution are interchangeable by construction (pinned by
+/// tests/serve_test.cpp).  The cache is deliberately *not* thread-safe:
+/// the service's batch executor is the only caller, and it runs on one
+/// thread.
+///
+/// `config_hash` is the FNV-1a hash (hex) of a compact canonical JSON
+/// document of the resolved configuration.  It names a *configuration*,
+/// not a result: responses echo it so clients can correlate requests
+/// that shared a resident design.
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "engine/scenario.hpp"
+#include "util/types.hpp"
+
+namespace npd::serve {
+
+/// One resident design: the scenario plus its fully resolved parameters.
+struct ResolvedDesign {
+  /// Borrowed from the registry the service was built over; the
+  /// registry outlives the cache.
+  const engine::Scenario* scenario = nullptr;
+  engine::ScenarioParams params;
+  /// Canonical configuration hash (see `config_hash` below).
+  std::string config_hash;
+};
+
+/// Cache key: scenario name and packed overrides, NUL-separated (NUL
+/// cannot appear in either part).
+[[nodiscard]] std::string design_cache_key(std::string_view scenario,
+                                           std::string_view packed_params);
+
+/// Canonical configuration hash: FNV-1a (hex) over the compact dump of
+/// `{"schema":"npd.serve_config/1","scenario":...,"params":{...}}`.
+[[nodiscard]] std::string config_hash(std::string_view scenario_name,
+                                      const engine::ScenarioParams& params);
+
+/// Fixed-capacity LRU over `ResolvedDesign`s.
+class DesignCache {
+ public:
+  /// `capacity` < 1 is clamped to 1 (a capacity-0 cache would make
+  /// every returned pointer dangle immediately).
+  explicit DesignCache(Index capacity);
+
+  /// Lookup by key; bumps the entry to most-recently-used and counts a
+  /// hit/miss.  The pointer stays valid until the next `insert`.
+  [[nodiscard]] const ResolvedDesign* find(std::string_view key);
+
+  /// Insert (key must not be present) and return the resident entry,
+  /// evicting the least-recently-used entry beyond capacity.
+  const ResolvedDesign* insert(std::string key, ResolvedDesign design);
+
+  [[nodiscard]] Index size() const {
+    return static_cast<Index>(entries_.size());
+  }
+  [[nodiscard]] std::int64_t hits() const { return hits_; }
+  [[nodiscard]] std::int64_t misses() const { return misses_; }
+
+ private:
+  using Entry = std::pair<std::string, ResolvedDesign>;
+
+  Index capacity_;
+  std::int64_t hits_ = 0;
+  std::int64_t misses_ = 0;
+  /// Front = most recently used.
+  std::list<Entry> entries_;
+  /// Key -> list node.  An ordered map so nothing here ever iterates in
+  /// hash order (the lint's determinism discipline, applied by habit
+  /// even though the cache never reaches a report).
+  std::map<std::string, std::list<Entry>::iterator, std::less<>> index_;
+};
+
+}  // namespace npd::serve

@@ -1,0 +1,108 @@
+#include "serve/protocol.hpp"
+
+#include <stdexcept>
+
+#include "rand/rng.hpp"
+
+namespace npd::serve {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& message) {
+  throw std::invalid_argument("npd.request/1: " + message);
+}
+
+/// Member as a string, or `fallback` when absent.  Wrong types are hard
+/// errors — a request is operator input, not best-effort telemetry.
+std::string string_member(const Json& doc, std::string_view key,
+                          const std::string& fallback) {
+  const Json* member = doc.find(key);
+  if (member == nullptr) {
+    return fallback;
+  }
+  if (!member->is_string()) {
+    fail("member '" + std::string(key) + "' must be a string");
+  }
+  return member->as_string();
+}
+
+}  // namespace
+
+Request parse_request(const Json& doc) {
+  if (!doc.is_object()) {
+    fail("request must be a JSON object");
+  }
+  const Json* schema = doc.find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->as_string() != kRequestSchema) {
+    fail("missing or wrong 'schema' tag (want \"" +
+         std::string(kRequestSchema) + "\")");
+  }
+
+  Request request;
+  request.id = string_member(doc, "id", "");
+  if (request.id.empty()) {
+    fail("member 'id' must be a non-empty string");
+  }
+
+  const std::string op = string_member(doc, "op", "solve");
+  if (op == "solve") {
+    request.op = Op::Solve;
+  } else if (op == "ping") {
+    request.op = Op::Ping;
+  } else if (op == "shutdown") {
+    request.op = Op::Shutdown;
+  } else {
+    fail("unknown op '" + op + "' (want solve|ping|shutdown)");
+  }
+
+  request.scenario = string_member(doc, "scenario", "");
+  request.params = string_member(doc, "params", "");
+  if (request.op == Op::Solve && request.scenario.empty()) {
+    fail("solve request needs a 'scenario'");
+  }
+
+  if (const Json* reps = doc.find("reps"); reps != nullptr) {
+    if (reps->type() != Json::Type::Int || reps->as_int() < 1) {
+      fail("member 'reps' must be a positive integer");
+    }
+    request.reps = static_cast<Index>(reps->as_int());
+  }
+  if (const Json* seed = doc.find("seed"); seed != nullptr) {
+    if (seed->type() != Json::Type::Int || seed->as_int() < 0) {
+      fail("member 'seed' must be a non-negative integer");
+    }
+    request.seed = static_cast<std::uint64_t>(seed->as_int());
+  }
+  return request;
+}
+
+std::uint64_t derive_request_seed(std::uint64_t server_seed,
+                                  std::string_view request_id) {
+  const std::uint64_t mixed =
+      rand::splitmix64(server_seed ^
+                       rand::splitmix64(rand::fnv1a64(request_id)));
+  // 63-bit mask: the seed's decimal form must survive `npd_run --seed`,
+  // which parses a signed 64-bit integer.
+  return mixed & 0x7fffffffffffffffULL;
+}
+
+Json make_error_response(std::string_view id, std::string_view message) {
+  Json response = Json::object();
+  response.set("schema", std::string(kResponseSchema));
+  response.set("id", std::string(id));
+  response.set("status", "error");
+  response.set("error", std::string(message));
+  return response;
+}
+
+Json make_control_response(const Request& request) {
+  Json response = Json::object();
+  response.set("schema", std::string(kResponseSchema));
+  response.set("id", request.id);
+  response.set("status", "ok");
+  response.set("op", request.op == Op::Ping ? "ping" : "shutdown");
+  return response;
+}
+
+}  // namespace npd::serve

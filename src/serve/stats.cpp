@@ -1,0 +1,111 @@
+#include "serve/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "serve/protocol.hpp"
+
+namespace npd::serve {
+
+namespace {
+
+/// Bucket upper bounds in milliseconds (1-2-5 series); a final +inf
+/// bucket is added at serialization time.
+constexpr double kBucketsMs[] = {0.1,  0.2,  0.5,  1.0,   2.0,   5.0,
+                                 10.0, 20.0, 50.0, 100.0, 200.0, 500.0,
+                                 1000.0, 2000.0, 5000.0, 10000.0};
+
+}  // namespace
+
+void LatencyRecorder::merge(const LatencyRecorder& other) {
+  samples_.insert(samples_.end(), other.samples_.begin(),
+                  other.samples_.end());
+}
+
+double LatencyRecorder::percentile_ms(double quantile) const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  const auto n = static_cast<double>(sorted.size());
+  auto rank = static_cast<std::size_t>(std::ceil(quantile * n));
+  rank = std::min(std::max<std::size_t>(rank, 1), sorted.size());
+  return sorted[rank - 1] * 1e3;
+}
+
+Json LatencyRecorder::summary_json() const {
+  Json summary = Json::object();
+  summary.set("count", count());
+  if (samples_.empty()) {
+    summary.set("mean", 0.0).set("min", 0.0);
+    summary.set("p50", 0.0).set("p90", 0.0).set("p95", 0.0).set("p99", 0.0);
+    summary.set("max", 0.0);
+    return summary;
+  }
+  // One sort for every percentile; the summary runs once per load run.
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  double sum = 0.0;
+  for (const double s : sorted) {
+    sum += s;
+  }
+  const auto rank_ms = [&sorted](double quantile) {
+    const auto n = static_cast<double>(sorted.size());
+    auto rank = static_cast<std::size_t>(std::ceil(quantile * n));
+    rank = std::min(std::max<std::size_t>(rank, 1), sorted.size());
+    return sorted[rank - 1] * 1e3;
+  };
+  summary.set("mean", sum / static_cast<double>(sorted.size()) * 1e3);
+  summary.set("min", sorted.front() * 1e3);
+  summary.set("p50", rank_ms(0.50)).set("p90", rank_ms(0.90));
+  summary.set("p95", rank_ms(0.95)).set("p99", rank_ms(0.99));
+  summary.set("max", sorted.back() * 1e3);
+  return summary;
+}
+
+Json LatencyRecorder::histogram_json() const {
+  constexpr std::size_t kBucketCount =
+      sizeof(kBucketsMs) / sizeof(kBucketsMs[0]);
+  std::vector<std::int64_t> counts(kBucketCount + 1, 0);
+  for (const double seconds : samples_) {
+    const double ms = seconds * 1e3;
+    std::size_t bucket = kBucketCount;  // overflow unless a bound fits
+    for (std::size_t b = 0; b < kBucketCount; ++b) {
+      if (ms <= kBucketsMs[b]) {
+        bucket = b;
+        break;
+      }
+    }
+    ++counts[bucket];
+  }
+  Json histogram = Json::array();
+  for (std::size_t b = 0; b < kBucketCount; ++b) {
+    histogram.push_back(
+        Json::object().set("le_ms", kBucketsMs[b]).set("count", counts[b]));
+  }
+  histogram.push_back(
+      Json::object().set("le_ms", Json()).set("count", counts[kBucketCount]));
+  return histogram;
+}
+
+Json serve_stats_json(const LoadStats& stats) {
+  Json doc = Json::object();
+  doc.set("schema", std::string(kStatsSchema));
+  doc.set("mode", stats.mode);
+  doc.set("concurrency", stats.concurrency);
+  doc.set("target_qps", stats.target_qps);
+  doc.set("duration_seconds", stats.duration_seconds);
+  doc.set("requests", stats.requests);
+  doc.set("ok", stats.ok);
+  doc.set("errors", stats.errors);
+  doc.set("throughput_rps",
+          stats.duration_seconds > 0.0
+              ? static_cast<double>(stats.requests) / stats.duration_seconds
+              : 0.0);
+  doc.set("latency_ms", stats.latency.summary_json());
+  doc.set("histogram", stats.latency.histogram_json());
+  return doc;
+}
+
+}  // namespace npd::serve

@@ -1,0 +1,81 @@
+#pragma once
+
+/// \file stats.hpp
+/// Client-side latency accounting for `tools/npd_loadgen`: a raw-sample
+/// latency recorder with percentile summaries and a fixed 1-2-5 bucket
+/// histogram, serialized as the `npd.serve_stats/1` report.
+///
+/// Schema (`npd.serve_stats/1`):
+/// ```json
+/// {
+///   "schema": "npd.serve_stats/1",
+///   "mode": "closed",            // or "open"
+///   "concurrency": 8,
+///   "target_qps": 0.0,           // open loop only; 0 in closed loop
+///   "duration_seconds": 5.002,
+///   "requests": 12345, "ok": 12345, "errors": 0,
+///   "throughput_rps": 2468.5,
+///   "latency_ms": {"count": 12345, "mean": 3.1, "min": 0.4,
+///                  "p50": 2.9, "p90": 4.8, "p95": 5.6, "p99": 8.2,
+///                  "max": 31.0},
+///   "histogram": [{"le_ms": 0.1, "count": 0}, ...,
+///                 {"le_ms": null, "count": 2}]   // null = +inf bucket
+/// }
+/// ```
+/// Percentiles use the nearest-rank definition on the sorted samples
+/// (`ceil(q*n)`-th value), matching the usual load-testing convention;
+/// buckets are non-cumulative, so their counts sum to `count`.
+
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+#include "util/types.hpp"
+
+namespace npd::serve {
+
+/// Raw-sample latency accumulator (seconds in, milliseconds out).
+class LatencyRecorder {
+ public:
+  void record(double seconds) { samples_.push_back(seconds); }
+
+  /// Fold another recorder's samples in (per-worker recorders merge
+  /// into one at end of run — no lock on the hot path).
+  void merge(const LatencyRecorder& other);
+
+  [[nodiscard]] Index count() const {
+    return static_cast<Index>(samples_.size());
+  }
+
+  /// Nearest-rank percentile of the samples, in milliseconds
+  /// (`quantile` in [0,1]; 0 samples give 0).
+  [[nodiscard]] double percentile_ms(double quantile) const;
+
+  /// The `latency_ms` summary object.
+  [[nodiscard]] Json summary_json() const;
+
+  /// The `histogram` bucket array (1-2-5 boundaries, 0.1 ms .. 10 s,
+  /// then a `null` overflow bucket).
+  [[nodiscard]] Json histogram_json() const;
+
+ private:
+  std::vector<double> samples_;
+};
+
+/// Everything one load-generation run measured.
+struct LoadStats {
+  std::string mode = "closed";
+  Index concurrency = 0;
+  /// Open-loop target rate; 0 in closed loop.
+  double target_qps = 0.0;
+  double duration_seconds = 0.0;
+  Index requests = 0;
+  Index ok = 0;
+  Index errors = 0;
+  LatencyRecorder latency;
+};
+
+/// Serialize as `npd.serve_stats/1`.
+[[nodiscard]] Json serve_stats_json(const LoadStats& stats);
+
+}  // namespace npd::serve

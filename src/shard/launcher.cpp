@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <stdexcept>
 #include <thread>
@@ -78,20 +79,32 @@ class WatchRenderer {
       total += beat->jobs_total;
       hits += beat->cache_hits;
       if (!beat->done) {
-        max_lag = std::max(max_lag, now - beat->updated_unix);
+        // A heartbeat stamped "after" this tick's clock read (writer
+        // raced us, or the clock stepped) is fresh, not negatively
+        // lagged.
+        max_lag = std::max(max_lag, std::max(0.0, now - beat->updated_unix));
       }
       per_shard += std::to_string(beat->jobs_done) + '/' +
                    std::to_string(beat->jobs_total);
     }
 
-    const double elapsed = std::max(now - start_unix_, 1e-9);
-    const double rate = static_cast<double>(done) / elapsed;
+    // The first ticks routinely see done == 0 (heartbeats not written
+    // yet) and elapsed can be <= 0 under a stepped clock; either would
+    // render a nonsense 0.0/inf/nan estimate.  Show no throughput
+    // rather than a bogus one.
+    const double elapsed = now - start_unix_;
+    const bool have_rate = done > 0 && elapsed > 0.0;
+    const double rate =
+        have_rate ? static_cast<double>(done) / elapsed : 0.0;
     std::string line = "[watch] " + std::to_string(done) + '/' +
                        std::to_string(total) + " jobs";
-    line += " | " + fixed1(rate) + " jobs/s";
-    if (done < total && rate > 0.0) {
-      line += " | eta " +
-              fixed1(static_cast<double>(total - done) / rate) + "s";
+    line += " | " + (have_rate ? fixed1(rate) : std::string("-")) +
+            " jobs/s";
+    if (have_rate && done < total) {
+      const double eta = static_cast<double>(total - done) / rate;
+      if (std::isfinite(eta)) {
+        line += " | eta " + fixed1(eta) + "s";
+      }
     }
     line += " | hits " + std::to_string(hits);
     line += " | lag " + fixed1(max_lag) + "s";
@@ -257,6 +270,38 @@ LaunchOutcome run_shard_processes(const LaunchOptions& options) {
 
   Index remaining = procs;
 
+  // Stop-flag path: forward SIGTERM to every live child, reap them all,
+  // and throw the interruption for the caller to render.  Unlike
+  // abort_launch this is not a failure of any shard — the launch was
+  // asked to end.
+  const auto interrupt_launch = [&]() {
+    Index live = 0;
+    for (Index i = 0; i < procs; ++i) {
+      ShardState& state = states[static_cast<std::size_t>(i)];
+      if (!state.done && state.process.pid > 0) {
+        terminate_process(state.process);
+        ++live;
+      }
+    }
+    Index unreaped = live;
+    while (unreaped > 0) {
+      const std::optional<ProcessExit> exit = wait_any_child();
+      if (!exit.has_value()) {
+        break;
+      }
+      if (shard_of_pid(exit->pid) >= 0) {
+        --unreaped;
+      }
+    }
+    throw LaunchInterrupted(
+        "launcher: stop requested — " + std::to_string(procs - remaining) +
+        "/" + std::to_string(procs) + " shard(s) had finished, " +
+        std::to_string(live) + " terminated and reaped");
+  };
+  const auto stop_requested = [&] {
+    return options.stop != nullptr && options.stop->load();
+  };
+
   // One reaped exit -> retry / record / abort.  Shared by the blocking
   // loop and the watch poll loop so the supervision semantics cannot
   // drift between the two modes.
@@ -318,6 +363,9 @@ LaunchOutcome run_shard_processes(const LaunchOptions& options) {
     const auto interval =
         std::chrono::milliseconds(std::max(options.watch_interval_ms, 10));
     while (remaining > 0) {
+      if (stop_requested()) {
+        interrupt_launch();
+      }
       // Drain every already-exited child before sleeping, so a burst of
       // exits does not cost one render interval each.
       ProcessExit exit;
@@ -337,13 +385,33 @@ LaunchOutcome run_shard_processes(const LaunchOptions& options) {
     watch.render(outcome.restarts, /*final=*/true);
   } else {
     while (remaining > 0) {
-      const std::optional<ProcessExit> exit = wait_any_child();
-      if (!exit.has_value()) {
-        throw std::runtime_error(
-            "launcher: lost track of the shard children (waitpid reported "
-            "no children while shards were still outstanding)");
+      if (stop_requested()) {
+        interrupt_launch();
       }
-      handle_exit(*exit);
+      if (options.stop == nullptr) {
+        const std::optional<ProcessExit> exit = wait_any_child();
+        if (!exit.has_value()) {
+          throw std::runtime_error(
+              "launcher: lost track of the shard children (waitpid "
+              "reported no children while shards were still outstanding)");
+        }
+        handle_exit(*exit);
+        continue;
+      }
+      // A blocking waitpid could sleep through the stop request (it is
+      // EINTR-retried), so with a stop flag the loop polls instead.
+      ProcessExit exit;
+      const PollChild poll = poll_any_child(exit);
+      if (poll == PollChild::Reaped) {
+        handle_exit(exit);
+        continue;
+      }
+      if (poll == PollChild::NoChildren) {
+        throw std::runtime_error(
+            "launcher: lost track of the shard children (waitpid "
+            "reported no children while shards were still outstanding)");
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
     }
   }
   return outcome;

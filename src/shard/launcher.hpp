@@ -20,7 +20,9 @@
 /// cache — writes the identical report, and the merged output does not
 /// depend on how many attempts any shard needed.
 
+#include <atomic>
 #include <filesystem>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -58,6 +60,19 @@ struct LaunchOptions {
   bool watch = false;
   /// Poll/render cadence of the watch loop.
   int watch_interval_ms = 500;
+  /// External stop request (typically set by a SIGINT/SIGTERM handler).
+  /// When it flips to true the supervisor forwards SIGTERM to every
+  /// live child, reaps them all, and throws `LaunchInterrupted` — no
+  /// shard is ever orphaned.  The flag is only polled, so the loops
+  /// notice it within one poll interval.
+  const std::atomic<bool>* stop = nullptr;
+};
+
+/// The distinct failure of a stop-flag teardown: the launch did not go
+/// wrong, it was *asked* to end.  Callers catch this to exit with a
+/// clean summary instead of an error report.
+struct LaunchInterrupted : std::runtime_error {
+  using std::runtime_error::runtime_error;
 };
 
 /// Everything a supervised run produced, before aggregation.

@@ -1,0 +1,222 @@
+#include "util/socket.hpp"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace npd::net {
+
+namespace {
+
+/// Full-buffer send, retrying partial writes and EINTR.  MSG_NOSIGNAL:
+/// a vanished peer is an EPIPE return, never a process-killing signal.
+bool send_all(int fd, const char* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Full-buffer receive.  Returns the bytes read (short only at EOF).
+std::size_t recv_all(int fd, char* data, std::size_t size) {
+  std::size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::recv(fd, data + got, size - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return got;
+    }
+    if (n == 0) {
+      return got;  // EOF
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return got;
+}
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Fd& Fd::operator=(Fd&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+int Fd::release() {
+  const int fd = fd_;
+  fd_ = -1;
+  return fd;
+}
+
+void Fd::close() {
+  if (fd_ >= 0) {
+    (void)::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Fd listen_unix(const std::string& path, int backlog) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("listen_unix: socket path '" + path +
+                             "' empty or longer than sockaddr_un allows");
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    throw_errno("listen_unix: socket");
+  }
+  // A stale socket file from a crashed daemon makes bind fail with
+  // EADDRINUSE; replacing it is the standard daemon restart discipline.
+  (void)::unlink(path.c_str());
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    throw_errno("listen_unix: bind '" + path + "'");
+  }
+  if (::listen(fd.get(), backlog) != 0) {
+    throw_errno("listen_unix: listen '" + path + "'");
+  }
+  return fd;
+}
+
+Fd listen_tcp_localhost(int port, int* bound_port, int backlog) {
+  if (port < 0 || port > 65535) {
+    throw std::runtime_error("listen_tcp_localhost: port " +
+                             std::to_string(port) + " out of range");
+  }
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    throw_errno("listen_tcp_localhost: socket");
+  }
+  const int one = 1;
+  (void)::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    throw_errno("listen_tcp_localhost: bind 127.0.0.1:" +
+                std::to_string(port));
+  }
+  if (::listen(fd.get(), backlog) != 0) {
+    throw_errno("listen_tcp_localhost: listen");
+  }
+  if (bound_port != nullptr) {
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&bound),
+                      &len) != 0) {
+      throw_errno("listen_tcp_localhost: getsockname");
+    }
+    *bound_port = static_cast<int>(ntohs(bound.sin_port));
+  }
+  return fd;
+}
+
+Fd accept_connection(const Fd& listener) {
+  return Fd(::accept(listener.get(), nullptr, nullptr));
+}
+
+Fd connect_unix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("connect_unix: socket path '" + path +
+                             "' empty or longer than sockaddr_un allows");
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    throw_errno("connect_unix: socket");
+  }
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    throw_errno("connect_unix: connect '" + path + "'");
+  }
+  return fd;
+}
+
+Fd connect_tcp_localhost(int port) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    throw_errno("connect_tcp_localhost: socket");
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    throw_errno("connect_tcp_localhost: connect 127.0.0.1:" +
+                std::to_string(port));
+  }
+  return fd;
+}
+
+bool write_frame(const Fd& fd, std::string_view payload) {
+  if (payload.size() > kMaxFrameBytes) {
+    return false;
+  }
+  const auto size = static_cast<std::uint32_t>(payload.size());
+  char header[4] = {static_cast<char>((size >> 24) & 0xFF),
+                    static_cast<char>((size >> 16) & 0xFF),
+                    static_cast<char>((size >> 8) & 0xFF),
+                    static_cast<char>(size & 0xFF)};
+  // Two sends keep the code allocation-free; TCP_NODELAY concerns do not
+  // apply to the throughputs this serves (and Unix sockets have no
+  // Nagle at all).
+  return send_all(fd.get(), header, sizeof(header)) &&
+         send_all(fd.get(), payload.data(), payload.size());
+}
+
+std::optional<std::string> read_frame(const Fd& fd) {
+  char header[4];
+  if (recv_all(fd.get(), header, sizeof(header)) != sizeof(header)) {
+    return std::nullopt;  // clean EOF or torn header
+  }
+  const std::uint32_t size =
+      (static_cast<std::uint32_t>(static_cast<unsigned char>(header[0]))
+       << 24) |
+      (static_cast<std::uint32_t>(static_cast<unsigned char>(header[1]))
+       << 16) |
+      (static_cast<std::uint32_t>(static_cast<unsigned char>(header[2]))
+       << 8) |
+      static_cast<std::uint32_t>(static_cast<unsigned char>(header[3]));
+  if (size > kMaxFrameBytes) {
+    return std::nullopt;  // not our protocol
+  }
+  std::string payload(size, '\0');
+  if (recv_all(fd.get(), payload.data(), size) != size) {
+    return std::nullopt;  // torn frame
+  }
+  return payload;
+}
+
+}  // namespace npd::net

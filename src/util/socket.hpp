@@ -1,0 +1,85 @@
+#pragma once
+
+/// \file socket.hpp
+/// Minimal POSIX stream-socket plumbing for the serving subsystem
+/// (`src/serve`, `tools/npd_serve`, `tools/npd_loadgen`): Unix-domain
+/// and localhost-TCP listeners/connectors plus the length-prefixed
+/// framing both ends of the `npd.request/1` protocol speak.
+///
+/// Framing: every message is a 4-byte big-endian payload length followed
+/// by exactly that many payload bytes (the JSON document).  Big-endian
+/// on the wire keeps frames inspectable with `xxd` and independent of
+/// host byte order; the length cap rejects garbage (a client that sends
+/// raw HTTP, say) before it can size a buffer.
+///
+/// All reads and writes loop over partial transfers and retry EINTR;
+/// writes use MSG_NOSIGNAL so a peer that vanished mid-response surfaces
+/// as an error return, never a SIGPIPE that kills the daemon.  Errors
+/// are boolean/optional rather than exceptions on the per-message paths
+/// (a dying client is routine for a server); setup (bind/listen/connect)
+/// throws `std::runtime_error` naming the endpoint.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace npd::net {
+
+/// Upper bound on one frame's payload (16 MiB).  A length beyond it is
+/// protocol corruption, not a big message.
+inline constexpr std::uint32_t kMaxFrameBytes = 16u * 1024 * 1024;
+
+/// RAII file descriptor: closes on destruction, move-only.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { close(); }
+  Fd(Fd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Fd& operator=(Fd&& other) noexcept;
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  [[nodiscard]] int get() const { return fd_; }
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  /// Release ownership without closing.
+  [[nodiscard]] int release();
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Bind and listen on a Unix-domain socket at `path`, replacing a stale
+/// socket file from a previous run.  Throws `std::runtime_error` on
+/// failure (path too long for sockaddr_un, bind/listen errors).
+[[nodiscard]] Fd listen_unix(const std::string& path, int backlog = 64);
+
+/// Bind and listen on 127.0.0.1:`port` (0 = ephemeral).  `bound_port`,
+/// when non-null, receives the actual port (the way a test learns an
+/// ephemeral port).  Loopback only by construction — the daemon never
+/// listens on a routable interface.
+[[nodiscard]] Fd listen_tcp_localhost(int port, int* bound_port = nullptr,
+                                      int backlog = 64);
+
+/// Accept one connection.  Returns an invalid Fd on error (including
+/// EINTR — callers poll their own shutdown flag between attempts).
+[[nodiscard]] Fd accept_connection(const Fd& listener);
+
+/// Connect to a Unix-domain socket / to 127.0.0.1:`port`.  Throws
+/// `std::runtime_error` when the endpoint cannot be reached.
+[[nodiscard]] Fd connect_unix(const std::string& path);
+[[nodiscard]] Fd connect_tcp_localhost(int port);
+
+/// Write one length-prefixed frame.  Returns false when the peer is gone
+/// or the write fails (EPIPE/ECONNRESET are routine, never fatal).
+[[nodiscard]] bool write_frame(const Fd& fd, std::string_view payload);
+
+/// Read one length-prefixed frame.  Returns nullopt on clean EOF before
+/// a header, on a torn frame (EOF mid-message), on I/O errors, and on a
+/// length that exceeds `kMaxFrameBytes` — a server treats all of these
+/// as "this connection is done".
+[[nodiscard]] std::optional<std::string> read_frame(const Fd& fd);
+
+}  // namespace npd::net

@@ -125,4 +125,10 @@ void kill_process(const SpawnedProcess& process) {
   }
 }
 
+void terminate_process(const SpawnedProcess& process) {
+  if (process.pid > 0) {
+    (void)::kill(static_cast<pid_t>(process.pid), SIGTERM);
+  }
+}
+
 }  // namespace npd

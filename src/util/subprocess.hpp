@@ -73,4 +73,9 @@ enum class PollChild {
 /// an unrecoverable shard failure).
 void kill_process(const SpawnedProcess& process);
 
+/// Best-effort SIGTERM: the polite sibling of `kill_process`, used when
+/// the supervisor itself is asked to stop and forwards the request to
+/// its children so they can exit on their own terms.
+void terminate_process(const SpawnedProcess& process);
+
 }  // namespace npd

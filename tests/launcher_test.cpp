@@ -11,6 +11,8 @@
 
 #include <gtest/gtest.h>
 
+#include <csignal>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <atomic>
@@ -106,6 +108,114 @@ TEST(SubprocessTest, ExecFailureIsExit127) {
   ASSERT_TRUE(exit.has_value());
   EXPECT_EQ(exit->exit_code, 127);
   EXPECT_EQ(describe_exit(*exit), "exit code 127 (exec failed)");
+}
+
+TEST(SubprocessTest, ExecFailureLeavesBreadcrumbInLog) {
+  const TempDir dir;
+  const std::string missing = (dir.path() / "no_such_binary").string();
+  const auto log = dir.path() / "breadcrumb.log";
+  (void)spawn_process({missing}, log);
+  const std::optional<ProcessExit> exit = wait_any_child();
+  ASSERT_TRUE(exit.has_value());
+  EXPECT_EQ(exit->exit_code, 127);
+  // The child cannot report through stdio (it never execs), so the raw
+  // write(2) breadcrumb in the captured log is the only diagnosis an
+  // operator gets.  It must name the binary that failed to exec.
+  std::ifstream in(log);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_NE(contents.find("execvp failed"), std::string::npos) << contents;
+  EXPECT_NE(contents.find(missing), std::string::npos) << contents;
+}
+
+TEST(SubprocessTest, LargeChildOutputIsFullyCaptured) {
+  const TempDir dir;
+  const auto log = dir.path() / "big.log";
+  // Well beyond PIPE_BUF (4 KiB on Linux): the log capture must not be
+  // a pipe that fills and deadlocks or truncates; every byte lands.
+  constexpr long long kBytes = 1 << 20;
+  (void)spawn_process(
+      {"/bin/sh", "-c",
+       "head -c " + std::to_string(kBytes) + " /dev/zero | tr '\\0' x"},
+      log);
+  const std::optional<ProcessExit> exit = wait_any_child();
+  ASSERT_TRUE(exit.has_value());
+  EXPECT_TRUE(exit->success());
+  EXPECT_EQ(static_cast<long long>(std::filesystem::file_size(log)),
+            kBytes);
+}
+
+TEST(SubprocessTest, WaitRetriesThroughSignalInterruptions) {
+  // Pepper the blocking waitpid with SIGALRM (no SA_RESTART, so every
+  // delivery interrupts it with EINTR): wait_any_child must retry until
+  // the child actually exits, never surface a spurious "no children".
+  struct sigaction noop {};
+  noop.sa_handler = [](int) {};
+  sigemptyset(&noop.sa_mask);
+  noop.sa_flags = 0;
+  struct sigaction previous {};
+  ASSERT_EQ(::sigaction(SIGALRM, &noop, &previous), 0);
+  itimerval pepper{};
+  pepper.it_interval.tv_usec = 2000;
+  pepper.it_value.tv_usec = 2000;
+  ASSERT_EQ(::setitimer(ITIMER_REAL, &pepper, nullptr), 0);
+
+  const TempDir dir;
+  const SpawnedProcess child = spawn_process(
+      {"/bin/sh", "-c", "sleep 0.3; exit 5"}, dir.path() / "eintr.log");
+  const std::optional<ProcessExit> waited = wait_any_child();
+
+  // Same storm against the non-blocking poll path.
+  (void)spawn_process({"/bin/sh", "-c", "sleep 0.2"},
+                      dir.path() / "eintr2.log");
+  ProcessExit polled;
+  PollChild poll = PollChild::NoneExited;
+  while ((poll = poll_any_child(polled)) == PollChild::NoneExited) {
+    ::usleep(5000);
+  }
+
+  itimerval off{};
+  ASSERT_EQ(::setitimer(ITIMER_REAL, &off, nullptr), 0);
+  ASSERT_EQ(::sigaction(SIGALRM, &previous, nullptr), 0);
+
+  ASSERT_TRUE(waited.has_value());
+  EXPECT_EQ(waited->pid, child.pid);
+  EXPECT_EQ(waited->exit_code, 5);
+  EXPECT_EQ(poll, PollChild::Reaped);
+  EXPECT_TRUE(polled.success());
+}
+
+TEST(SubprocessTest, TerminateProcessDeliversSigterm) {
+  const TempDir dir;
+  const SpawnedProcess child = spawn_process(
+      {"/bin/sh", "-c", "sleep 30"}, dir.path() / "term.log");
+  ASSERT_GT(child.pid, 0);
+  terminate_process(child);
+  const std::optional<ProcessExit> exit = wait_any_child();
+  ASSERT_TRUE(exit.has_value());
+  EXPECT_EQ(exit->pid, child.pid);
+  EXPECT_TRUE(exit->signaled);
+  EXPECT_EQ(exit->term_signal, SIGTERM);
+  EXPECT_EQ(describe_exit(*exit), "killed by signal 15");
+}
+
+TEST(LauncherTest, StopFlagTerminatesChildrenAndThrowsInterrupted) {
+  const TempDir dir;
+  LaunchOptions options;
+  options.runner = NPD_RUN_BINARY;
+  options.procs = 2;
+  options.work_dir = dir.path();
+  // A batch big enough that the children are certainly still running
+  // when the supervisor notices the (pre-set) stop flag.
+  options.batch_args = {"--scenarios", "solver_sweep", "--reps", "50",
+                        "--seed", "3", "--threads", "1", "--params",
+                        "solver_sweep.n_lo=1500,solver_sweep.n_hi=3000"};
+  std::atomic<bool> stop{true};
+  options.stop = &stop;
+  EXPECT_THROW((void)run_shard_processes(options), LaunchInterrupted);
+  // Every child was reaped on the way out — nothing left to wait for.
+  ProcessExit leftover;
+  EXPECT_EQ(poll_any_child(leftover), PollChild::NoChildren);
 }
 
 TEST(LauncherTest, InvalidProcCountsAreUsageErrors) {

@@ -1,0 +1,10 @@
+// Layering violation: nothing below tools/ may depend on the serving
+// layer — serve sits on top of engine, not the other way round.
+#include "engine/job.hpp"
+#include "serve/protocol.hpp"
+
+namespace npd {
+
+int count_served_jobs() { return 0; }
+
+}  // namespace npd

@@ -1,0 +1,10 @@
+// Layering violation: serve may reach engine/solve/util (and their
+// transitive deps), but shard is a sibling, not a dependency.
+#include "serve/service.hpp"
+#include "shard/merge.hpp"
+
+namespace npd {
+
+int merge_served_shards() { return 0; }
+
+}  // namespace npd

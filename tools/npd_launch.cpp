@@ -20,6 +20,8 @@
 // With --cache-gc / --cache-max-mb the parent garbage-collects the cache
 // after the merge (see npd_run: same policy, same live-key protection).
 
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <exception>
 #include <filesystem>
@@ -42,6 +44,21 @@
 namespace {
 
 using namespace npd;
+
+/// Set by the SIGINT/SIGTERM handler; the supervisor loops poll it and
+/// tear the shard children down instead of orphaning them.
+std::atomic<bool> g_stop{false};
+
+extern "C" void handle_stop_signal(int) { g_stop.store(true); }
+
+void install_signal_handlers() {
+  struct sigaction action {};
+  action.sa_handler = handle_stop_signal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = SA_RESTART;  // the loops poll; no syscall must fail
+  (void)::sigaction(SIGTERM, &action, nullptr);
+  (void)::sigaction(SIGINT, &action, nullptr);
+}
 
 /// The npd_run binary expected next to this executable (children must be
 /// the same build, or their reports' fingerprints will refuse to merge).
@@ -181,7 +198,26 @@ int run(int argc, char** argv) {
                static_cast<long long>(plan.jobs.size()),
                options.runner.c_str(), workdir.c_str());
 
-  const shard::LaunchOutcome outcome = shard::run_shard_processes(options);
+  install_signal_handlers();
+  options.stop = &g_stop;
+
+  shard::LaunchOutcome outcome;
+  try {
+    outcome = shard::run_shard_processes(options);
+  } catch (const shard::LaunchInterrupted& interrupted) {
+    // Asked to stop (Ctrl-C / SIGTERM): the children are terminated and
+    // reaped, there is nothing to merge.  Still close the run with a
+    // machine-readable telemetry block so a supervisor tailing stderr
+    // sees a deliberate stop, not a vanished process.
+    (void)std::fprintf(summary, "%s\n", interrupted.what());
+    Json telemetry = Json::object();
+    telemetry.set("schema", "npd.telemetry/1")
+        .set("interrupted", true)
+        .set("procs", options.procs)
+        .set("wall_seconds", timer.elapsed_seconds());
+    (void)std::fprintf(stderr, "telemetry %s\n", telemetry.dump().c_str());
+    return 130;
+  }
   for (const shard::ShardRunReport& shard_report : outcome.reports) {
     if (shard_report.fingerprint != fingerprint) {
       // The children planned a different batch than we did: the runner

@@ -51,6 +51,7 @@ const std::map<std::string, std::vector<std::string>>& direct_deps() {
       {"harness", {"amp", "core", "noise", "pooling", "solve", "util"}},
       {"engine", {"harness", "netsim", "solve", "util"}},
       {"shard", {"engine", "util"}},
+      {"serve", {"engine", "solve", "util"}},
   };
   return deps;
 }

@@ -42,6 +42,11 @@ endfunction()
 check_fixture(bad_layering 1
   "src/util/uses_engine.cpp:[0-9]+: \\[layering\\].*engine"
   "src/solve/uses_shard.cpp:[0-9]+: \\[layering\\].*shard")
+# The serve module's edges: engine below it may not look up, and serve
+# itself may not reach sideways into shard.
+check_fixture(bad_layering_serve 1
+  "src/engine/uses_serve.cpp:[0-9]+: \\[layering\\].*serve"
+  "src/serve/uses_shard.cpp:[0-9]+: \\[layering\\].*shard")
 check_fixture(bad_rand 1
   "src/core/uses_rand.cpp:[0-9]+: \\[no-std-rand\\].*std::rand"
   "src/core/uses_rand.cpp:[0-9]+: \\[no-std-rand\\].*srand"
