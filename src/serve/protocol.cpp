@@ -52,8 +52,10 @@ Request parse_request(const Json& doc) {
     request.op = Op::Ping;
   } else if (op == "shutdown") {
     request.op = Op::Shutdown;
+  } else if (op == "stats") {
+    request.op = Op::Stats;
   } else {
-    fail("unknown op '" + op + "' (want solve|ping|shutdown)");
+    fail("unknown op '" + op + "' (want solve|ping|shutdown|stats)");
   }
 
   request.scenario = string_member(doc, "scenario", "");
@@ -101,7 +103,13 @@ Json make_control_response(const Request& request) {
   response.set("schema", std::string(kResponseSchema));
   response.set("id", request.id);
   response.set("status", "ok");
-  response.set("op", request.op == Op::Ping ? "ping" : "shutdown");
+  const char* op = "shutdown";
+  if (request.op == Op::Ping) {
+    op = "ping";
+  } else if (request.op == Op::Stats) {
+    op = "stats";
+  }
+  response.set("op", op);
   return response;
 }
 

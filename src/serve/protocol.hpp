@@ -17,8 +17,11 @@
 ///  "scenario": "solver_sweep", "params": "n_lo=80;n_hi=80",
 ///  "reps": 1, "seed": 12345}
 /// ```
-/// `op` is `"solve"` (default), `"ping"`, or `"shutdown"`; `params`,
-/// `reps` and `seed` are optional.
+/// `op` is `"solve"` (default), `"ping"`, `"shutdown"`, or `"stats"`;
+/// `params`, `reps` and `seed` are optional.  A `stats` request is
+/// answered immediately (never batched) with the server's live
+/// introspection block: uptime, queue depth, and the current
+/// `npd.metrics/1` snapshot — see docs/serving.md.
 ///
 /// Deterministic-seed contract: when a request carries no explicit
 /// `seed`, the server derives one as
@@ -53,8 +56,10 @@ inline constexpr std::string_view kResponseSchema = "npd.response/1";
 inline constexpr std::string_view kStatsSchema = "npd.serve_stats/1";
 
 /// Request verbs.  `Ping` answers without touching the engine (a
-/// readiness probe); `Shutdown` asks the daemon to drain and exit.
-enum class Op { Solve, Ping, Shutdown };
+/// readiness probe); `Shutdown` asks the daemon to drain and exit;
+/// `Stats` returns the live metrics snapshot without entering the
+/// solve batch queue.
+enum class Op { Solve, Ping, Shutdown, Stats };
 
 /// One parsed `npd.request/1`.
 struct Request {

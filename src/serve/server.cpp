@@ -10,6 +10,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "util/metrics.hpp"
+
 namespace npd::serve {
 
 namespace {
@@ -127,9 +129,18 @@ void Server::reader_loop(const std::shared_ptr<Connection>& connection) {
       request_shutdown();
       continue;
     }
+    if (request.op == Op::Stats) {
+      // Answered inline on the reader thread — a stats probe must never
+      // enter (or wait on) the solve batch queue.
+      (void)connection->write(stats_response(request).dump());
+      continue;
+    }
     {
       const std::lock_guard<std::mutex> lock(queue_mutex_);
-      queue_.push_back(QueuedSolve{connection, std::move(request)});
+      queue_.push_back(QueuedSolve{connection, std::move(request),
+                                   clock_.elapsed_seconds()});
+      metrics::gauge("serve.queue.depth",
+                     static_cast<std::int64_t>(queue_.size()));
     }
     queue_cv_.notify_all();
   }
@@ -168,6 +179,8 @@ void Server::batcher_loop() {
       batch.push_back(std::move(queue_.front()));
       queue_.pop_front();
     }
+    metrics::gauge("serve.queue.depth",
+                   static_cast<std::int64_t>(queue_.size()));
     lock.unlock();
 
     std::vector<Request> requests;
@@ -194,6 +207,12 @@ void Server::batcher_loop() {
     }
     for (std::size_t i = 0; i < batch.size(); ++i) {
       (void)batch[i].connection->write(responses[i].dump());
+    }
+    if (metrics::enabled()) {
+      const double now_s = clock_.elapsed_seconds();
+      for (const QueuedSolve& item : batch) {
+        metrics::observe("serve.latency_seconds", now_s - item.enqueue_s);
+      }
     }
     const auto sent = responses_sent_.fetch_add(
                           static_cast<std::int64_t>(batch.size()),
@@ -294,6 +313,26 @@ std::int64_t Server::run() {
     (void)::unlink(options_.unix_path.c_str());
   }
   return responses_sent_.load(std::memory_order_relaxed);
+}
+
+Json Server::stats_response(const Request& request) {
+  Json response = make_control_response(request);
+  Json stats = Json::object();
+  stats.set("uptime_seconds", clock_.elapsed_seconds());
+  std::int64_t queue_depth = 0;
+  {
+    const std::lock_guard<std::mutex> lock(queue_mutex_);
+    queue_depth = static_cast<std::int64_t>(queue_.size());
+  }
+  stats.set("queue_depth", queue_depth);
+  stats.set("open_connections",
+            static_cast<std::int64_t>(
+                open_connections_.load(std::memory_order_relaxed)));
+  stats.set("responses_sent",
+            responses_sent_.load(std::memory_order_relaxed));
+  stats.set("metrics", metrics::snapshot_json(metrics::snapshot()));
+  response.set("stats", std::move(stats));
+  return response;
 }
 
 }  // namespace npd::serve

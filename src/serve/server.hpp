@@ -117,12 +117,21 @@ class Server {
   struct QueuedSolve {
     std::shared_ptr<Connection> connection;
     Request request;
+    /// Monotonic enqueue time (`clock_` seconds) — the start of the
+    /// `serve.latency_seconds` histogram observation made when the
+    /// response is written.  Telemetry only.
+    double enqueue_s = 0.0;
   };
 
   void reader_loop(const std::shared_ptr<Connection>& connection);
   void batcher_loop();
   void handle_accept(const net::Fd& listener);
   [[nodiscard]] bool should_stop() const;
+  /// Build the live answer to an `op:"stats"` request: uptime, queue
+  /// depth, connection/response counts, and the current `npd.metrics/1`
+  /// snapshot.  Called from reader threads; never touches the batch
+  /// queue beyond one depth read.
+  [[nodiscard]] Json stats_response(const Request& request);
 
   const engine::ScenarioRegistry& registry_;
   ServerOptions options_;

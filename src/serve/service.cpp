@@ -7,7 +7,7 @@
 #include <utility>
 
 #include "engine/job.hpp"
-#include "util/trace.hpp"
+#include "util/metrics.hpp"
 
 namespace npd::serve {
 
@@ -58,11 +58,11 @@ const ResolvedDesign* Service::resolve(const Request& request) {
   const std::string key = design_cache_key(request.scenario, request.params);
   if (const ResolvedDesign* hit = cache_.find(key)) {
     counters_.design_cache_hits.fetch_add(1, std::memory_order_relaxed);
-    trace::counter("serve.design_cache.hit");
+    metrics::counter("serve.design_cache.hit");
     return hit;
   }
   counters_.design_cache_misses.fetch_add(1, std::memory_order_relaxed);
-  trace::counter("serve.design_cache.miss");
+  metrics::counter("serve.design_cache.miss");
 
   const engine::Scenario* scenario = registry_.find(request.scenario);
   if (scenario == nullptr) {
@@ -146,12 +146,15 @@ std::vector<Json> Service::execute(const std::vector<Request>& requests) {
     results = queue.run(config_.threads);
     counters_.batches.fetch_add(1, std::memory_order_relaxed);
     counters_.jobs.fetch_add(batch_jobs, std::memory_order_relaxed);
-    trace::counter("serve.batches");
-    trace::counter("serve.jobs", batch_jobs);
+    metrics::counter("serve.batches");
+    metrics::counter("serve.jobs", batch_jobs);
+    metrics::observe("serve.batch.jobs", static_cast<double>(batch_jobs));
   }
   if (solve_count > 0) {
     counters_.requests.fetch_add(solve_count, std::memory_order_relaxed);
-    trace::counter("serve.requests", solve_count);
+    metrics::counter("serve.requests", solve_count);
+    metrics::observe("serve.batch.requests",
+                     static_cast<double>(solve_count));
   }
 
   std::vector<Json> responses;

@@ -89,6 +89,30 @@ Json LatencyRecorder::histogram_json() const {
   return histogram;
 }
 
+void TimelineRecorder::record(double completed_at_seconds,
+                              double latency_seconds) {
+  seconds_[static_cast<std::int64_t>(completed_at_seconds)].record(
+      latency_seconds);
+}
+
+void TimelineRecorder::merge(const TimelineRecorder& other) {
+  for (const auto& [second, recorder] : other.seconds_) {
+    seconds_[second].merge(recorder);
+  }
+}
+
+Json TimelineRecorder::timeline_json() const {
+  Json timeline = Json::array();
+  for (const auto& [second, recorder] : seconds_) {
+    timeline.push_back(Json::object()
+                           .set("second", second)
+                           .set("requests", recorder.count())
+                           .set("p50_ms", recorder.percentile_ms(0.50))
+                           .set("p99_ms", recorder.percentile_ms(0.99)));
+  }
+  return timeline;
+}
+
 Json serve_stats_json(const LoadStats& stats) {
   Json doc = Json::object();
   doc.set("schema", std::string(kStatsSchema));
@@ -105,6 +129,7 @@ Json serve_stats_json(const LoadStats& stats) {
               : 0.0);
   doc.set("latency_ms", stats.latency.summary_json());
   doc.set("histogram", stats.latency.histogram_json());
+  doc.set("timeline", stats.timeline.timeline_json());
   return doc;
 }
 

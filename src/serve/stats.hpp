@@ -19,13 +19,22 @@
 ///                  "p50": 2.9, "p90": 4.8, "p95": 5.6, "p99": 8.2,
 ///                  "max": 31.0},
 ///   "histogram": [{"le_ms": 0.1, "count": 0}, ...,
-///                 {"le_ms": null, "count": 2}]   // null = +inf bucket
+///                 {"le_ms": null, "count": 2}],  // null = +inf bucket
+///   "timeline": [{"second": 0, "requests": 2451,
+///                 "p50_ms": 2.8, "p99_ms": 7.9}, ...]
 /// }
 /// ```
 /// Percentiles use the nearest-rank definition on the sorted samples
 /// (`ceil(q*n)`-th value), matching the usual load-testing convention;
 /// buckets are non-cumulative, so their counts sum to `count`.
+///
+/// The `timeline` array holds one entry per elapsed whole second that
+/// completed at least one request (sparse — a throughput collapse shows
+/// as a missing or tiny-`requests` second rather than being averaged
+/// away by the run totals).
 
+#include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -62,6 +71,25 @@ class LatencyRecorder {
   std::vector<double> samples_;
 };
 
+/// Per-second completion timeline: latencies bucketed by the whole
+/// second (of run time) their request completed in.  Per-worker
+/// recorders merge after the workers join, like `LatencyRecorder`.
+class TimelineRecorder {
+ public:
+  /// `completed_at_seconds` is run time (the load generator's shared
+  /// monotonic clock) at response receipt.
+  void record(double completed_at_seconds, double latency_seconds);
+
+  void merge(const TimelineRecorder& other);
+
+  /// The `timeline` array: `{second, requests, p50_ms, p99_ms}` per
+  /// second that completed at least one request, in second order.
+  [[nodiscard]] Json timeline_json() const;
+
+ private:
+  std::map<std::int64_t, LatencyRecorder> seconds_;
+};
+
 /// Everything one load-generation run measured.
 struct LoadStats {
   std::string mode = "closed";
@@ -73,6 +101,7 @@ struct LoadStats {
   Index ok = 0;
   Index errors = 0;
   LatencyRecorder latency;
+  TimelineRecorder timeline;
 };
 
 /// Serialize as `npd.serve_stats/1`.

@@ -184,6 +184,10 @@ LaunchOutcome run_shard_processes(const LaunchOptions& options) {
       outcome.heartbeat_paths.push_back(options.work_dir /
                                         (stem + ".heartbeat.json"));
     }
+    if (options.metrics) {
+      outcome.metrics_paths.push_back(options.work_dir /
+                                      (stem + ".metrics.json"));
+    }
   }
 
   struct ShardState {
@@ -208,6 +212,11 @@ LaunchOutcome run_shard_processes(const LaunchOptions& options) {
         // restarted child overwrites it with its first beat.
         std::filesystem::remove(outcome.heartbeat_paths[slot]);
       }
+      if (options.metrics) {
+        // Same staleness rule: a snapshot from a previous launch in
+        // this workdir must not feed the merged metrics.
+        std::filesystem::remove(outcome.metrics_paths[slot]);
+      }
     }
     std::vector<std::string> argv;
     argv.reserve(options.batch_args.size() + 7);
@@ -221,6 +230,10 @@ LaunchOutcome run_shard_processes(const LaunchOptions& options) {
     if (heartbeats) {
       argv.push_back("--heartbeat");
       argv.push_back(outcome.heartbeat_paths[slot].string());
+    }
+    if (options.metrics) {
+      argv.push_back("--metrics");
+      argv.push_back(outcome.metrics_paths[slot].string());
     }
     states[slot].process = spawn_process(argv, outcome.log_paths[slot]);
     ++states[slot].attempts;

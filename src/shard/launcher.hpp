@@ -53,6 +53,12 @@ struct LaunchOptions {
   /// child so progress is observable while the shards run.  Telemetry
   /// only — the reports and the merge are byte-identical either way.
   bool heartbeats = false;
+  /// Pass `--metrics <work_dir>/shard_<i>.metrics.json` to every child
+  /// so each shard exports an `npd.metrics/1` snapshot next to its
+  /// report (the caller merges them with
+  /// `metrics::merge_snapshot_docs`).  Telemetry only, like
+  /// `heartbeats`.
+  bool metrics = false;
   /// Tail the shard heartbeats while supervising and render a live
   /// aggregate progress line to stderr (implies `heartbeats`).  On a
   /// TTY the line rewrites in place; otherwise a new line is printed
@@ -88,6 +94,10 @@ struct LaunchOutcome {
   /// shard has `done == true`, so the caller can read them back for an
   /// end-of-run telemetry summary.
   std::vector<std::filesystem::path> heartbeat_paths;
+  /// Metrics snapshot file per shard (empty unless `metrics` was set).
+  /// Written by each child after its report; a crashed attempt leaves
+  /// none, so merge only the files that exist.
+  std::vector<std::filesystem::path> metrics_paths;
 };
 
 /// Validate a process/shard count the way the CLI layer needs it: a

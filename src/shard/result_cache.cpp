@@ -16,7 +16,7 @@
 #include "util/file.hpp"
 #include "util/json.hpp"
 #include "util/parse.hpp"
-#include "util/trace.hpp"
+#include "util/metrics.hpp"
 
 namespace npd::shard {
 
@@ -365,7 +365,7 @@ CacheGcStats ResultCache::gc(const CacheGcPolicy& policy) const {
   }
   write_index(survivors);
   // Out-of-band telemetry only; `stats` is the caller-facing truth.
-  trace::counter("cache.evictions", stats.dropped);
+  metrics::counter("cache.evictions", stats.dropped);
   return stats;
 }
 

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "util/assert.hpp"
+#include "util/metrics.hpp"
 #include "util/trace.hpp"
 
 namespace npd::shard {
@@ -58,7 +59,8 @@ RunJobsOutcome run_jobs(const engine::BatchPlan& plan,
   // wrapper (on the worker, before the rest of the queue drains) so a
   // run killed mid-shard leaves every completed job on disk for the
   // resume (store is thread-safe: unique temp names + atomic rename).
-  const bool instrument = trace::enabled() || progress != nullptr;
+  const bool instrument =
+      trace::enabled() || metrics::enabled() || progress != nullptr;
   const auto wrap = [&](const engine::Job& planned, Index job,
                         std::string key) {
     engine::Job wrapped = planned;
@@ -75,7 +77,7 @@ RunJobsOutcome run_jobs(const engine::BatchPlan& plan,
       if (!key.empty()) {
         cache->store(key, metrics);
       }
-      trace::counter("jobs.executed");
+      metrics::counter("jobs.executed");
       if (progress != nullptr) {
         progress->add_done();
       }
@@ -104,15 +106,15 @@ RunJobsOutcome run_jobs(const engine::BatchPlan& plan,
         result.metrics = std::move(*metrics);
         result.wall_seconds = 0.0;  // replayed, not executed
         ++outcome.cache_hits;
-        trace::counter("cache.hits");
-        trace::counter("jobs.replayed");
+        metrics::counter("cache.hits");
+        metrics::counter("jobs.replayed");
         if (progress != nullptr) {
           progress->add_cache_hits();
           progress->add_done();
         }
         continue;
       }
-      trace::counter("cache.misses");
+      metrics::counter("cache.misses");
       if (progress != nullptr) {
         progress->add_cache_misses();
       }

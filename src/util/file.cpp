@@ -1,7 +1,13 @@
 #include "util/file.hpp"
 
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
 #include <fstream>
 #include <sstream>
+#include <string>
+#include <system_error>
 #include <utility>
 
 namespace npd {
@@ -18,6 +24,30 @@ std::optional<std::string> try_read_file(
     return std::nullopt;
   }
   return std::move(buffer).str();
+}
+
+bool write_file_atomically(const std::filesystem::path& path,
+                           const std::string& text) {
+  // pid + process-wide counter make the temp name unique even across
+  // concurrent writers of the same target (shards in one directory).
+  static std::atomic<std::uint64_t> counter{0};
+  const std::filesystem::path temp_path =
+      path.string() + ".tmp." + std::to_string(::getpid()) + "." +
+      std::to_string(counter.fetch_add(1));
+  {
+    std::ofstream out(temp_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return false;
+    }
+    out << text;
+    out.flush();
+    if (!out.good()) {
+      return false;
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(temp_path, path, ec);
+  return !ec;
 }
 
 }  // namespace npd

@@ -18,4 +18,13 @@ namespace npd {
 [[nodiscard]] std::optional<std::string> try_read_file(
     const std::filesystem::path& path);
 
+/// Write `text` to `path` via a unique temp name + rename — the result
+/// cache's discipline, shared by every telemetry file that may be read
+/// while being rewritten (heartbeats, periodic metrics snapshots): a
+/// reader never observes a partial document, and a writer killed
+/// mid-write leaves only the previous complete file.  Returns false on
+/// I/O failure instead of throwing (telemetry is best-effort).
+bool write_file_atomically(const std::filesystem::path& path,
+                           const std::string& text);
+
 }  // namespace npd

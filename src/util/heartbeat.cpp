@@ -1,10 +1,6 @@
 #include "util/heartbeat.hpp"
 
-#include <unistd.h>
-
 #include <chrono>
-#include <fstream>
-#include <system_error>
 #include <type_traits>
 #include <utility>
 
@@ -15,31 +11,6 @@ namespace npd::heartbeat {
 namespace {
 
 constexpr std::string_view kSchema = "npd.heartbeat/1";
-
-/// Temp + rename, mirroring the result cache's discipline, but
-/// returning false instead of throwing: a heartbeat that cannot be
-/// written must never take down the run it describes.
-bool write_atomically(const std::filesystem::path& path,
-                      const std::string& text) {
-  static std::atomic<std::uint64_t> counter{0};
-  const std::filesystem::path temp_path =
-      path.string() + ".tmp." + std::to_string(::getpid()) + "." +
-      std::to_string(counter.fetch_add(1));
-  {
-    std::ofstream out(temp_path, std::ios::binary | std::ios::trunc);
-    if (!out) {
-      return false;
-    }
-    out << text;
-    out.flush();
-    if (!out.good()) {
-      return false;
-    }
-  }
-  std::error_code ec;
-  std::filesystem::rename(temp_path, path, ec);
-  return !ec;
-}
 
 }  // namespace
 
@@ -108,7 +79,7 @@ std::optional<Heartbeat> from_json(const Json& doc) {
 bool write_heartbeat(const std::filesystem::path& path,
                      Heartbeat heartbeat) {
   heartbeat.updated_unix = now_unix_seconds();
-  return write_atomically(path, to_json(heartbeat).dump(2) + "\n");
+  return write_file_atomically(path, to_json(heartbeat).dump(2) + "\n");
 }
 
 std::optional<Heartbeat> read_heartbeat(const std::filesystem::path& path) {

@@ -14,8 +14,8 @@
 /// telemetry is best-effort by contract and must never fail a run.
 ///
 /// The wall-clock `updated_unix` stamp (the basis of `--watch`'s
-/// per-shard lag display) is read in heartbeat.cpp — one of the two TUs
-/// allowlisted by `npd_lint`'s no-wall-clock ban.  Callers that need
+/// per-shard lag display) is read in heartbeat.cpp — one of the
+/// telemetry TUs allowlisted by `npd_lint`'s no-wall-clock ban.  Callers that need
 /// "now" to compute lag use `now_unix_seconds()` instead of touching
 /// the clock themselves, which keeps every wall-clock read confined to
 /// the telemetry TUs.  Timestamps never enter reports, cache keys or

@@ -1,0 +1,242 @@
+#include "util/profiler.hpp"
+
+#include <cxxabi.h>
+#include <dlfcn.h>
+#include <execinfo.h>
+#include <sys/time.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstddef>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace npd::prof {
+
+namespace {
+
+constexpr std::string_view kSchema = "npd.profile/1";
+
+/// Capacity of the sample buffer.  At the default 200 Hz this holds
+/// ~160 s of sampling; beyond it samples count as dropped.  32768 × 32
+/// pointers ≈ 8 MiB, allocated once in start().
+constexpr int kMaxSamples = 32768;
+constexpr int kMaxDepth = 32;
+/// Frames the handler itself contributes (the handler and the kernel's
+/// signal trampoline), stripped before folding.
+constexpr int kSkipFrames = 2;
+
+std::atomic<bool> g_running{false};
+/// Next free slot; may overshoot kMaxSamples (claims past the end are
+/// counted as dropped and write nothing).
+std::atomic<int> g_next_slot{0};
+std::atomic<std::int64_t> g_dropped{0};
+int g_hz = 0;
+
+/// Sample storage, allocated by the first start() and reused (never
+/// freed): the handler must not allocate, and a fixed base pointer
+/// keeps the handler's addressing race-free.
+void** g_frames = nullptr;        // kMaxSamples × kMaxDepth
+std::atomic<int>* g_depths = nullptr;  // per-slot frame count
+
+/// Serializes start/stop/collect against each other (never taken by
+/// the signal handler).
+std::mutex& control_mutex() {
+  static std::mutex instance;
+  return instance;
+}
+
+/// SIGPROF handler: claim a slot, backtrace into it.  Everything here
+/// is lock-free and allocation-free; backtrace() is tolerable in a
+/// handler once pre-warmed (start() forces the unwinder's lazy
+/// initialization before arming the timer).
+void on_sigprof(int /*signum*/) {
+  if (!g_running.load(std::memory_order_relaxed)) {
+    return;  // a straggler signal after stop(); ignore
+  }
+  const int slot = g_next_slot.fetch_add(1, std::memory_order_relaxed);
+  if (slot >= kMaxSamples) {
+    g_dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  const int depth =
+      backtrace(g_frames + static_cast<std::ptrdiff_t>(slot) * kMaxDepth,
+                kMaxDepth);
+  // Publish the depth last: collect() treats depth 0 as "slot never
+  // completed" (a sample interrupted by stop()).
+  g_depths[slot].store(depth, std::memory_order_release);
+}
+
+/// Demangle a C++ symbol name; returns the input when it does not
+/// demangle (C symbols, already-plain names).
+std::string demangle(const char* name) {
+  int status = 0;
+  char* demangled = abi::__cxa_demangle(name, nullptr, nullptr, &status);
+  if (status != 0 || demangled == nullptr) {
+    std::free(demangled);
+    return std::string(name);
+  }
+  std::string result(demangled);
+  std::free(demangled);
+  return result;
+}
+
+/// Best-effort name for a return address.  Unresolvable frames fold as
+/// "[unknown]" rather than a raw address: addresses differ run to run
+/// (ASLR) and would shred the folding.
+std::string symbolize(void* address) {
+  Dl_info info;
+  if (dladdr(address, &info) != 0 && info.dli_sname != nullptr) {
+    return demangle(info.dli_sname);
+  }
+  return "[unknown]";
+}
+
+}  // namespace
+
+bool running() { return g_running.load(std::memory_order_relaxed); }
+
+bool start(int hz) {
+  const std::lock_guard<std::mutex> lock(control_mutex());
+  if (g_running.load(std::memory_order_relaxed)) {
+    return false;
+  }
+  hz = std::clamp(hz, 1, 10000);
+  if (g_frames == nullptr) {
+    g_frames = new void*[static_cast<std::size_t>(kMaxSamples) * kMaxDepth];
+    g_depths = new std::atomic<int>[kMaxSamples]();
+  }
+  // Pre-warm the unwinder so the first in-handler backtrace() does not
+  // hit libgcc's lazy one-time initialization.
+  void* warm[4];
+  (void)backtrace(warm, 4);
+
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = &on_sigprof;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = SA_RESTART;
+  if (sigaction(SIGPROF, &action, nullptr) != 0) {
+    return false;
+  }
+  g_next_slot.store(0, std::memory_order_relaxed);
+  g_dropped.store(0, std::memory_order_relaxed);
+  g_hz = hz;
+  g_running.store(true, std::memory_order_relaxed);
+
+  struct itimerval interval;
+  std::memset(&interval, 0, sizeof(interval));
+  const long period_us = 1000000L / hz;
+  interval.it_interval.tv_sec = period_us / 1000000L;
+  interval.it_interval.tv_usec = period_us % 1000000L;
+  interval.it_value = interval.it_interval;
+  if (setitimer(ITIMER_PROF, &interval, nullptr) != 0) {
+    g_running.store(false, std::memory_order_relaxed);
+    return false;
+  }
+  return true;
+}
+
+void stop() {
+  const std::lock_guard<std::mutex> lock(control_mutex());
+  if (!g_running.load(std::memory_order_relaxed)) {
+    return;
+  }
+  struct itimerval disarm;
+  std::memset(&disarm, 0, sizeof(disarm));
+  (void)setitimer(ITIMER_PROF, &disarm, nullptr);
+  // The handler stays installed but inert (g_running gates it): a
+  // SIGPROF already in flight must find a handler, not SIG_DFL.
+  g_running.store(false, std::memory_order_relaxed);
+}
+
+Profile collect() {
+  const std::lock_guard<std::mutex> lock(control_mutex());
+  Profile profile;
+  profile.hz = g_hz;
+  profile.dropped = g_dropped.load(std::memory_order_relaxed);
+  const int recorded =
+      g_depths == nullptr
+          ? 0
+          : std::min(g_next_slot.load(std::memory_order_relaxed), kMaxSamples);
+
+  // Fold by raw address sequence first (cheap), then symbolize each
+  // unique address once, then re-fold by name string: distinct
+  // addresses inside one inlined/static region share a symbol and must
+  // merge at the string level.
+  std::map<std::vector<void*>, std::int64_t> by_address;
+  for (int slot = 0; slot < recorded; ++slot) {
+    const int depth = g_depths[slot].load(std::memory_order_acquire);
+    if (depth <= kSkipFrames) {
+      continue;  // interrupted by stop() or degenerate stack
+    }
+    void** frames = g_frames + static_cast<std::ptrdiff_t>(slot) * kMaxDepth;
+    // Drop the handler + trampoline frames, reverse to root-first.
+    std::vector<void*> stack(frames + kSkipFrames, frames + depth);
+    std::reverse(stack.begin(), stack.end());
+    ++by_address[stack];
+    ++profile.samples;
+  }
+
+  std::map<void*, std::string> names;
+  std::map<std::string, std::int64_t> by_name;
+  for (const auto& [stack, count] : by_address) {
+    std::string folded;
+    for (void* address : stack) {
+      auto [it, inserted] = names.emplace(address, std::string());
+      if (inserted) {
+        it->second = symbolize(address);
+      }
+      if (!folded.empty()) {
+        folded += ';';
+      }
+      folded += it->second;
+    }
+    by_name[std::move(folded)] += count;
+  }
+  profile.stacks.reserve(by_name.size());
+  for (auto& [stack, count] : by_name) {
+    profile.stacks.push_back(FoldedStack{stack, count});
+  }
+
+  // The telemetry layer's sanctioned wall-clock read (this TU is
+  // allowlisted by npd_lint's no-wall-clock rule): stamps the profile
+  // so it is attributable to a run.  Never feeds results or keys.
+  profile.captured_unix = std::chrono::duration<double>(
+                              std::chrono::system_clock::now()
+                                  .time_since_epoch())
+                              .count();
+
+  // Reset the buffer so a later start() records a fresh profile.
+  g_next_slot.store(0, std::memory_order_relaxed);
+  g_dropped.store(0, std::memory_order_relaxed);
+  for (int slot = 0; g_depths != nullptr && slot < kMaxSamples; ++slot) {
+    g_depths[slot].store(0, std::memory_order_relaxed);
+  }
+  return profile;
+}
+
+Json profile_json(const Profile& profile) {
+  Json doc = Json::object();
+  doc.set("schema", std::string(kSchema))
+      .set("captured_unix", profile.captured_unix)
+      .set("hz", profile.hz)
+      .set("samples", profile.samples)
+      .set("dropped", profile.dropped);
+  Json stacks = Json::array();
+  for (const FoldedStack& folded : profile.stacks) {
+    Json entry = Json::object();
+    entry.set("stack", folded.stack).set("count", folded.count);
+    stacks.push_back(std::move(entry));
+  }
+  doc.set("stacks", std::move(stacks));
+  return doc;
+}
+
+}  // namespace npd::prof

@@ -1,0 +1,88 @@
+#pragma once
+
+/// \file profiler.hpp
+/// In-process sampling CPU profiler — the "where inside a job does the
+/// CPU time go" layer behind `--profile`, complementing trace's spans
+/// (which show *which* job) and the metrics registry (which shows *how
+/// many*).
+///
+/// Mechanism: `start(hz)` arms `ITIMER_PROF`, which delivers `SIGPROF`
+/// on whichever thread is burning CPU when the interval expires.  The
+/// handler does exactly one thing that is async-signal-tolerable:
+/// `backtrace()` into a slot of a preallocated sample buffer claimed
+/// with one relaxed `fetch_add` (no locks, no allocation, no I/O — the
+/// buffer is allocated in `start()`, and `start()` also pre-warms
+/// `backtrace()` so libgcc's unwinder is loaded before the first
+/// signal).  When the buffer fills, further samples are counted as
+/// dropped rather than recorded.
+///
+/// `stop()` disarms the timer but leaves the (now inert) handler
+/// installed — reverting to `SIG_DFL` would turn one straggler SIGPROF
+/// into process death.  Symbolization (`dladdr` + demangling) happens
+/// only in `collect()`, after sampling has stopped, on the calling
+/// thread.  Stacks fold into the flamegraph `frame;frame;frame` form,
+/// emitted name-sorted as an `npd.profile/1` document.
+///
+/// Process-lifecycle safety, pinned by `util_metrics_test`:
+///   * fork: POSIX resets interval timers in the child, so a child
+///     forked mid-sampling inherits the handler but never receives
+///     SIGPROF; exec then clears the handler too.  The launcher's
+///     fork/exec children are untouched by a profiling parent.
+///   * kill mid-sampling: the profile only leaves the process as a file
+///     written after `stop()`; a process killed while sampling leaves
+///     no partial document.
+///
+/// Out-of-band like all telemetry: samples never feed reports, cache
+/// keys or fingerprints, and report bytes with and without `--profile`
+/// are cmp-enforced.  The wall-clock `captured_unix` stamp is read in
+/// profiler.cpp, one of the telemetry TUs allowlisted by `npd_lint`'s
+/// no-wall-clock ban.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace npd::prof {
+
+/// One folded call stack (root first, `;`-separated demangled frames)
+/// and the number of samples that landed in it.
+struct FoldedStack {
+  std::string stack;
+  std::int64_t count = 0;
+};
+
+/// Everything `collect()` distilled from the sample buffer.
+struct Profile {
+  int hz = 0;
+  std::int64_t samples = 0;  ///< recorded (≤ buffer capacity)
+  std::int64_t dropped = 0;  ///< arrived after the buffer filled
+  std::vector<FoldedStack> stacks;  ///< sorted by stack string
+  /// Wall-clock time of collection (unix seconds).
+  double captured_unix = 0.0;
+};
+
+/// Arm the profiler at `hz` samples per second (clamped to [1, 10000]).
+/// Returns false if sampling is already running or the timer/handler
+/// could not be installed.  Call before the workload; one profiler per
+/// process.
+[[nodiscard]] bool start(int hz);
+
+/// Disarm the timer.  Idempotent; safe to call when never started.
+void stop();
+
+/// Is the profiler currently sampling?
+[[nodiscard]] bool running();
+
+/// Symbolize and fold the recorded samples.  Must be called after
+/// `stop()`; resets the sample buffer so a later `start()` records a
+/// fresh profile.
+[[nodiscard]] Profile collect();
+
+/// Serialize as an `npd.profile/1` document.  The folded stacks are
+/// flamegraph.pl/speedscope-ready: each entry's `"stack"` joined with
+/// a space and its `"count"` is one line of folded-stack input.
+[[nodiscard]] Json profile_json(const Profile& profile);
+
+}  // namespace npd::prof

@@ -26,7 +26,7 @@
 /// Span timestamps come from the monotonic clock (`steady_clock`, same
 /// as `Timer`); the single wall-clock read — the `flushed_unix` stamp
 /// that makes a trace file attributable to a run — lives in trace.cpp,
-/// one of the two TUs `npd_lint`'s wall-clock ban allowlists.
+/// one of the telemetry TUs `npd_lint`'s wall-clock ban allowlists.
 ///
 /// `chrome_trace_json()` serializes a snapshot in the Chrome trace
 /// event format (schema tag `npd.trace/1`), loadable as-is in

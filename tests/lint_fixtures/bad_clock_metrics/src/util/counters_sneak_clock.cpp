@@ -1,0 +1,13 @@
+#include <chrono>
+
+namespace npd {
+
+// NOT allowlisted: a sibling util TU reading the wall clock must still
+// fire no-wall-clock — the exemption names four exact files, it is not
+// a "telemetry-adjacent" directory pass.
+double sneaky_counter_stamp() {
+  const auto now = std::chrono::system_clock::now().time_since_epoch();
+  return std::chrono::duration<double>(now).count();
+}
+
+}  // namespace npd

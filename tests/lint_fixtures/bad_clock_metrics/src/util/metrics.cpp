@@ -1,0 +1,12 @@
+#include <chrono>
+
+namespace npd::metrics {
+
+// Allowlisted: metrics.cpp may stamp snapshot capture times from the
+// wall clock without tripping no-wall-clock.
+double wall_unix_seconds() {
+  const auto now = std::chrono::system_clock::now().time_since_epoch();
+  return std::chrono::duration<double>(now).count();
+}
+
+}  // namespace npd::metrics

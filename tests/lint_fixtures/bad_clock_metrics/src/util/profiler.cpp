@@ -1,0 +1,14 @@
+#include <sys/time.h>
+
+namespace npd::prof {
+
+// Also allowlisted: the profiler stamps its capture time and arms the
+// ITIMER_PROF sampling interval from real time.
+double capture_stamp() {
+  timeval tv{};
+  (void)gettimeofday(&tv, nullptr);
+  return static_cast<double>(tv.tv_sec) +
+         static_cast<double>(tv.tv_usec) / 1e6;
+}
+
+}  // namespace npd::prof

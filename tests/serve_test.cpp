@@ -79,6 +79,11 @@ TEST(ProtocolTest, ParsesControlOps) {
       .set("id", "s")
       .set("op", "shutdown");
   EXPECT_EQ(parse_request(shutdown).op, Op::Shutdown);
+  Json stats = Json::object();
+  stats.set("schema", std::string(kRequestSchema))
+      .set("id", "st")
+      .set("op", "stats");
+  EXPECT_EQ(parse_request(stats).op, Op::Stats);
 }
 
 TEST(ProtocolTest, RejectsMalformedRequests) {
@@ -139,6 +144,13 @@ TEST(ProtocolTest, ErrorAndControlResponseShapes) {
   const Json ack = make_control_response(ping);
   EXPECT_EQ(ack.at("status").as_string(), "ok");
   EXPECT_EQ(ack.at("op").as_string(), "ping");
+
+  Request stats;
+  stats.id = "st";
+  stats.op = Op::Stats;
+  const Json stats_ack = make_control_response(stats);
+  EXPECT_EQ(stats_ack.at("status").as_string(), "ok");
+  EXPECT_EQ(stats_ack.at("op").as_string(), "stats");
 }
 
 // ---------------------------------------------------------- design cache
@@ -376,6 +388,34 @@ TEST(StatsTest, StatsJsonShapeAndHistogramTotal) {
   }
   EXPECT_EQ(total, 3);
   EXPECT_TRUE(histogram.at(histogram.size() - 1).at("le_ms").is_null());
+}
+
+TEST(StatsTest, TimelineBucketsBySecondAndMerges) {
+  TimelineRecorder a;
+  a.record(0.2, 0.001);
+  a.record(0.9, 0.003);
+  a.record(2.1, 0.010);  // second 1 completed nothing — stays sparse
+  TimelineRecorder b;
+  b.record(0.5, 0.005);
+  a.merge(b);
+
+  const Json timeline = a.timeline_json();
+  ASSERT_EQ(timeline.size(), 2u);
+  const Json& first = timeline.at(0);
+  EXPECT_EQ(first.at("second").as_int(), 0);
+  EXPECT_EQ(first.at("requests").as_int(), 3);
+  EXPECT_NEAR(first.at("p50_ms").as_double(), 3.0, 1e-9);
+  EXPECT_NEAR(first.at("p99_ms").as_double(), 5.0, 1e-9);
+  const Json& second = timeline.at(1);
+  EXPECT_EQ(second.at("second").as_int(), 2);
+  EXPECT_EQ(second.at("requests").as_int(), 1);
+  EXPECT_NEAR(second.at("p99_ms").as_double(), 10.0, 1e-9);
+
+  // The timeline rides inside npd.serve_stats/1.
+  LoadStats stats;
+  stats.timeline = a;
+  const Json doc = serve_stats_json(stats);
+  EXPECT_EQ(doc.at("timeline").size(), 2u);
 }
 
 }  // namespace

@@ -38,6 +38,7 @@
 #include "util/cli.hpp"
 #include "util/heartbeat.hpp"
 #include "util/json.hpp"
+#include "util/metrics.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
@@ -126,6 +127,15 @@ int run(int argc, char** argv) {
       "fault injection forwarded to the children (see npd_run "
       "--test-crash): exactly one shard crashes once, exercising the "
       "restart path");
+  const std::string& metrics_path = cli.add_string(
+      "metrics", "",
+      "collect an npd.metrics/1 snapshot from every shard child and "
+      "write their deterministic merge here; the merged report bytes "
+      "are identical with or without it");
+  const long long& heartbeat_interval_ms = cli.add_int(
+      "heartbeat-interval-ms", 200,
+      "how often each shard child rewrites its heartbeat file "
+      "(forwarded to the children; the feed behind --watch)");
   const bool& watch = cli.add_flag(
       "watch",
       "tail the shard heartbeats while they run and render a live "
@@ -157,6 +167,9 @@ int run(int argc, char** argv) {
   if (watch_interval_ms < 1) {
     throw std::invalid_argument("--watch-interval-ms: must be >= 1");
   }
+  if (heartbeat_interval_ms < 1) {
+    throw std::invalid_argument("--heartbeat-interval-ms: must be >= 1");
+  }
 
   shard::LaunchOptions options;
   options.runner = runner_arg.empty() ? default_runner() : runner_arg;
@@ -166,12 +179,15 @@ int run(int argc, char** argv) {
   // Heartbeats are always on under the supervisor (they feed the final
   // telemetry block); --watch additionally renders them live.
   options.heartbeats = true;
+  options.metrics = !metrics_path.empty();
   options.watch = watch;
   options.watch_interval_ms = static_cast<int>(watch_interval_ms);
   options.batch_args = {"--scenarios", scenarios_arg,
                         "--reps",      std::to_string(reps),
                         "--seed",      std::to_string(seed),
-                        "--threads",   std::to_string(threads)};
+                        "--threads",   std::to_string(threads),
+                        "--heartbeat-interval-ms",
+                        std::to_string(heartbeat_interval_ms)};
   if (!params_arg.empty()) {
     options.batch_args.push_back("--params");
     options.batch_args.push_back(params_arg);
@@ -261,6 +277,31 @@ int run(int argc, char** argv) {
   tools::collect_cache_gc(plan, cache_dir, cache_gc, cache_max_mb,
                           summary);
 
+  // Fold the shard children's npd.metrics/1 snapshots into one merged
+  // document: counters sum, gauges keep the max, histogram buckets add
+  // — deterministic because every count is an integer and names are
+  // sorted.  Out-of-band, like the telemetry block it also feeds.
+  Json merged_metrics;
+  if (!metrics_path.empty()) {
+    std::vector<Json> shard_docs;
+    for (const std::filesystem::path& path : outcome.metrics_paths) {
+      try {
+        shard_docs.push_back(Json::parse(tools::read_file(path.string())));
+      } catch (const std::exception& error) {
+        (void)std::fprintf(stderr,
+                           "npd_launch: --metrics: skipping shard "
+                           "snapshot %s (%s)\n",
+                           path.string().c_str(), error.what());
+      }
+    }
+    merged_metrics = metrics::merge_snapshot_docs(shard_docs);
+    if (!tools::write_output(merged_metrics.dump(2), metrics_path)) {
+      return 1;
+    }
+    (void)std::fprintf(summary, "[merged metrics written to %s]\n",
+                       metrics_path.c_str());
+  }
+
   // Final machine-readable telemetry block (schema npd.telemetry/1) on
   // stderr: launch-level aggregates plus each shard's last heartbeat.
   // Out-of-band — nothing in the merged report depends on it.
@@ -288,6 +329,9 @@ int run(int argc, char** argv) {
     shard_beats.push_back(std::move(entry));
   }
   telemetry.set("shards", std::move(shard_beats));
+  if (!metrics_path.empty()) {
+    telemetry.set("metrics", std::move(merged_metrics));
+  }
   (void)std::fprintf(stderr, "telemetry %s\n", telemetry.dump().c_str());
   return 0;
 }

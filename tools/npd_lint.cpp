@@ -394,13 +394,16 @@ void check_file(const fs::path& root, const fs::path& relative,
 
   // ---- determinism bans (src/ and tools/, except src/rand which owns
   // the repo's one sanctioned entropy/seed boundary).  The wall-clock
-  // ban alone has a two-file telemetry allowlist: trace flush stamps and
-  // heartbeat freshness need real time, and confining every such read to
-  // these TUs is exactly what keeps timestamps out of reports, cache
-  // keys and fingerprints (callers go through heartbeat::now_unix_seconds
+  // ban alone has a four-file telemetry allowlist: trace flush stamps,
+  // heartbeat freshness, metrics capture times and profiler sample
+  // intervals need real time, and confining every such read to these
+  // TUs is exactly what keeps timestamps out of reports, cache keys
+  // and fingerprints (callers go through heartbeat::now_unix_seconds
   // instead of touching a clock).
   const bool telemetry_tu = generic == "src/util/trace.cpp" ||
-                            generic == "src/util/heartbeat.cpp";
+                            generic == "src/util/heartbeat.cpp" ||
+                            generic == "src/util/metrics.cpp" ||
+                            generic == "src/util/profiler.cpp";
   if ((in_src || in_tools) && generic.rfind("src/rand/", 0) != 0) {
     for (std::size_t i = 0; i < code_lines.size(); ++i) {
       for (const BanRule& ban : determinism_bans()) {

@@ -54,12 +54,17 @@ check_fixture(bad_rand 1
 check_fixture(bad_clock 1
   "src/pooling/uses_clock.cpp:[0-9]+: \\[no-wall-clock\\].*time"
   "src/pooling/uses_clock.cpp:[0-9]+: \\[no-wall-clock\\].*system_clock")
-# The wall-clock allowlist is exactly src/util/{trace,heartbeat}.cpp:
-# those two read the clock without findings, any sibling still fires.
+# The wall-clock allowlist is exactly the four telemetry TUs
+# src/util/{trace,heartbeat,metrics,profiler}.cpp: those read the clock
+# without findings, any sibling still fires.
 check_fixture(bad_clock_telemetry 1
   "src/util/clock_sneaks_in.cpp:[0-9]+: \\[no-wall-clock\\].*system_clock"
   "!src/util/trace.cpp:[0-9]+: \\[no-wall-clock\\]"
   "!src/util/heartbeat.cpp:[0-9]+: \\[no-wall-clock\\]")
+check_fixture(bad_clock_metrics 1
+  "src/util/counters_sneak_clock.cpp:[0-9]+: \\[no-wall-clock\\].*system_clock"
+  "!src/util/metrics.cpp:[0-9]+: \\[no-wall-clock\\]"
+  "!src/util/profiler.cpp:[0-9]+: \\[no-wall-clock\\]")
 check_fixture(bad_unordered 1
   "src/engine/report.cpp:[0-9]+: \\[no-unordered-iteration\\].*totals")
 check_fixture(bad_float 1

@@ -192,6 +192,7 @@ struct LoadConfig {
 /// Per-worker tallies, merged after the join.
 struct WorkerResult {
   serve::LatencyRecorder latency;
+  serve::TimelineRecorder timeline;
   Index ok = 0;
   Index errors = 0;
 };
@@ -221,7 +222,9 @@ void closed_worker(const LoadConfig& config, const Timer& clock,
       ++result.errors;
       return;
     }
-    result.latency.record(request_timer.elapsed_seconds());
+    const double latency_s = request_timer.elapsed_seconds();
+    result.latency.record(latency_s);
+    result.timeline.record(clock.elapsed_seconds(), latency_s);
     if (response_ok(*reply)) {
       ++result.ok;
     } else {
@@ -278,6 +281,7 @@ void open_worker(const LoadConfig& config, Index worker, const Timer& clock,
       }
       if (sent_s >= 0.0) {
         result.latency.record(now_s - sent_s);
+        result.timeline.record(now_s, now_s - sent_s);
       }
       if (ok) {
         ++result.ok;
@@ -617,6 +621,7 @@ int run(int argc, char** argv) {
     stats.ok += result.ok;
     stats.errors += result.errors;
     stats.latency.merge(result.latency);
+    stats.timeline.merge(result.timeline);
   }
   stats.requests = stats.ok + stats.errors;
 

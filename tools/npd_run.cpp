@@ -42,7 +42,9 @@
 #include "tool_common.hpp"
 #include "util/cli.hpp"
 #include "util/heartbeat.hpp"
+#include "util/metrics.hpp"
 #include "util/parse.hpp"
+#include "util/profiler.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 #include "util/trace.hpp"
@@ -221,20 +223,51 @@ int run(int argc, char** argv) {
       "write a Chrome-trace JSON (schema npd.trace/1, loadable in "
       "Perfetto / chrome://tracing) of this run's spans and counters; "
       "the report bytes are identical with or without it");
+  const std::string& metrics_path = cli.add_string(
+      "metrics", "",
+      "write an npd.metrics/1 snapshot (counters, gauges, latency "
+      "histograms) after the run; the report bytes are identical with "
+      "or without it");
+  const std::string& profile_path = cli.add_string(
+      "profile", "",
+      "sample this process with a SIGPROF profiler and write folded "
+      "stacks (schema npd.profile/1) after the run; the report bytes "
+      "are identical with or without it");
+  const long long& profile_hz = cli.add_int(
+      "profile-hz", 200, "sampling rate for --profile in samples/sec");
   const std::string& heartbeat_path = cli.add_string(
       "heartbeat", "",
       "write live progress (schema npd.heartbeat/1, temp+rename "
       "atomically) to this file while the jobs run; the feed behind "
       "npd_launch --watch");
+  const long long& heartbeat_interval_ms = cli.add_int(
+      "heartbeat-interval-ms", 200,
+      "how often --heartbeat rewrites its file");
   const bool& quiet = cli.add_flag(
       "quiet", "suppress the summary tables and end-of-run lines "
       "(errors still print)");
   cli.parse(argc, argv);
 
-  // Enable tracing before any instrumented thread exists (the worker
-  // pool observes the flag when it starts running jobs).
+  // Enable tracing/metrics before any instrumented thread exists (the
+  // worker pool observes the flags when it starts running jobs).
   if (!trace_path.empty()) {
     trace::set_enabled(true);
+  }
+  if (!metrics_path.empty()) {
+    metrics::set_enabled(true);
+  }
+  if (heartbeat_interval_ms < 1) {
+    throw std::invalid_argument(
+        "--heartbeat-interval-ms: need a positive interval");
+  }
+  bool profiling = false;
+  if (!profile_path.empty()) {
+    profiling = prof::start(static_cast<int>(profile_hz));
+    if (!profiling) {
+      (void)std::fprintf(stderr,
+                         "npd_run: --profile: sampling profiler "
+                         "unavailable; continuing without it\n");
+    }
   }
 
   engine::ScenarioRegistry registry;
@@ -297,7 +330,8 @@ int run(int argc, char** argv) {
   heartbeat::ProgressCounters progress;
   std::optional<heartbeat::HeartbeatWriter> beat_writer;
   if (!heartbeat_path.empty()) {
-    beat_writer.emplace(heartbeat_path, spec.index, spec.count, progress);
+    beat_writer.emplace(heartbeat_path, spec.index, spec.count, progress,
+                        static_cast<int>(heartbeat_interval_ms));
   }
 
   const shard::RunJobsOutcome outcome = [&] {
@@ -363,6 +397,41 @@ int run(int argc, char** argv) {
     return true;
   };
 
+  // Same out-of-band contract as the trace: the snapshot and profile
+  // are written after the report is on disk, and the report bytes never
+  // depend on them.
+  const auto write_observability = [&]() -> bool {
+    bool ok = true;
+    if (profiling) {
+      prof::stop();
+      const prof::Profile profile = prof::collect();
+      if (tools::write_output(prof::profile_json(profile).dump(2),
+                              profile_path)) {
+        if (!quiet) {
+          (void)std::fprintf(stderr,
+                             "[profile written to %s (%lld samples)]\n",
+                             profile_path.c_str(),
+                             static_cast<long long>(profile.samples));
+        }
+      } else {
+        ok = false;
+      }
+    }
+    if (!metrics_path.empty()) {
+      if (tools::write_output(
+              metrics::snapshot_json(metrics::snapshot()).dump(2),
+              metrics_path)) {
+        if (!quiet) {
+          (void)std::fprintf(stderr, "[metrics written to %s]\n",
+                             metrics_path.c_str());
+        }
+      } else {
+        ok = false;
+      }
+    }
+    return ok;
+  };
+
   if (sharded) {
     {
       const trace::Span span("report");
@@ -393,7 +462,9 @@ int run(int argc, char** argv) {
     }
     collect_cache(summary);
     stderr_summary();
-    return write_trace() ? 0 : 1;
+    const bool trace_ok = write_trace();
+    const bool observability_ok = write_observability();
+    return trace_ok && observability_ok ? 0 : 1;
   }
 
   {
@@ -431,7 +502,9 @@ int run(int argc, char** argv) {
   }
   collect_cache(summary);
   stderr_summary();
-  return write_trace() ? 0 : 1;
+  const bool trace_ok = write_trace();
+  const bool observability_ok = write_observability();
+  return trace_ok && observability_ok ? 0 : 1;
 }
 
 }  // namespace

@@ -21,18 +21,26 @@
 
 #include <atomic>
 #include <cerrno>
+#include <chrono>
+#include <condition_variable>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <exception>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
+#include <utility>
 
 #include "engine/builtin_scenarios.hpp"
 #include "serve/server.hpp"
 #include "tool_common.hpp"
 #include "util/cli.hpp"
+#include "util/file.hpp"
 #include "util/heartbeat.hpp"
+#include "util/metrics.hpp"
+#include "util/profiler.hpp"
 #include "util/timer.hpp"
 #include "util/trace.hpp"
 
@@ -69,6 +77,58 @@ void write_fully(int fd, const std::string& text) {
     written += static_cast<std::size_t>(n);
   }
 }
+
+/// Background thread that rewrites an `npd.metrics/1` snapshot file on
+/// a fixed cadence (temp+rename, so a watcher never reads a torn
+/// write).  Same shape as `heartbeat::HeartbeatWriter`: purely
+/// observational, a final snapshot on `stop()`, joined before exit.
+class PeriodicMetricsWriter {
+ public:
+  PeriodicMetricsWriter(std::string path, double interval_ms)
+      : path_(std::move(path)), interval_ms_(interval_ms) {
+    thread_ = std::thread([this] { loop(); });
+  }
+
+  ~PeriodicMetricsWriter() { stop(); }
+  PeriodicMetricsWriter(const PeriodicMetricsWriter&) = delete;
+  PeriodicMetricsWriter& operator=(const PeriodicMetricsWriter&) = delete;
+
+  void stop() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (stopped_) {
+        return;
+      }
+      stopped_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+    write_snapshot();  // final state, after the server drained
+  }
+
+ private:
+  void loop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!stopped_) {
+      write_snapshot();
+      cv_.wait_for(
+          lock, std::chrono::duration<double, std::milli>(interval_ms_),
+          [this] { return stopped_; });
+    }
+  }
+
+  void write_snapshot() {
+    (void)write_file_atomically(
+        path_, metrics::snapshot_json(metrics::snapshot()).dump(2));
+  }
+
+  std::string path_;
+  double interval_ms_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopped_ = false;
+  std::thread thread_;
+};
 
 /// Parent side of --daemonize: read the child's readiness line ("ok
 /// <port>" or "err <message>") and relay it.
@@ -138,9 +198,24 @@ int run(int argc, char** argv) {
   const std::string& heartbeat_path = cli.add_string(
       "heartbeat", "", "write live progress (schema npd.heartbeat/1) "
       "to this file; responses count as jobs done");
+  const long long& heartbeat_interval_ms = cli.add_int(
+      "heartbeat-interval-ms", 200,
+      "how often --heartbeat rewrites its file");
   const std::string& trace_path = cli.add_string(
       "trace", "", "write a Chrome-trace JSON (schema npd.trace/1) of "
       "the serve counters/spans at shutdown");
+  const std::string& metrics_path = cli.add_string(
+      "metrics", "", "write an npd.metrics/1 snapshot (request "
+      "counters, queue-depth gauge, latency histograms) at shutdown");
+  const double& metrics_interval_ms = cli.add_double(
+      "metrics-interval-ms", 0.0, "with --metrics: also rewrite the "
+      "snapshot file this often while serving (temp+rename, so "
+      "watchers never read a torn write; 0 = shutdown only)");
+  const std::string& profile_path = cli.add_string(
+      "profile", "", "sample the daemon with a SIGPROF profiler and "
+      "write folded stacks (schema npd.profile/1) at shutdown");
+  const long long& profile_hz = cli.add_int(
+      "profile-hz", 200, "sampling rate for --profile in samples/sec");
   const bool& quiet = cli.add_flag(
       "quiet", "suppress the startup and end-of-run summary lines "
       "(errors still print)");
@@ -151,6 +226,18 @@ int run(int argc, char** argv) {
   }
   if (seed < 0) {
     throw std::invalid_argument("--seed: need a non-negative seed");
+  }
+  if (heartbeat_interval_ms < 1) {
+    throw std::invalid_argument(
+        "--heartbeat-interval-ms: need a positive interval");
+  }
+  if (metrics_interval_ms < 0.0) {
+    throw std::invalid_argument(
+        "--metrics-interval-ms: need a non-negative interval");
+  }
+  if (metrics_interval_ms > 0.0 && metrics_path.empty()) {
+    throw std::invalid_argument(
+        "--metrics-interval-ms: needs --metrics FILE");
   }
 
   int ready_fd = -1;
@@ -181,6 +268,18 @@ int run(int argc, char** argv) {
   install_signal_handlers();
   if (!trace_path.empty()) {
     trace::set_enabled(true);
+  }
+  // The daemon always records metrics: the live `op:"stats"` request
+  // reads them, with or without a --metrics file to export at shutdown.
+  metrics::set_enabled(true);
+  bool profiling = false;
+  if (!profile_path.empty()) {
+    profiling = prof::start(static_cast<int>(profile_hz));
+    if (!profiling) {
+      (void)std::fprintf(stderr,
+                         "npd_serve: --profile: sampling profiler "
+                         "unavailable; continuing without it\n");
+    }
   }
 
   engine::ScenarioRegistry registry;
@@ -224,7 +323,12 @@ int run(int argc, char** argv) {
   }
   std::optional<heartbeat::HeartbeatWriter> beat_writer;
   if (!heartbeat_path.empty()) {
-    beat_writer.emplace(heartbeat_path, 0, 1, progress);
+    beat_writer.emplace(heartbeat_path, 0, 1, progress,
+                        static_cast<int>(heartbeat_interval_ms));
+  }
+  std::optional<PeriodicMetricsWriter> metrics_writer;
+  if (metrics_interval_ms > 0.0) {
+    metrics_writer.emplace(metrics_path, metrics_interval_ms);
   }
 
   if (ready_fd >= 0) {
@@ -253,6 +357,32 @@ int run(int argc, char** argv) {
 
   if (beat_writer.has_value()) {
     beat_writer->stop();
+  }
+  if (metrics_writer.has_value()) {
+    metrics_writer->stop();  // final snapshot after the drain
+  } else if (!metrics_path.empty()) {
+    if (!tools::write_output(
+            metrics::snapshot_json(metrics::snapshot()).dump(2),
+            metrics_path)) {
+      return 1;
+    }
+    if (!quiet) {
+      (void)std::fprintf(stderr, "[metrics written to %s]\n",
+                         metrics_path.c_str());
+    }
+  }
+  if (profiling) {
+    prof::stop();
+    const prof::Profile profile = prof::collect();
+    if (!tools::write_output(prof::profile_json(profile).dump(2),
+                             profile_path)) {
+      return 1;
+    }
+    if (!quiet) {
+      (void)std::fprintf(stderr, "[profile written to %s (%lld samples)]\n",
+                         profile_path.c_str(),
+                         static_cast<long long>(profile.samples));
+    }
   }
   if (!quiet) {
     const serve::ServiceCounters& counters = server.counters();

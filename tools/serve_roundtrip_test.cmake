@@ -15,7 +15,11 @@
 #      plus at least one response proving a micro-batch actually formed
 #      (perf.batch_requests >= 2) and an unknown-scenario request in the
 #      middle answered with status "error" without hurting neighbours,
-#   5. drain both daemons with op:"shutdown".
+#   5. probe B with op:"stats" — answered on the reader thread with a
+#      live npd.metrics/1 snapshot whose serve.latency_seconds
+#      histogram saw the burst — then drain both daemons with
+#      op:"shutdown" and require B's periodic --metrics writer to
+#      leave a valid snapshot on disk.
 #
 # Inputs: -DNPD_RUN -DNPD_SERVE -DNPD_LOADGEN -DWORK_DIR
 
@@ -69,7 +73,8 @@ run_checked(serve_a "${NPD_SERVE}" --daemonize
   --seed 42 --idle-timeout-ms 60000 --log "${WORK_DIR}/serve_a.log")
 run_checked(serve_b "${NPD_SERVE}" --daemonize
   --socket "${SOCK_B}" --threads 4 --batch-max 8 --batch-window-ms 50
-  --seed 42 --idle-timeout-ms 60000 --log "${WORK_DIR}/serve_b.log")
+  --seed 42 --idle-timeout-ms 60000 --log "${WORK_DIR}/serve_b.log"
+  --metrics "${WORK_DIR}/serve_b.metrics.json" --metrics-interval-ms 100)
 
 # 2. One request on A; replay the derived seed offline.
 set(REQ_PARAMS "n_lo=80;n_hi=80")
@@ -155,7 +160,61 @@ endif()
 message(STATUS
   "burst: micro-batch of ${burst_batch}, error isolated, seeds echoed")
 
-# 5. Drain both daemons.
+# 4b. Live introspection: op:"stats" on B is answered on the reader
+#     thread with the daemon's uptime/queue block and a full
+#     npd.metrics/1 snapshot whose latency histogram has absorbed the
+#     burst just served.
+file(WRITE "${WORK_DIR}/req_stats.json"
+  "{\"schema\":\"npd.request/1\",\"id\":\"stats-1\",\"op\":\"stats\"}\n")
+run_checked(stats_probe "${NPD_LOADGEN}" --socket "${SOCK_B}"
+  --probe "${WORK_DIR}/req_stats.json" --out "${WORK_DIR}/resp_stats.json"
+  --wait-ready-ms 10000)
+json_field(stats_status "${WORK_DIR}/resp_stats.json" status)
+json_field(stats_op "${WORK_DIR}/resp_stats.json" op)
+if(NOT stats_status STREQUAL "ok" OR NOT stats_op STREQUAL "stats")
+  message(FATAL_ERROR
+    "stats probe: status '${stats_status}', op '${stats_op}'")
+endif()
+json_field(stats_sent "${WORK_DIR}/resp_stats.json" stats responses_sent)
+json_field(stats_metrics_schema "${WORK_DIR}/resp_stats.json"
+  stats metrics schema)
+if(NOT stats_metrics_schema STREQUAL "npd.metrics/1")
+  message(FATAL_ERROR "live metrics schema '${stats_metrics_schema}'")
+endif()
+json_field(latency_count "${WORK_DIR}/resp_stats.json"
+  stats metrics histograms serve.latency_seconds count)
+if(latency_count LESS 1)
+  message(FATAL_ERROR
+    "serve.latency_seconds empty in the live snapshot (${latency_count})")
+endif()
+message(STATUS "stats probe: ${stats_sent} responses served, "
+  "latency histogram count ${latency_count}")
+
+# 5. Drain both daemons.  B's periodic writer must leave an on-disk
+#    npd.metrics/1 snapshot that also carries the latency histogram
+#    (poll briefly: the final write happens as the daemon exits).
 run_checked(shutdown_a "${NPD_LOADGEN}" --socket "${SOCK_A}" --send-shutdown)
 run_checked(shutdown_b "${NPD_LOADGEN}" --socket "${SOCK_B}" --send-shutdown)
+set(disk_latency 0)
+foreach(attempt RANGE 100)
+  if(EXISTS "${WORK_DIR}/serve_b.metrics.json")
+    file(READ "${WORK_DIR}/serve_b.metrics.json" disk_doc)
+    string(JSON disk_latency ERROR_VARIABLE disk_error
+      GET "${disk_doc}" histograms serve.latency_seconds count)
+    if(NOT disk_error AND disk_latency GREATER_EQUAL 1)
+      break()
+    endif()
+  endif()
+  execute_process(COMMAND "${CMAKE_COMMAND}" -E sleep 0.1)
+endforeach()
+if(disk_latency LESS 1)
+  message(FATAL_ERROR
+    "on-disk snapshot never showed serve.latency_seconds (${disk_latency})")
+endif()
+json_field(disk_schema "${WORK_DIR}/serve_b.metrics.json" schema)
+if(NOT disk_schema STREQUAL "npd.metrics/1")
+  message(FATAL_ERROR "on-disk snapshot schema '${disk_schema}'")
+endif()
+message(STATUS "on-disk snapshot: npd.metrics/1, latency count "
+  "${disk_latency}")
 message(STATUS "serve roundtrip: OK")
