@@ -29,4 +29,14 @@ Instance make_instance(Index n, Index k, Index m,
   return instance;
 }
 
+Instance make_instance(Index n, Index k, Index m,
+                       const pooling::GraphDesign& design,
+                       const noise::NoiseChannel& channel, rand::Rng& rng) {
+  Instance instance;
+  instance.truth = pooling::make_ground_truth(n, k, rng);
+  instance.graph = pooling::build_design_graph(n, m, design, rng);
+  instance.results = measure_all(instance.graph, instance.truth, channel, rng);
+  return instance;
+}
+
 }  // namespace npd::core

@@ -35,6 +35,15 @@ struct Instance {
                                      const noise::NoiseChannel& channel,
                                      rand::Rng& rng);
 
+/// Same, for a whole-graph `GraphDesign`.  For per-query designs the RNG
+/// stream (and therefore the instance) is identical to the
+/// `QueryDesign` overload; the doubly regular family builds the graph
+/// globally via `pooling::build_design_graph`.
+[[nodiscard]] Instance make_instance(Index n, Index k, Index m,
+                                     const pooling::GraphDesign& design,
+                                     const noise::NoiseChannel& channel,
+                                     rand::Rng& rng);
+
 /// Measure every query of an existing graph through `channel` (used when
 /// comparing channels or algorithms on the *same* pooling graph).
 [[nodiscard]] std::vector<double> measure_all(

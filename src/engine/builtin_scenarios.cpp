@@ -1,6 +1,7 @@
 #include "engine/builtin_scenarios.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <memory>
 #include <stdexcept>
@@ -22,6 +23,7 @@
 #include "pooling/pooling_graph.hpp"
 #include "pooling/query_design.hpp"
 #include "solve/channel_spec.hpp"
+#include "solve/design_spec.hpp"
 #include "solve/reconstructor.hpp"
 #include "util/parse.hpp"
 
@@ -44,6 +46,25 @@ void require_theory_params(const std::string& scenario, double theta,
                            double eps) {
   require_param(theta > 0.0 && theta < 1.0, scenario, "theta in (0, 1)");
   require_param(eps > 0.0, scenario, "eps > 0");
+}
+
+/// The `design=` parameter every design-generic scenario exposes.
+ParamSpec design_param_spec() {
+  return {"design", ParamSpec::Kind::String, "paper",
+          "design spec: paper | wr:<frac> | wor:<frac> | bernoulli:<frac> | "
+          "regular:<delta>"};
+}
+
+/// Doubly regular designs need m <= n*delta (empty pools otherwise); a
+/// scenario that computed m from a theory bound must surface the clash
+/// as a clean parameter error before any job is scheduled.
+void require_design_feasible(const std::string& scenario,
+                             const solve::DesignSpec& design, Index n,
+                             Index m) {
+  require_param(design.family != solve::DesignSpec::Family::Regular ||
+                    m <= n * design.delta,
+                scenario,
+                "m <= n*delta for design '" + design.label() + "'");
 }
 
 // ------------------------------------------------------------------ fig5
@@ -333,6 +354,7 @@ class FixedMScenario final : public Scenario {
          "registered solver name (see npd_run --list-solvers)"},
         {"solver_params", ParamSpec::Kind::String, "",
          "solver options as key=value[;key=value...]"},
+        design_param_spec(),
     };
   }
 
@@ -345,8 +367,13 @@ class FixedMScenario final : public Scenario {
     require_param(theta > 0.0 && theta < 1.0, name_, "theta in (0, 1)");
     require_param(p >= 0.0 && p < 1.0, name_, "p in [0, 1)");
     const Index k = pooling::sublinear_k(n, theta);
-    const pooling::QueryDesign design = pooling::paper_design(n);
+    const solve::DesignSpec design_spec =
+        solve::parse_design_spec(params.get_string("design"));
+    const pooling::GraphDesign design = design_spec.instantiate(n);
     const std::vector<Index> ms = m_grid(params);
+    for (const Index m : ms) {
+      require_design_feasible(name_, design_spec, n, m);
+    }
     // Resolving the solver here makes unknown names/options fail before
     // any job runs; the shared instance is safe for concurrent jobs
     // (solve is const and stateless).
@@ -387,9 +414,11 @@ class FixedMScenario final : public Scenario {
   Json aggregate(const std::vector<JobResult>& results,
                  const ScenarioParams& params) const override {
     const std::vector<Index> ms = m_grid(params);
+    const std::string design =
+        solve::parse_design_spec(params.get_string("design")).label();
     return aggregate_cells(results, [&](Index cell) {
       Json meta = Json::object();
-      meta.set("m", ms[static_cast<std::size_t>(cell)]);
+      meta.set("m", ms[static_cast<std::size_t>(cell)]).set("design", design);
       return meta;
     });
   }
@@ -452,6 +481,7 @@ class SolverSweepScenario final : public Scenario {
         {"channel", ParamSpec::Kind::String, "z:0.1",
          "channel spec: noiseless | z:<p> | bitflip:<p>:<q> | "
          "gauss:<lambda>"},
+        design_param_spec(),
         {"n_lo", ParamSpec::Kind::Int, "200", "smallest n of the log grid"},
         {"n_hi", ParamSpec::Kind::Int, "400", "largest n of the log grid"},
         {"n_ppd", ParamSpec::Kind::Int, "2",
@@ -469,6 +499,8 @@ class SolverSweepScenario final : public Scenario {
                              const ScenarioParams& params) const override {
     const solve::ChannelSpec spec =
         solve::parse_channel_spec(params.get_string("channel"));
+    const solve::DesignSpec design_spec =
+        solve::parse_design_spec(params.get_string("design"));
     const double theta = params.get_double("theta");
     const double m_frac = params.get_double("m_frac");
     const double eps = params.get_double("eps");
@@ -485,6 +517,8 @@ class SolverSweepScenario final : public Scenario {
       const Index n = ns[ni];
       const Index k = pooling::sublinear_k(n, theta);
       const Index m = m_of(n, theta, m_frac, eps, spec);
+      require_design_feasible("solver_sweep", design_spec, n, m);
+      const pooling::GraphDesign design = design_spec.instantiate(n);
       for (Index rep = 0; rep < config.reps; ++rep) {
         Job job;
         job.cell = static_cast<Index>(ni);
@@ -492,10 +526,10 @@ class SolverSweepScenario final : public Scenario {
         job.seed = derive_job_seed(config.seed, "solver_sweep", job.cell,
                                    rep);
         job.cost_hint = n;
-        job.run = [n, k, m, spec, solver](rand::Rng& rng) -> Metrics {
+        job.run = [n, k, m, spec, design, solver](rand::Rng& rng) -> Metrics {
           const auto channel = spec.make();
-          const core::Instance instance = core::make_instance(
-              n, k, m, pooling::paper_design(n), *channel, rng);
+          const core::Instance instance =
+              core::make_instance(n, k, m, design, *channel, rng);
           const solve::SolveResult result =
               solver->solve(instance, *channel, rng);
           Metrics metrics{
@@ -531,6 +565,8 @@ class SolverSweepScenario final : public Scenario {
     const double eps = params.get_double("eps");
     const std::vector<Index> ns = grid(params);
     const std::string solver = params.get_string("solver");
+    const std::string design =
+        solve::parse_design_spec(params.get_string("design")).label();
     return aggregate_cells(results, [&](Index cell) {
       const Index n = ns[static_cast<std::size_t>(cell)];
       Json meta = Json::object();
@@ -538,6 +574,7 @@ class SolverSweepScenario final : public Scenario {
           .set("k", pooling::sublinear_k(n, theta))
           .set("m", m_of(n, theta, m_frac, eps, spec))
           .set("channel", spec.label())
+          .set("design", design)
           .set("solver", solver);
       return meta;
     });
@@ -552,6 +589,261 @@ class SolverSweepScenario final : public Scenario {
                   "2 <= n_lo <= n_hi");
     require_param(n_ppd >= 1, "solver_sweep", "n_ppd >= 1");
     return harness::log_grid(n_lo, n_hi, n_ppd);
+  }
+
+  static Index m_of(Index n, double theta, double m_frac, double eps,
+                    const solve::ChannelSpec& spec) {
+    const auto m = static_cast<Index>(
+        std::ceil(m_frac * spec.theory_m(n, theta, eps)));
+    return m < 1 ? 1 : m;
+  }
+};
+
+// ------------------------------------------------------------ phase_atlas
+
+/// The phase-transition atlas: empirical success probability over the
+/// full (design × solver × channel × n × m_frac) product grid, every
+/// cell annotated with the channel's information-theoretic query bound
+/// (Scarlett–Cevher 2017 / Theorems 1–2) so the m_frac axis reads
+/// directly as "fraction of the theory threshold".  The aggregate is a
+/// self-describing `npd.phase_atlas/1` document — explicit axes plus the
+/// per-cell success-rate/error summaries — that docs/phase_atlas.md
+/// shows how to render as a heatmap.  Like every engine aggregate it is
+/// bit-identical across thread counts and `--shard`/`npd_merge`, so big
+/// atlases compose with `npd_launch`.
+class PhaseAtlasScenario final : public Scenario {
+ public:
+  std::string name() const override { return "phase_atlas"; }
+
+  std::string description() const override {
+    return "success-probability atlas over (design x solver x channel x n "
+           "x m_frac) with theory-threshold annotations";
+  }
+
+  std::vector<ParamSpec> params() const override {
+    return {
+        {"designs", ParamSpec::Kind::String, "paper;regular:6",
+         "design specs, ';'-separated: paper | wr:<frac> | wor:<frac> | "
+         "bernoulli:<frac> | regular:<delta>"},
+        {"solvers", ParamSpec::Kind::String, "greedy",
+         "registered solver names, ';'-separated"},
+        {"channels", ParamSpec::Kind::String, "z:0.05;z:0.2",
+         "channel specs, ';'-separated: noiseless | z:<p> | "
+         "bitflip:<p>:<q> | gauss:<lambda>"},
+        {"n_lo", ParamSpec::Kind::Int, "200", "smallest n of the log grid"},
+        {"n_hi", ParamSpec::Kind::Int, "400", "largest n of the log grid"},
+        {"n_ppd", ParamSpec::Kind::Int, "2",
+         "log-grid points per decade over n"},
+        {"theta", ParamSpec::Kind::Double, "0.25",
+         "sublinear regime exponent (k = n^theta)"},
+        {"m_fracs", ParamSpec::Kind::String, "0.6;1;1.4",
+         "queries as fractions of each channel's theory bound, "
+         "';'-separated (1 = the threshold line)"},
+        {"eps", ParamSpec::Kind::Double, "0.1",
+         "epsilon in the theory bound"},
+    };
+  }
+
+  std::vector<Job> make_jobs(const EngineConfig& config,
+                             const ScenarioParams& params) const override {
+    const Axes axes = resolve(params);
+    // Resolve every solver before any job is scheduled.
+    std::vector<std::shared_ptr<const solve::Reconstructor>> solvers;
+    solvers.reserve(axes.solvers.size());
+    for (const std::string& solver_name : axes.solvers) {
+      solvers.push_back(solve::builtin_solvers().make(solver_name, ""));
+    }
+
+    std::vector<Job> jobs;
+    jobs.reserve(axes.cell_count() * static_cast<std::size_t>(config.reps));
+    for (std::size_t di = 0; di < axes.designs.size(); ++di) {
+      for (std::size_t si = 0; si < axes.solvers.size(); ++si) {
+        for (std::size_t ci = 0; ci < axes.channels.size(); ++ci) {
+          const solve::ChannelSpec& chan = axes.channels[ci];
+          for (std::size_t ni = 0; ni < axes.ns.size(); ++ni) {
+            const Index n = axes.ns[ni];
+            const Index k = pooling::sublinear_k(n, axes.theta);
+            for (std::size_t fi = 0; fi < axes.m_fracs.size(); ++fi) {
+              const Index m = m_of(n, axes.theta, axes.m_fracs[fi],
+                                   axes.eps, chan);
+              require_design_feasible("phase_atlas", axes.designs[di], n,
+                                      m);
+              const pooling::GraphDesign design =
+                  axes.designs[di].instantiate(n);
+              const std::shared_ptr<const solve::Reconstructor> solver =
+                  solvers[si];
+              const Index cell = axes.cell_of(di, si, ci, ni, fi);
+              for (Index rep = 0; rep < config.reps; ++rep) {
+                Job job;
+                job.cell = cell;
+                job.rep = rep;
+                job.seed =
+                    derive_job_seed(config.seed, "phase_atlas", cell, rep);
+                job.cost_hint = n;
+                job.run = [n, k, m, chan, design,
+                           solver](rand::Rng& rng) -> Metrics {
+                  const auto channel = chan.make();
+                  const core::Instance instance =
+                      core::make_instance(n, k, m, design, *channel, rng);
+                  const solve::SolveResult result =
+                      solver->solve(instance, *channel, rng);
+                  const double errors = static_cast<double>(
+                      core::hamming_errors(result.estimate, instance.truth));
+                  return {{"success",
+                           core::exact_success(result.estimate,
+                                               instance.truth)
+                               ? 1.0
+                               : 0.0},
+                          {"error", errors / static_cast<double>(n)},
+                          {"overlap",
+                           core::overlap(result.estimate, instance.truth)}};
+                };
+                jobs.push_back(std::move(job));
+              }
+            }
+          }
+        }
+      }
+    }
+    return jobs;
+  }
+
+  Json aggregate(const std::vector<JobResult>& results,
+                 const ScenarioParams& params) const override {
+    const Axes axes = resolve(params);
+    Json grid = aggregate_cells(results, [&](Index cell) {
+      const auto [di, si, ci, ni, fi] = axes.split(cell);
+      const Index n = axes.ns[ni];
+      const solve::ChannelSpec& chan = axes.channels[ci];
+      const double theory = chan.theory_m(n, axes.theta, axes.eps);
+      Json meta = Json::object();
+      meta.set("design", axes.designs[di].label())
+          .set("solver", axes.solvers[si])
+          .set("channel", chan.label())
+          .set("n", n)
+          .set("k", pooling::sublinear_k(n, axes.theta))
+          .set("m", m_of(n, axes.theta, axes.m_fracs[fi], axes.eps, chan))
+          .set("m_frac", axes.m_fracs[fi])
+          .set("theory_m", theory);
+      return meta;
+    });
+
+    // Wrap the cells in a self-describing atlas document: the explicit
+    // axes make the grid renderable without re-deriving the sweep.
+    Json designs = Json::array();
+    for (const solve::DesignSpec& design : axes.designs) {
+      designs.push_back(design.label());
+    }
+    Json solvers = Json::array();
+    for (const std::string& solver : axes.solvers) {
+      solvers.push_back(solver);
+    }
+    Json channels = Json::array();
+    for (const solve::ChannelSpec& chan : axes.channels) {
+      channels.push_back(chan.label());
+    }
+    Json ns = Json::array();
+    for (const Index n : axes.ns) {
+      ns.push_back(n);
+    }
+    Json m_fracs = Json::array();
+    for (const double frac : axes.m_fracs) {
+      m_fracs.push_back(frac);
+    }
+    Json axes_json = Json::object();
+    axes_json.set("designs", std::move(designs))
+        .set("solvers", std::move(solvers))
+        .set("channels", std::move(channels))
+        .set("n", std::move(ns))
+        .set("m_frac", std::move(m_fracs))
+        .set("theta", axes.theta)
+        .set("eps", axes.eps);
+
+    Json atlas = Json::object();
+    atlas.set("schema", "npd.phase_atlas/1")
+        .set("axes", std::move(axes_json))
+        .set("cells", grid.at("cells"));
+    return atlas;
+  }
+
+ private:
+  struct Axes {
+    std::vector<solve::DesignSpec> designs;
+    std::vector<std::string> solvers;
+    std::vector<solve::ChannelSpec> channels;
+    std::vector<Index> ns;
+    std::vector<double> m_fracs;
+    double theta = 0.0;
+    double eps = 0.0;
+
+    [[nodiscard]] std::size_t cell_count() const {
+      return designs.size() * solvers.size() * channels.size() * ns.size() *
+             m_fracs.size();
+    }
+
+    /// Row-major cell index over (design, solver, channel, n, m_frac).
+    [[nodiscard]] Index cell_of(std::size_t di, std::size_t si,
+                                std::size_t ci, std::size_t ni,
+                                std::size_t fi) const {
+      return static_cast<Index>(
+          (((di * solvers.size() + si) * channels.size() + ci) * ns.size() +
+           ni) *
+              m_fracs.size() +
+          fi);
+    }
+
+    [[nodiscard]] std::array<std::size_t, 5> split(Index cell) const {
+      auto rest = static_cast<std::size_t>(cell);
+      const std::size_t fi = rest % m_fracs.size();
+      rest /= m_fracs.size();
+      const std::size_t ni = rest % ns.size();
+      rest /= ns.size();
+      const std::size_t ci = rest % channels.size();
+      rest /= channels.size();
+      const std::size_t si = rest % solvers.size();
+      rest /= solvers.size();
+      return {rest, si, ci, ni, fi};
+    }
+  };
+
+  static Axes resolve(const ScenarioParams& params) {
+    Axes axes;
+    for (const std::string& spec :
+         split_list(params.get_string("designs"), ';')) {
+      axes.designs.push_back(solve::parse_design_spec(spec));
+    }
+    axes.solvers = split_list(params.get_string("solvers"), ';');
+    for (const std::string& spec :
+         split_list(params.get_string("channels"), ';')) {
+      axes.channels.push_back(solve::parse_channel_spec(spec));
+    }
+    for (const std::string& frac :
+         split_list(params.get_string("m_fracs"), ';')) {
+      axes.m_fracs.push_back(
+          parse_double_value("parameter 'm_fracs'", frac));
+    }
+    require_param(!axes.designs.empty(), "phase_atlas",
+                  "at least one design in 'designs'");
+    require_param(!axes.solvers.empty(), "phase_atlas",
+                  "at least one solver in 'solvers'");
+    require_param(!axes.channels.empty(), "phase_atlas",
+                  "at least one channel in 'channels'");
+    require_param(!axes.m_fracs.empty(), "phase_atlas",
+                  "at least one fraction in 'm_fracs'");
+    for (const double frac : axes.m_fracs) {
+      require_param(frac > 0.0, "phase_atlas", "m_fracs > 0");
+    }
+    axes.theta = params.get_double("theta");
+    axes.eps = params.get_double("eps");
+    require_theory_params("phase_atlas", axes.theta, axes.eps);
+    const auto n_lo = static_cast<Index>(params.get_int("n_lo"));
+    const auto n_hi = static_cast<Index>(params.get_int("n_hi"));
+    const auto n_ppd = static_cast<Index>(params.get_int("n_ppd"));
+    require_param(n_lo >= 2 && n_hi >= n_lo, "phase_atlas",
+                  "2 <= n_lo <= n_hi");
+    require_param(n_ppd >= 1, "phase_atlas", "n_ppd >= 1");
+    axes.ns = harness::log_grid(n_lo, n_hi, n_ppd);
+    return axes;
   }
 
   static Index m_of(Index n, double theta, double m_frac, double eps,
@@ -707,6 +999,7 @@ class Fig6Scenario final : public Scenario {
         {"m_max", ParamSpec::Kind::Int, "600", "largest m"},
         {"solvers", ParamSpec::Kind::String, "greedy;amp",
          "registered solver names, ';'-separated (one series each)"},
+        design_param_spec(),
     };
   }
 
@@ -719,7 +1012,12 @@ class Fig6Scenario final : public Scenario {
     const std::vector<Index> ms = m_grid(params);
     const std::vector<double> ps = z_levels();
     const Index k = pooling::sublinear_k(n, theta);
-    const pooling::QueryDesign design = pooling::paper_design(n);
+    const solve::DesignSpec design_spec =
+        solve::parse_design_spec(params.get_string("design"));
+    const pooling::GraphDesign design = design_spec.instantiate(n);
+    for (const Index m : ms) {
+      require_design_feasible("fig6", design_spec, n, m);
+    }
     // Resolve every series' solver before any job is scheduled.
     std::vector<std::shared_ptr<const solve::Reconstructor>> solvers;
     const std::vector<std::string> names = solver_names(params);
@@ -778,6 +1076,8 @@ class Fig6Scenario final : public Scenario {
     const std::vector<Index> ms = m_grid(params);
     const std::vector<double> ps = z_levels();
     const std::vector<std::string> names = solver_names(params);
+    const std::string design =
+        solve::parse_design_spec(params.get_string("design")).label();
     return aggregate_cells(results, [&](Index cell) {
       const auto mi = static_cast<std::size_t>(cell) % ms.size();
       const auto si =
@@ -785,7 +1085,10 @@ class Fig6Scenario final : public Scenario {
       const auto pi =
           static_cast<std::size_t>(cell) / ms.size() / names.size();
       Json meta = Json::object();
-      meta.set("m", ms[mi]).set("p", ps[pi]).set("solver", names[si]);
+      meta.set("m", ms[mi])
+          .set("p", ps[pi])
+          .set("design", design)
+          .set("solver", names[si]);
       return meta;
     });
   }
@@ -1731,6 +2034,7 @@ void register_builtin_scenarios(ScenarioRegistry& registry) {
   registry.add(std::make_unique<Fig4Scenario>());
   registry.add(std::make_unique<Fig6Scenario>());
   registry.add(std::make_unique<SolverSweepScenario>());
+  registry.add(std::make_unique<PhaseAtlasScenario>());
   // The generic fixed-m scenario plus the historical per-algorithm names
   // (deprecated aliases: same class, different `solver` default and seed
   // stream key; prefer `fixed_m` with `solver=<name>`).

@@ -1,6 +1,8 @@
 #include "pooling/pooling_graph.hpp"
 
 #include <algorithm>
+#include <span>
+#include <stdexcept>
 
 #include "rand/distributions.hpp"
 #include "util/assert.hpp"
@@ -169,6 +171,59 @@ PoolingGraph make_constant_column_weight_graph(Index n, Index m,
     (void)builder.add_query(agents);
   }
   return builder.build();
+}
+
+PoolingGraph make_doubly_regular_graph(Index n, Index m, Index delta,
+                                       rand::Rng& rng) {
+  NPD_CHECK(n > 0);
+  NPD_CHECK(m > 0);
+  // Degenerate parameters are user-reachable through `design=` specs, so
+  // they must be clean usage errors rather than contract violations.
+  if (delta < 1) {
+    throw std::invalid_argument("doubly regular design: need delta >= 1");
+  }
+  if (m > n * delta) {
+    throw std::invalid_argument(
+        "doubly regular design: need m <= n*delta (more pools than edge "
+        "stubs would leave empty pools)");
+  }
+
+  // Every agent contributes exactly Δ stubs; the shuffled stub sequence
+  // cut into consecutive pools is the configuration model.
+  std::vector<Index> stubs;
+  stubs.reserve(static_cast<std::size_t>(n) * static_cast<std::size_t>(delta));
+  for (Index agent = 0; agent < n; ++agent) {
+    for (Index d = 0; d < delta; ++d) {
+      stubs.push_back(agent);
+    }
+  }
+  rand::shuffle(rng, stubs);
+
+  const Index edges = n * delta;
+  const Index gamma = edges / m;
+  const Index extra = edges % m;
+  PoolingGraphBuilder builder(n);
+  std::size_t cursor = 0;
+  for (Index j = 0; j < m; ++j) {
+    const auto size =
+        static_cast<std::size_t>(gamma + (j < extra ? 1 : 0));
+    (void)builder.add_query(
+        std::span<const Index>(stubs.data() + cursor, size));
+    cursor += size;
+  }
+  return builder.build();
+}
+
+PoolingGraph build_design_graph(Index n, Index m, const GraphDesign& design,
+                                rand::Rng& rng) {
+  switch (design.family) {
+    case DesignFamily::PerQuery:
+      return make_pooling_graph(n, m, design.per_query, rng);
+    case DesignFamily::DoublyRegular:
+      return make_doubly_regular_graph(n, m, design.delta, rng);
+  }
+  NPD_CHECK_MSG(false, "unreachable: unknown design family");
+  return {};
 }
 
 }  // namespace npd::pooling

@@ -126,4 +126,27 @@ class PoolingGraphBuilder {
                                                              Index column_weight,
                                                              rand::Rng& rng);
 
+/// Doubly regular configuration model (Hahn-Klimroth–Kaaser–Rau):
+/// every agent has degree exactly `delta` (counted with multiplicity)
+/// and the n·Δ edge stubs are dealt to the m pools as evenly as
+/// possible — exactly Γ = n·Δ/m agents per pool when m divides n·Δ,
+/// otherwise the first (n·Δ mod m) pools hold one extra agent.  The
+/// construction is the classic edge shuffle: lay out every agent's Δ
+/// stubs, Fisher–Yates-shuffle them with `rng`, and cut the sequence
+/// into consecutive pools — a pure function of (n, m, delta, rng
+/// stream), so fixed seeds reproduce the graph bit-for-bit.  Parallel
+/// edges (an agent twice in one pool) are possible and carry the usual
+/// multigraph semantics.  Throws `std::invalid_argument` for delta < 1
+/// or m > n·delta (some pools would be empty).
+[[nodiscard]] PoolingGraph make_doubly_regular_graph(Index n, Index m,
+                                                     Index delta,
+                                                     rand::Rng& rng);
+
+/// Build the whole pooling graph for any `GraphDesign` family: per-query
+/// designs delegate to `make_pooling_graph` (identical RNG stream), the
+/// doubly regular family to `make_doubly_regular_graph`.
+[[nodiscard]] PoolingGraph build_design_graph(Index n, Index m,
+                                              const GraphDesign& design,
+                                              rand::Rng& rng);
+
 }  // namespace npd::pooling

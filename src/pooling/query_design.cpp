@@ -2,25 +2,47 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 #include "rand/distributions.hpp"
 #include "util/assert.hpp"
 
 namespace npd::pooling {
 
+namespace {
+
+/// Degenerate design parameters are *usage* errors (a user-supplied n or
+/// fraction), so they surface as `std::invalid_argument` — matching the
+/// registry's treatment of unknown solver/scenario names — rather than
+/// as contract violations from deep inside a worker thread.
+[[noreturn]] void usage_error(const std::string& message) {
+  throw std::invalid_argument(message);
+}
+
+}  // namespace
+
 QueryDesign paper_design(Index n) {
-  NPD_CHECK(n >= 2);
+  if (n < 2) {
+    usage_error("paper design: need n >= 2");
+  }
   return QueryDesign{.gamma = n / 2, .mode = SamplingMode::WithReplacement};
 }
 
 QueryDesign fractional_design(Index n, double gamma_fraction,
                               SamplingMode mode) {
-  NPD_CHECK(n >= 2);
-  NPD_CHECK_MSG(gamma_fraction > 0.0 && gamma_fraction <= 1.0,
-                "pool fraction must lie in (0, 1]");
+  if (n < 2) {
+    usage_error("fractional design: need n >= 2");
+  }
+  if (!(gamma_fraction > 0.0 && gamma_fraction <= 1.0)) {
+    usage_error("fractional design: pool fraction must lie in (0, 1]");
+  }
   const auto gamma = static_cast<Index>(
       std::llround(gamma_fraction * static_cast<double>(n)));
-  return QueryDesign{.gamma = std::clamp<Index>(gamma, 1, n), .mode = mode};
+  if (gamma < 1) {
+    usage_error("fractional design: pool fraction rounds to an empty pool "
+                "(gamma = 0)");
+  }
+  return QueryDesign{.gamma = std::min<Index>(gamma, n), .mode = mode};
 }
 
 std::vector<Index> sample_query(const QueryDesign& design, Index n,

@@ -1,0 +1,120 @@
+#include "solve/design_spec.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "util/json.hpp"
+#include "util/parse.hpp"
+
+namespace npd::solve {
+
+namespace {
+
+std::vector<std::string> split_fields(std::string_view spec) {
+  std::vector<std::string> fields;
+  while (true) {
+    const std::size_t colon = spec.find(':');
+    fields.emplace_back(spec.substr(0, colon));
+    if (colon == std::string_view::npos) {
+      return fields;
+    }
+    spec.remove_prefix(colon + 1);
+  }
+}
+
+[[noreturn]] void fail(std::string_view spec) {
+  throw std::invalid_argument(
+      "malformed design spec '" + std::string(spec) +
+      "' (expected paper | wr:<frac> | wor:<frac> | bernoulli:<frac> | "
+      "regular:<delta>)");
+}
+
+/// Shortest round-trip formatting, so distinct parameters always give
+/// distinct canonical labels (e.g. wr:1e-07 vs wr:0).
+std::string format_param(double value) { return Json::format_number(value); }
+
+std::string mode_name(pooling::SamplingMode mode) {
+  switch (mode) {
+    case pooling::SamplingMode::WithReplacement:
+      return "wr";
+    case pooling::SamplingMode::WithoutReplacement:
+      return "wor";
+    case pooling::SamplingMode::Bernoulli:
+      return "bernoulli";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string DesignSpec::label() const {
+  switch (family) {
+    case Family::Paper:
+      return "paper";
+    case Family::Fractional:
+      return mode_name(mode) + ":" + format_param(fraction);
+    case Family::Regular:
+      return "regular:" + std::to_string(delta);
+  }
+  return "?";
+}
+
+pooling::GraphDesign DesignSpec::instantiate(Index n) const {
+  pooling::GraphDesign design;
+  switch (family) {
+    case Family::Paper:
+      design.family = pooling::DesignFamily::PerQuery;
+      design.per_query = pooling::paper_design(n);
+      return design;
+    case Family::Fractional:
+      design.family = pooling::DesignFamily::PerQuery;
+      design.per_query = pooling::fractional_design(n, fraction, mode);
+      return design;
+    case Family::Regular:
+      design.family = pooling::DesignFamily::DoublyRegular;
+      design.delta = delta;
+      return design;
+  }
+  throw std::invalid_argument("design spec: unknown family");
+}
+
+DesignSpec parse_design_spec(std::string_view spec) {
+  const std::vector<std::string> fields = split_fields(spec);
+  DesignSpec parsed;
+  const std::string subject = "design spec '" + std::string(spec) + "'";
+  const auto reject = [&subject](const std::string& why) {
+    throw std::invalid_argument(subject + ": " + why);
+  };
+  if (fields[0] == "paper" && fields.size() == 1) {
+    parsed.family = DesignSpec::Family::Paper;
+  } else if ((fields[0] == "wr" || fields[0] == "wor" ||
+              fields[0] == "bernoulli") &&
+             fields.size() == 2) {
+    parsed.family = DesignSpec::Family::Fractional;
+    parsed.mode = fields[0] == "wr"
+                      ? pooling::SamplingMode::WithReplacement
+                      : (fields[0] == "wor"
+                             ? pooling::SamplingMode::WithoutReplacement
+                             : pooling::SamplingMode::Bernoulli);
+    parsed.fraction = parse_double_value(subject, fields[1]);
+  } else if (fields[0] == "regular" && fields.size() == 2) {
+    parsed.family = DesignSpec::Family::Regular;
+    parsed.delta = static_cast<Index>(parse_int_value(subject, fields[1]));
+  } else {
+    fail(spec);
+  }
+  // Range checks up front, so bad specs are clean invalid_argument
+  // errors before any job is scheduled; the n-dependent checks (a
+  // fraction rounding to Γ = 0, m exceeding n·Δ) live in
+  // `instantiate`/`make_doubly_regular_graph`.
+  if (parsed.family == DesignSpec::Family::Fractional &&
+      !(parsed.fraction > 0.0 && parsed.fraction <= 1.0)) {
+    reject("need a pool fraction in (0, 1]");
+  }
+  if (parsed.family == DesignSpec::Family::Regular && parsed.delta < 1) {
+    reject("need delta >= 1");
+  }
+  return parsed;
+}
+
+}  // namespace npd::solve

@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file design_spec.hpp
+/// Textual pooling-design specifications, the `design=` axis of the
+/// scenarios: one string parameter selects the whole-graph design the
+/// same way `channel=` selects the noise channel (commas are taken by
+/// `--params` entry splitting, so fields separate with ':'):
+///
+///   "paper"            Γ = n/2, sampled with replacement (Section II)
+///   "wr:0.25"          pool fraction 0.25 of n, with replacement
+///   "wor:0.25"         pool fraction 0.25 of n, without replacement
+///   "bernoulli:0.1"    i.i.d. Bernoulli inclusion, E[Γ] = 0.1·n
+///   "regular:6"        doubly regular configuration model, Δ = 6
+///
+/// Malformed specs are hard errors (`std::invalid_argument`), matching
+/// `parse_channel_spec` and the registry's treatment of unknown names.
+/// The fractional families need n to fix Γ, so a spec resolves to a
+/// concrete `pooling::GraphDesign` only through `instantiate(n)`.
+
+#include <string>
+#include <string_view>
+
+#include "pooling/query_design.hpp"
+#include "util/types.hpp"
+
+namespace npd::solve {
+
+/// A parsed design spec: an n-independent description of a whole-graph
+/// pooling design.
+struct DesignSpec {
+  enum class Family { Paper, Fractional, Regular };
+
+  Family family = Family::Paper;
+  /// Sampling discipline (fractional family).
+  pooling::SamplingMode mode = pooling::SamplingMode::WithReplacement;
+  /// Pool fraction Γ/n in (0, 1] (fractional family).
+  double fraction = 0.5;
+  /// Agent degree Δ (regular family).
+  Index delta = 0;
+
+  /// The spec in canonical textual form (for labels and reports).
+  [[nodiscard]] std::string label() const;
+
+  /// Resolve to a concrete design for a given n.  Throws
+  /// `std::invalid_argument` when the resolved design is degenerate
+  /// (e.g. the fraction rounds to an empty pool at this n).
+  [[nodiscard]] pooling::GraphDesign instantiate(Index n) const;
+};
+
+/// Parse a spec string (see file comment for the grammar).
+[[nodiscard]] DesignSpec parse_design_spec(std::string_view spec);
+
+}  // namespace npd::solve

@@ -146,7 +146,7 @@ TEST(ScenarioRegistryTest, RegisterListFindRoundTrip) {
   EXPECT_EQ(registry.find("no_such_scenario"), nullptr);
 
   const auto all = registry.list();
-  ASSERT_EQ(all.size(), 18u);  // 17 builtins + the test scenario
+  ASSERT_EQ(all.size(), 19u);  // 18 builtins + the test scenario
   for (std::size_t i = 1; i < all.size(); ++i) {
     EXPECT_LT(all[i - 1]->name(), all[i]->name());  // sorted by name
   }

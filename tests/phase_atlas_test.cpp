@@ -1,0 +1,199 @@
+// Tests for the `phase_atlas` scenario: the self-describing
+// `npd.phase_atlas/1` document shape, statistical sanity of the grid
+// (success degrades with channel noise, improves with more queries —
+// loose tolerances, pinned seeds), the design axis end-to-end with the
+// doubly regular family, and byte-identical reports across thread
+// counts.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "engine/builtin_scenarios.hpp"
+#include "engine/engine.hpp"
+#include "solve/channel_spec.hpp"
+
+namespace npd::engine {
+namespace {
+
+// Slack for monotonicity checks on 48-rep success rates: one step of
+// the grid may wobble by a few flipped reps, never by this much.
+constexpr double kMonotoneSlack = 0.1;
+
+RunReport run_atlas(const std::vector<ParamOverride>& overrides,
+                    Index threads = 1, Index reps = 48) {
+  ScenarioRegistry registry;
+  register_builtin_scenarios(registry);
+  BatchRequest request;
+  request.scenario_names = {"phase_atlas"};
+  request.config.seed = 20220713;
+  request.config.reps = reps;
+  request.config.threads = threads;
+  request.overrides = overrides;
+  return run_batch(registry, request);
+}
+
+const Json& atlas_of(const RunReport& report) {
+  return report.scenarios.at(0).aggregates;
+}
+
+double cell_success(const Json& atlas, std::size_t cell) {
+  return atlas.at("cells").at(cell).at("metrics").at("success").at("mean")
+      .as_double();
+}
+
+TEST(PhaseAtlasTest, EmitsSelfDescribingSchemaWithFullGrid) {
+  const RunReport report = run_atlas(
+      {{"phase_atlas", "designs", "paper;regular:6"},
+       {"phase_atlas", "channels", "z:0.05;z:0.2"},
+       {"phase_atlas", "n_lo", "60"},
+       {"phase_atlas", "n_hi", "60"},
+       {"phase_atlas", "m_fracs", "0.8;1.2"}},
+      1, 4);
+  const Json& atlas = atlas_of(report);
+
+  EXPECT_EQ(atlas.at("schema").as_string(), "npd.phase_atlas/1");
+  const Json& axes = atlas.at("axes");
+  ASSERT_EQ(axes.at("designs").size(), 2u);
+  EXPECT_EQ(axes.at("designs").at(0).as_string(), "paper");
+  EXPECT_EQ(axes.at("designs").at(1).as_string(), "regular:6");
+  ASSERT_EQ(axes.at("channels").size(), 2u);
+  ASSERT_EQ(axes.at("n").size(), 1u);
+  ASSERT_EQ(axes.at("m_frac").size(), 2u);
+  EXPECT_EQ(axes.at("solvers").at(0).as_string(), "greedy");
+
+  // One cell per grid point: 2 designs x 1 solver x 2 channels x 1 n x
+  // 2 fractions, in row-major axis order.
+  ASSERT_EQ(atlas.at("cells").size(), 8u);
+  for (std::size_t i = 0; i < 8; ++i) {
+    const Json& cell = atlas.at("cells").at(i);
+    for (const char* field : {"design", "solver", "channel", "n", "k", "m",
+                              "m_frac", "theory_m"}) {
+      EXPECT_NE(cell.find(field), nullptr)
+          << "cell " << i << " missing " << field;
+    }
+    EXPECT_GT(cell.at("m").as_int(), 0);
+    EXPECT_GT(cell.at("theory_m").as_double(), 0.0);
+    const Json& success = cell.at("metrics").at("success");
+    EXPECT_EQ(success.at("count").as_int(), 4);
+    const double mean = success.at("mean").as_double();
+    EXPECT_GE(mean, 0.0);
+    EXPECT_LE(mean, 1.0);
+  }
+  // The first half of the grid is the paper design, the second half the
+  // doubly regular one — the design axis is the outermost.
+  EXPECT_EQ(atlas.at("cells").at(0).at("design").as_string(), "paper");
+  EXPECT_EQ(atlas.at("cells").at(4).at("design").as_string(), "regular:6");
+}
+
+// Statistical smoke: along one grid row (fixed design/solver/n/m_frac)
+// the empirical success rate must not *increase* as the Z-channel flip
+// probability grows.
+TEST(PhaseAtlasTest, SuccessMonotoneNonIncreasingInChannelNoise) {
+  const RunReport report =
+      run_atlas({{"phase_atlas", "designs", "paper"},
+                 {"phase_atlas", "channels", "z:0.02;z:0.15;z:0.35"},
+                 {"phase_atlas", "n_lo", "80"},
+                 {"phase_atlas", "n_hi", "80"},
+                 {"phase_atlas", "theta", "0.3"},
+                 {"phase_atlas", "m_fracs", "1"}});
+  const Json& atlas = atlas_of(report);
+  ASSERT_EQ(atlas.at("cells").size(), 3u);
+  // Cells are (channel, n, m_frac) row-major with one n and one
+  // fraction, so consecutive cells walk the noise axis.
+  for (std::size_t i = 0; i + 1 < 3; ++i) {
+    EXPECT_LE(cell_success(atlas, i + 1),
+              cell_success(atlas, i) + kMonotoneSlack)
+        << "success must not grow with noise (cells " << i << " -> "
+        << i + 1 << ")";
+  }
+  // The sweep must actually span the transition, not sit flat.
+  EXPECT_GT(cell_success(atlas, 0), cell_success(atlas, 2));
+}
+
+// Statistical smoke: with the channel fixed, more queries must not hurt
+// — success is monotone non-decreasing in m along the m_frac axis.
+TEST(PhaseAtlasTest, SuccessMonotoneNonDecreasingInQueries) {
+  const RunReport report =
+      run_atlas({{"phase_atlas", "designs", "paper"},
+                 {"phase_atlas", "channels", "z:0.1"},
+                 {"phase_atlas", "n_lo", "80"},
+                 {"phase_atlas", "n_hi", "80"},
+                 {"phase_atlas", "theta", "0.3"},
+                 {"phase_atlas", "m_fracs", "0.4;0.9;1.6"}});
+  const Json& atlas = atlas_of(report);
+  ASSERT_EQ(atlas.at("cells").size(), 3u);
+  for (std::size_t i = 0; i + 1 < 3; ++i) {
+    EXPECT_GE(cell_success(atlas, i + 1),
+              cell_success(atlas, i) - kMonotoneSlack)
+        << "success must not drop with more queries (cells " << i << " -> "
+        << i + 1 << ")";
+  }
+  EXPECT_GT(cell_success(atlas, 2), cell_success(atlas, 0));
+}
+
+// The doubly regular design axis works end-to-end: a delta chosen from
+// the channel's own theory bound keeps every grid point feasible
+// (m <= n * delta), and the regular cells report sane success rates.
+TEST(PhaseAtlasTest, DoublyRegularDesignRunsAcrossTheGrid) {
+  const Index n = 64;
+  const double theta = 0.3;
+  const double eps = 0.1;
+  const double max_frac = 1.5;
+  const double theory =
+      solve::parse_channel_spec("z:0.1").theory_m(n, theta, eps);
+  const auto delta = static_cast<Index>(
+      std::ceil(max_frac * theory / static_cast<double>(n))) + 1;
+  const std::string design = "regular:" + std::to_string(delta);
+
+  const RunReport report =
+      run_atlas({{"phase_atlas", "designs", design},
+                 {"phase_atlas", "channels", "z:0.1"},
+                 {"phase_atlas", "n_lo", std::to_string(n)},
+                 {"phase_atlas", "n_hi", std::to_string(n)},
+                 {"phase_atlas", "theta", "0.3"},
+                 {"phase_atlas", "m_fracs", "0.5;1.5"}},
+                1, 8);
+  const Json& atlas = atlas_of(report);
+  ASSERT_EQ(atlas.at("cells").size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(atlas.at("cells").at(i).at("design").as_string(), design);
+    const double mean = cell_success(atlas, i);
+    EXPECT_GE(mean, 0.0);
+    EXPECT_LE(mean, 1.0);
+  }
+}
+
+// An infeasible (design, n, m) grid point is a planning-time usage
+// error, not a worker-thread crash.
+TEST(PhaseAtlasTest, InfeasibleRegularDesignIsAPlanningError) {
+  EXPECT_THROW((void)run_atlas({{"phase_atlas", "designs", "regular:1"},
+                                {"phase_atlas", "channels", "z:0.2"},
+                                {"phase_atlas", "n_lo", "60"},
+                                {"phase_atlas", "n_hi", "60"},
+                                {"phase_atlas", "m_fracs", "4"}},
+                               1, 1),
+               std::invalid_argument);
+}
+
+// The atlas grid is bit-identical across thread counts: the whole
+// perf-free report serialization must match byte for byte.
+TEST(PhaseAtlasTest, ReportBytesIdenticalAcrossThreadCounts) {
+  const std::vector<ParamOverride> overrides = {
+      {"phase_atlas", "designs", "paper;regular:6"},
+      {"phase_atlas", "channels", "z:0.05;z:0.25"},
+      {"phase_atlas", "n_lo", "40"},
+      {"phase_atlas", "n_hi", "60"},
+      {"phase_atlas", "n_ppd", "8"},
+      {"phase_atlas", "m_fracs", "0.7;1.3"}};
+  const RunReport sequential = run_atlas(overrides, 1, 6);
+  const RunReport parallel = run_atlas(overrides, 4, 6);
+  EXPECT_EQ(sequential.to_json(false).dump(2),
+            parallel.to_json(false).dump(2));
+}
+
+}  // namespace
+}  // namespace npd::engine

@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <numeric>
 #include <set>
+#include <stdexcept>
 
 #include "pooling/ground_truth.hpp"
 #include "pooling/pooling_graph.hpp"
@@ -108,9 +109,54 @@ TEST(QueryDesignTest, FractionalDesignRounds) {
   EXPECT_EQ(d.mode, SamplingMode::WithoutReplacement);
 }
 
-TEST(QueryDesignTest, FractionalDesignClampsToAtLeastOne) {
+// Degenerate design parameters are usage errors with pinned messages —
+// a fraction that rounds to an empty pool must never silently become a
+// different design.
+TEST(QueryDesignTest, PaperDesignRejectsTinyN) {
+  try {
+    (void)paper_design(1);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_STREQ(error.what(), "paper design: need n >= 2");
+  }
+}
+
+TEST(QueryDesignTest, FractionalDesignRejectsTinyN) {
+  try {
+    (void)fractional_design(1, 0.5, SamplingMode::WithReplacement);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_STREQ(error.what(), "fractional design: need n >= 2");
+  }
+}
+
+TEST(QueryDesignTest, FractionalDesignRejectsFractionOutOfRange) {
+  for (const double fraction : {0.0, -0.25, 1.5}) {
+    try {
+      (void)fractional_design(100, fraction, SamplingMode::WithReplacement);
+      FAIL() << "expected std::invalid_argument for fraction " << fraction;
+    } catch (const std::invalid_argument& error) {
+      EXPECT_STREQ(error.what(),
+                   "fractional design: pool fraction must lie in (0, 1]");
+    }
+  }
+}
+
+TEST(QueryDesignTest, FractionalDesignRejectsEmptyPoolRounding) {
+  try {
+    (void)fractional_design(10, 0.001, SamplingMode::WithReplacement);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_STREQ(error.what(),
+                 "fractional design: pool fraction rounds to an empty pool "
+                 "(gamma = 0)");
+  }
+}
+
+TEST(QueryDesignTest, FractionalDesignAcceptsSmallestNondegenerateFraction) {
+  // The smallest fraction that still rounds to Γ >= 1 stays a valid design.
   const QueryDesign d =
-      fractional_design(10, 0.001, SamplingMode::WithReplacement);
+      fractional_design(10, 0.05, SamplingMode::WithReplacement);
   EXPECT_EQ(d.gamma, 1);
 }
 

@@ -7,21 +7,28 @@
 //
 // The daemon/socket integration (real processes, real sockets, killed
 // clients) lives in the tools.serve_roundtrip ctest; these tests pin the
-// library-level contracts the daemon is built from.
+// library-level contracts the daemon is built from, plus the in-process
+// daemon's resilience to malformed frames (truncated/oversize headers,
+// non-JSON payloads, unknown ops).
 
 #include <gtest/gtest.h>
 
 #include <sys/socket.h>
+#include <unistd.h>
 
+#include <cstdint>
+#include <optional>
 #include <set>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "engine/builtin_scenarios.hpp"
 #include "engine/engine.hpp"
 #include "serve/design_cache.hpp"
 #include "serve/protocol.hpp"
+#include "serve/server.hpp"
 #include "serve/service.hpp"
 #include "serve/stats.hpp"
 #include "util/json.hpp"
@@ -334,6 +341,139 @@ TEST(FramingTest, RoundTripsOverASocketpair) {
   a.close();
   EXPECT_FALSE(net::read_frame(b).has_value());  // clean EOF
   EXPECT_FALSE(net::write_frame(b, small));      // peer gone, no SIGPIPE
+}
+
+// ------------------------------------------------- malformed daemon input
+
+std::string test_socket_path() {
+  static int counter = 0;
+  return "/tmp/npd_serve_test_" + std::to_string(::getpid()) + "_" +
+         std::to_string(++counter) + ".sock";
+}
+
+ServerOptions harness_options(const std::string& path) {
+  ServerOptions options;
+  options.unix_path = path;
+  options.threads = 1;
+  options.batch_max = 1;
+  return options;
+}
+
+/// An in-process daemon on a fresh Unix socket: `start()` in the
+/// constructor (so connects never race the listener), `run()` on a
+/// background thread, drained shutdown in the destructor.
+struct ServerHarness {
+  std::string path = test_socket_path();
+  Server server{test_registry(), harness_options(path)};
+  std::thread runner;
+
+  ServerHarness() {
+    server.start();
+    runner = std::thread([this] { (void)server.run(); });
+  }
+  ~ServerHarness() {
+    server.request_shutdown();
+    runner.join();
+    ::unlink(path.c_str());
+  }
+};
+
+Json ping_doc(const std::string& id) {
+  Json doc = Json::object();
+  doc.set("schema", std::string(kRequestSchema)).set("id", id).set("op",
+                                                                   "ping");
+  return doc;
+}
+
+std::optional<Json> round_trip(const net::Fd& fd, const std::string& payload) {
+  if (!net::write_frame(fd, payload)) {
+    return std::nullopt;
+  }
+  const std::optional<std::string> reply = net::read_frame(fd);
+  if (!reply.has_value()) {
+    return std::nullopt;
+  }
+  return Json::parse(*reply);
+}
+
+/// The daemon-liveness probe every malformed-input test ends with: a
+/// fresh connection must still answer a ping.
+void expect_still_serving(const std::string& path, const std::string& tag) {
+  const net::Fd client = net::connect_unix(path);
+  const std::optional<Json> ack = round_trip(client, ping_doc(tag).dump());
+  ASSERT_TRUE(ack.has_value()) << "daemon stopped answering after " << tag;
+  EXPECT_EQ(ack->at("status").as_string(), "ok");
+  EXPECT_EQ(ack->at("op").as_string(), "ping");
+}
+
+TEST(ServerMalformedInputTest, SurvivesTruncatedLengthPrefix) {
+  ServerHarness harness;
+  {
+    // Two bytes of a four-byte length header, then EOF: a torn frame the
+    // reader must treat as "connection done", not a crash.
+    net::Fd client = net::connect_unix(harness.path);
+    const unsigned char half_header[2] = {0x00, 0x00};
+    ASSERT_EQ(::send(client.get(), half_header, sizeof(half_header),
+                     MSG_NOSIGNAL),
+              static_cast<ssize_t>(sizeof(half_header)));
+    client.close();
+  }
+  expect_still_serving(harness.path, "after-truncated-header");
+}
+
+TEST(ServerMalformedInputTest, SurvivesOversizeLengthHeader) {
+  ServerHarness harness;
+  {
+    // A length header beyond kMaxFrameBytes is protocol corruption: the
+    // reader drops the connection before sizing a buffer.
+    net::Fd client = net::connect_unix(harness.path);
+    const std::uint32_t oversize = net::kMaxFrameBytes + 1;
+    const unsigned char header[4] = {
+        static_cast<unsigned char>(oversize >> 24),
+        static_cast<unsigned char>(oversize >> 16),
+        static_cast<unsigned char>(oversize >> 8),
+        static_cast<unsigned char>(oversize)};
+    ASSERT_EQ(::send(client.get(), header, sizeof(header), MSG_NOSIGNAL),
+              static_cast<ssize_t>(sizeof(header)));
+  }
+  expect_still_serving(harness.path, "after-oversize-header");
+}
+
+TEST(ServerMalformedInputTest, AnswersNonJsonPayloadWithErrorAndKeepsConnection) {
+  ServerHarness harness;
+  net::Fd client = net::connect_unix(harness.path);
+
+  const std::optional<Json> error = round_trip(client, "this is { not json");
+  ASSERT_TRUE(error.has_value());
+  EXPECT_EQ(error->at("status").as_string(), "error");
+  EXPECT_NE(error->at("error").as_string().find("bad frame"),
+            std::string::npos);
+
+  // The same connection keeps working after the bad payload...
+  const std::optional<Json> ack = round_trip(client, ping_doc("p1").dump());
+  ASSERT_TRUE(ack.has_value());
+  EXPECT_EQ(ack->at("status").as_string(), "ok");
+  // ...and so does the daemon as a whole.
+  expect_still_serving(harness.path, "after-non-json-payload");
+}
+
+TEST(ServerMalformedInputTest, AnswersUnknownOpWithErrorEchoingTheId) {
+  ServerHarness harness;
+  net::Fd client = net::connect_unix(harness.path);
+
+  Json doc = Json::object();
+  doc.set("schema", std::string(kRequestSchema))
+      .set("id", "weird-1")
+      .set("op", "explode");
+  const std::optional<Json> error = round_trip(client, doc.dump());
+  ASSERT_TRUE(error.has_value());
+  EXPECT_EQ(error->at("status").as_string(), "error");
+  EXPECT_EQ(error->at("id").as_string(), "weird-1");
+
+  const std::optional<Json> ack = round_trip(client, ping_doc("p2").dump());
+  ASSERT_TRUE(ack.has_value());
+  EXPECT_EQ(ack->at("status").as_string(), "ok");
+  expect_still_serving(harness.path, "after-unknown-op");
 }
 
 // ------------------------------------------------------------- load stats

@@ -24,6 +24,7 @@
 #include "pooling/ground_truth.hpp"
 #include "pooling/query_design.hpp"
 #include "solve/channel_spec.hpp"
+#include "solve/design_spec.hpp"
 #include "solve/reconstructor.hpp"
 #include "util/assert.hpp"
 
@@ -314,6 +315,70 @@ TEST(ChannelSpecTest, TheoryBoundMatchesFamily) {
   EXPECT_GT(z.theory_m(1000, 0.25, 0.1), 0.0);
   EXPECT_GT(gauss.theory_m(1000, 0.25, 0.1), 0.0);
   EXPECT_NE(z.theory_m(1000, 0.25, 0.1), gauss.theory_m(1000, 0.25, 0.1));
+}
+
+TEST(DesignSpecTest, ParsesTheGrammar) {
+  const DesignSpec paper = parse_design_spec("paper");
+  EXPECT_EQ(paper.family, DesignSpec::Family::Paper);
+  EXPECT_EQ(paper.label(), "paper");
+
+  const DesignSpec wr = parse_design_spec("wr:0.25");
+  EXPECT_EQ(wr.family, DesignSpec::Family::Fractional);
+  EXPECT_EQ(wr.mode, pooling::SamplingMode::WithReplacement);
+  EXPECT_DOUBLE_EQ(wr.fraction, 0.25);
+  EXPECT_EQ(wr.label(), "wr:0.25");
+
+  const DesignSpec wor = parse_design_spec("wor:0.5");
+  EXPECT_EQ(wor.mode, pooling::SamplingMode::WithoutReplacement);
+  EXPECT_EQ(wor.label(), "wor:0.5");
+
+  const DesignSpec bernoulli = parse_design_spec("bernoulli:0.1");
+  EXPECT_EQ(bernoulli.mode, pooling::SamplingMode::Bernoulli);
+  EXPECT_EQ(bernoulli.label(), "bernoulli:0.1");
+
+  const DesignSpec regular = parse_design_spec("regular:6");
+  EXPECT_EQ(regular.family, DesignSpec::Family::Regular);
+  EXPECT_EQ(regular.delta, 6);
+  EXPECT_EQ(regular.label(), "regular:6");
+}
+
+TEST(DesignSpecTest, RejectsMalformedSpecs) {
+  EXPECT_THROW((void)parse_design_spec(""), std::invalid_argument);
+  EXPECT_THROW((void)parse_design_spec("wr"), std::invalid_argument);
+  EXPECT_THROW((void)parse_design_spec("wr:0.1:0.2"), std::invalid_argument);
+  EXPECT_THROW((void)parse_design_spec("wr:abc"), std::invalid_argument);
+  EXPECT_THROW((void)parse_design_spec("regular"), std::invalid_argument);
+  EXPECT_THROW((void)parse_design_spec("regular:x"), std::invalid_argument);
+  EXPECT_THROW((void)parse_design_spec("wat:1"), std::invalid_argument);
+  // Out-of-range parameters fail at parse time, not at instantiate.
+  EXPECT_THROW((void)parse_design_spec("wr:0"), std::invalid_argument);
+  EXPECT_THROW((void)parse_design_spec("wr:1.5"), std::invalid_argument);
+  EXPECT_THROW((void)parse_design_spec("bernoulli:-0.1"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_design_spec("regular:0"), std::invalid_argument);
+  EXPECT_THROW((void)parse_design_spec("regular:-3"), std::invalid_argument);
+}
+
+TEST(DesignSpecTest, InstantiateResolvesEachFamily) {
+  const pooling::GraphDesign paper = parse_design_spec("paper").instantiate(100);
+  EXPECT_EQ(paper.family, pooling::DesignFamily::PerQuery);
+  EXPECT_EQ(paper.per_query.gamma, 50);
+  EXPECT_EQ(paper.per_query.mode, pooling::SamplingMode::WithReplacement);
+
+  const pooling::GraphDesign wor = parse_design_spec("wor:0.25").instantiate(100);
+  EXPECT_EQ(wor.family, pooling::DesignFamily::PerQuery);
+  EXPECT_EQ(wor.per_query.gamma, 25);
+  EXPECT_EQ(wor.per_query.mode, pooling::SamplingMode::WithoutReplacement);
+
+  const pooling::GraphDesign regular = parse_design_spec("regular:6").instantiate(100);
+  EXPECT_EQ(regular.family, pooling::DesignFamily::DoublyRegular);
+  EXPECT_EQ(regular.delta, 6);
+
+  // Degenerate resolutions surface as the pooling layer's usage errors.
+  EXPECT_THROW((void)parse_design_spec("paper").instantiate(1),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_design_spec("wr:0.001").instantiate(100),
+               std::invalid_argument);
 }
 
 }  // namespace

@@ -47,7 +47,7 @@ const std::map<std::string, std::vector<std::string>>& direct_deps() {
       {"core", {"noise", "pooling", "util"}},
       {"amp", {"core", "linalg", "noise", "util"}},
       {"netsim", {"amp", "core", "util"}},
-      {"solve", {"amp", "core", "netsim", "noise", "util"}},
+      {"solve", {"amp", "core", "netsim", "noise", "pooling", "util"}},
       {"harness", {"amp", "core", "noise", "pooling", "solve", "util"}},
       {"engine", {"harness", "netsim", "solve", "util"}},
       {"shard", {"engine", "util"}},

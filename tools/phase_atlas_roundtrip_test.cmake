@@ -1,0 +1,68 @@
+# CTest driver for the phase-transition atlas determinism contract
+# (the acceptance bar for the npd.phase_atlas/1 grid):
+#
+#   1. run a small atlas — both design families, two channels, two n,
+#      two m fractions — single-process with --threads 1 (--no-perf),
+#   2. rerun the identical atlas with --threads 4 and require the
+#      report bytes to be identical,
+#   3. npd_launch the same atlas over 3 shard children through a fresh
+#      result cache and require the auto-merged bytes to equal the
+#      single-process bytes.
+#
+# Inputs: -DNPD_RUN=<npd_run> -DNPD_LAUNCH=<npd_launch> -DWORK_DIR=<dir>
+
+foreach(var NPD_RUN NPD_LAUNCH WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "missing -D${var}=...")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+set(BATCH_ARGS --scenarios phase_atlas --reps 3 --seed 22 --no-perf)
+
+# The axis lists are ';'-separated, which CMake would shred into list
+# elements anywhere the value rode through an ${ARGN} expansion — so
+# run_checked appends the --params value itself, quoted, at the one
+# place it becomes a process argument.
+set(ATLAS_PARAMS "phase_atlas.designs=paper;regular:6,phase_atlas.channels=z:0.05;z:0.25,phase_atlas.n_lo=40,phase_atlas.n_hi=60,phase_atlas.n_ppd=8,phase_atlas.m_fracs=0.7;1.3")
+
+function(run_checked log_name)
+  execute_process(COMMAND ${ARGN} --params "${ATLAS_PARAMS}"
+    RESULT_VARIABLE result
+    OUTPUT_VARIABLE output
+    ERROR_VARIABLE output)
+  file(WRITE "${WORK_DIR}/${log_name}.log" "${output}")
+  if(NOT result EQUAL 0)
+    message(FATAL_ERROR "command failed (${result}): ${ARGN}\n${output}")
+  endif()
+endfunction()
+
+function(require_identical a b what)
+  file(READ "${a}" bytes_a)
+  file(READ "${b}" bytes_b)
+  if(NOT bytes_a STREQUAL bytes_b)
+    message(FATAL_ERROR "${what}: '${a}' and '${b}' differ")
+  endif()
+  message(STATUS "${what}: byte-identical")
+endfunction()
+
+# 1. The single-thread reference atlas.
+run_checked(threads1 "${NPD_RUN}" ${BATCH_ARGS} --threads 1
+  --out "${WORK_DIR}/atlas_t1.json")
+
+# 2. Same atlas on 4 threads: the grid must not depend on scheduling.
+run_checked(threads4 "${NPD_RUN}" ${BATCH_ARGS} --threads 4
+  --out "${WORK_DIR}/atlas_t4.json")
+require_identical("${WORK_DIR}/atlas_t4.json" "${WORK_DIR}/atlas_t1.json"
+  "phase_atlas --threads 4 vs --threads 1")
+
+# 3. Same atlas as a 3-process supervised launch with auto-merge.
+run_checked(launch "${NPD_LAUNCH}" ${BATCH_ARGS}
+  --procs 3 --runner "${NPD_RUN}"
+  --workdir "${WORK_DIR}/launch"
+  --cache "${WORK_DIR}/cache"
+  --out "${WORK_DIR}/atlas_launched.json")
+require_identical("${WORK_DIR}/atlas_launched.json" "${WORK_DIR}/atlas_t1.json"
+  "npd_launch 3-proc auto-merged atlas vs single process")
